@@ -1,0 +1,64 @@
+"""Ablation: the BG agreement flavour (DESIGN.md's Extended-BG
+substitution).
+
+Shape to reproduce: with fair schedulers both flavours complete and
+cost similarly (the CAS object skips the level dance, so it is a bit
+cheaper); the *behavioural* difference — blocking — is a liveness
+property exercised by the test suite's abandonment schedules, not a
+throughput one.
+"""
+
+import pytest
+
+from repro.algorithms.bg_simulation import BGSpec, bg_factories
+from repro.core import System
+from repro.runtime import RoundRobinScheduler, execute, ops
+
+
+def echo_code(ctx):
+    value = yield ops.Read(f"inp/{ctx.pid.index}")
+    yield ops.Decide(value)
+
+
+def run_bg(agreement, n_codes=4, simulators=2):
+    spec = BGSpec(
+        name="bg",
+        code_factories=[echo_code] * n_codes,
+        simulators=simulators,
+        static_inputs=tuple(range(n_codes)),
+        agreement=agreement,
+    )
+    system = System(
+        inputs=tuple(range(simulators)), c_factories=bg_factories(spec)
+    )
+    result = execute(
+        system,
+        RoundRobinScheduler(),
+        max_steps=400_000,
+        stop_when=lambda ex: all(
+            ex.memory.read(spec.decision_register(c)) is not None
+            for c in range(n_codes)
+        ),
+    )
+    assert result.reason == "predicate"
+    return result
+
+
+@pytest.mark.parametrize("agreement", ["cas", "safe"])
+def test_agreement_flavour_cost(benchmark, agreement):
+    result = benchmark.pedantic(
+        run_bg, args=(agreement,), rounds=3, iterations=1
+    )
+    assert result.steps > 0
+
+
+@pytest.mark.parametrize("simulators", [1, 2, 4])
+def test_simulator_count_scaling(benchmark, simulators):
+    result = benchmark.pedantic(
+        run_bg,
+        args=("cas",),
+        kwargs={"simulators": simulators},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.steps > 0

@@ -1,0 +1,61 @@
+"""Ablation: raw step throughput of the generator-based executor.
+
+DESIGN.md's first design decision is to pay for explicit schedulability
+(every interleaving drivable) with a per-step generator resume; this
+bench quantifies that cost so the simulation-heavy experiments can be
+read in steps-per-second.
+"""
+
+import pytest
+
+from repro.core import System
+from repro.runtime import Executor, RoundRobinScheduler, ops
+
+
+def spin(ctx):
+    while True:
+        yield ops.Nop()
+
+
+def reader_writer(ctx):
+    me = ctx.pid.index
+    while True:
+        yield ops.Write(f"cell/{me}", me)
+        yield ops.Read(f"cell/{(me + 1) % ctx.n_computation}")
+
+
+@pytest.mark.parametrize("n", [2, 8, 32])
+def test_nop_step_throughput(benchmark, n):
+    def run():
+        system = System(inputs=(1,) * n, c_factories=[spin] * n)
+        executor = Executor(system, RoundRobinScheduler(), max_steps=5_000)
+        result = executor.run()
+        assert result.steps == 5_000
+        return result
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [2, 8, 32])
+def test_read_write_step_throughput(benchmark, n):
+    def run():
+        system = System(inputs=(1,) * n, c_factories=[reader_writer] * n)
+        executor = Executor(system, RoundRobinScheduler(), max_steps=5_000)
+        return executor.run()
+
+    benchmark(run)
+
+
+def test_snapshot_op_cost_grows_with_memory(benchmark):
+    def snapper(ctx):
+        for i in range(200):
+            yield ops.Write(f"arr/{i}", i)
+        while True:
+            yield ops.Snapshot("arr/")
+
+    def run():
+        system = System(inputs=(1,), c_factories=[snapper])
+        executor = Executor(system, RoundRobinScheduler(), max_steps=2_000)
+        return executor.run()
+
+    benchmark(run)

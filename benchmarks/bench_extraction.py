@@ -1,0 +1,57 @@
+"""E-F1 / E-T8: the Figure 1 extraction engine.
+
+Shape to reproduce: exploration cost grows with the DFS budget; the
+first non-deciding branch (the anti-Omega-k witness) appears once the
+budget crosses the trap depth, and its exclusion set pins the correct
+leader regardless of budget beyond that point.
+"""
+
+import pytest
+
+from repro.algorithms.extraction import ExtractionConfig, ExtractionEngine
+from repro.algorithms.kset_vector import kset_c_factory, kset_s_factory
+from repro.core.failures import FailurePattern
+from repro.detectors import Omega
+from repro.detectors.dag import SampleDAG
+
+
+def build_engine(max_calls, max_depth, rounds=2500, leader=0):
+    n, k = 2, 1
+    pattern = FailurePattern.all_correct(n)
+    dag = SampleDAG.sample(
+        Omega(leader=leader), pattern, rounds=rounds, seed=1
+    )
+    return ExtractionEngine(
+        n=n,
+        k=k,
+        c_factories=[kset_c_factory(k)] * n,
+        s_factories=[kset_s_factory(k)] * n,
+        dag=dag,
+        input_vectors=[(0, 1)],
+        config=ExtractionConfig(max_depth=max_depth, max_calls=max_calls),
+    )
+
+
+@pytest.mark.parametrize("max_calls", [400, 1200, 3000])
+def test_exploration_budget_series(benchmark, max_calls):
+    def run():
+        engine = build_engine(max_calls, max_depth=400)
+        branch = engine.run()
+        return engine, branch
+
+    engine, branch = benchmark.pedantic(run, rounds=1, iterations=1)
+    if max_calls >= 3000:
+        assert branch is not None
+        assert 0 in branch.stable_exclusions(2)  # the correct leader
+
+
+def test_dag_sampling_cost(benchmark):
+    pattern = FailurePattern.all_correct(4)
+
+    def run():
+        return SampleDAG.sample(
+            Omega(leader=1), pattern, rounds=5000, seed=3
+        )
+
+    dag = benchmark(run)
+    assert len(dag) == 20_000

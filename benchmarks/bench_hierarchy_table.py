@@ -1,0 +1,33 @@
+"""E-T10: regenerate the paper's headline classification table.
+
+The printed table (run with ``-s`` to see it inline; it is also
+asserted structurally here) is the reproduction's analogue of the
+paper's main "result summary": every battery task lands in its class,
+all class-1 tasks share Omega as weakest detector, set agreement is
+class k, and the open renaming cases are reported open.
+"""
+
+import pytest
+
+from repro.classify import build_hierarchy, format_hierarchy
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_hierarchy_table(benchmark, n):
+    rows = benchmark.pedantic(build_hierarchy, args=(n,), rounds=1,
+                              iterations=1)
+    print()
+    print(format_hierarchy(rows))
+    by_name = {row.task_name: row for row in rows}
+    assert by_name["consensus"].level == 1 and by_name["consensus"].exact
+    for k in range(2, n):
+        row = by_name[f"{k}-set-agreement"]
+        assert row.level == k and row.exact
+    strong = by_name[f"strong-{n - 1}-renaming"]
+    assert strong.level == 1 and strong.exact
+    class_one = {
+        row.weakest_detector
+        for row in rows
+        if row.level == 1 and row.exact
+    }
+    assert len(class_one) == 1  # equivalence within the class

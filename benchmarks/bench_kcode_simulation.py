@@ -1,0 +1,58 @@
+"""E-F2 (Figure 2 / Theorem 14): simulation throughput — real steps per
+simulated step across (n, k).
+
+Shape to reproduce: the simulation makes steady progress (log keeps
+growing) once the detector stabilizes; the per-simulated-step cost
+grows with n (consensus over 2n slots per log entry).
+"""
+
+import pytest
+
+from repro.algorithms.kcode_simulation import F2Spec, figure2_factories
+from repro.core import System
+from repro.detectors import VectorOmegaK
+from repro.runtime import SeededRandomScheduler, execute, ops
+
+
+def counting_code(ctx):
+    count = 0
+    while True:
+        yield ops.Write(f"count/{ctx.pid.index}", count)
+        count += 1
+
+
+def log_length(spec, memory):
+    t = 0
+    while memory.read(f"{spec.log_instance(t)}/dec") is not None:
+        t += 1
+    return t
+
+
+def run_simulation(n, k, target_log=20, seed=1):
+    spec = F2Spec(k=k, code_factories=[counting_code] * k, n=n)
+    c_factories, s_factories = figure2_factories(spec)
+    system = System(
+        inputs=tuple(range(n)),
+        c_factories=c_factories,
+        s_factories=s_factories,
+        detector=VectorOmegaK(n, k),
+        seed=seed,
+    )
+    result = execute(
+        system,
+        SeededRandomScheduler(seed),
+        max_steps=600_000,
+        stop_when=lambda ex: log_length(spec, ex.memory) >= target_log,
+    )
+    assert result.reason == "predicate"
+    return result, spec
+
+
+@pytest.mark.parametrize("n,k", [(3, 1), (3, 2), (5, 2), (5, 4)])
+def test_steps_per_simulated_step(benchmark, n, k):
+    result, spec = benchmark.pedantic(
+        run_simulation, args=(n, k), rounds=2, iterations=1
+    )
+    overhead = result.steps / log_length(spec, result.memory)
+    # Each simulated step costs a bounded number of real steps.
+    assert overhead < 4_000

@@ -1,0 +1,60 @@
+"""Ablation: the leader-based consensus substrate.
+
+DESIGN.md calls out register Paxos as the per-step agreement engine of
+Figure 2.  Shape to reproduce: a solo (stable) leader decides in a
+handful of operations; contention multiplies the cost but never splits
+decisions.
+"""
+
+import pytest
+
+from repro.algorithms import paxos
+from repro.core import System
+from repro.runtime import RoundRobinScheduler, SeededRandomScheduler, execute, ops
+
+
+def contender(slot, n, rounds=50):
+    def factory(ctx):
+        for r in range(rounds):
+            decided = yield from paxos.propose(
+                "c", slot, n, paxos.make_ballot(r, slot, n), f"v{slot}"
+            )
+            if decided is not None:
+                yield ops.Decide(decided)
+                return
+        decided = yield from paxos.await_decision("c")
+        yield ops.Decide(decided)
+
+    return factory
+
+
+def run_contention(n, seed=0):
+    system = System(
+        inputs=tuple(range(n)),
+        c_factories=[contender(i, n) for i in range(n)],
+    )
+    result = execute(system, SeededRandomScheduler(seed), max_steps=400_000)
+    decided = {v for v in result.outputs if v is not None}
+    assert len(decided) == 1
+    return result
+
+
+def test_solo_leader_latency(benchmark):
+    def run():
+        system = System(
+            inputs=(1,), c_factories=[contender(0, 1)]
+        )
+        result = execute(system, RoundRobinScheduler(), max_steps=10_000)
+        assert result.all_participants_decided
+        return result
+
+    result = benchmark(run)
+    assert result.steps < 40  # a handful of operations
+
+
+@pytest.mark.parametrize("n", [2, 3, 5])
+def test_contention_cost(benchmark, n):
+    result = benchmark.pedantic(
+        run_contention, args=(n,), rounds=3, iterations=1
+    )
+    assert result.steps > 10

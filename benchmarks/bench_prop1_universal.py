@@ -1,0 +1,55 @@
+"""E-P1 (Proposition 1): the universal 1-concurrent solver.
+
+Shape to reproduce: every task in the battery is solved at concurrency
+1; per-process work is constant (two snapshots, a write, a decide), so
+total steps grow linearly in the number of participants.
+"""
+
+import pytest
+
+from repro.algorithms.one_concurrent import one_concurrent_factories
+from repro.core import System
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent
+from repro.tasks import (
+    ConsensusTask,
+    SetAgreementTask,
+    StrongRenamingTask,
+)
+
+
+def run_once(task, inputs, seed=0):
+    system = System(
+        inputs=inputs, c_factories=list(one_concurrent_factories(task))
+    )
+    scheduler = k_concurrent(SeededRandomScheduler(seed), 1)
+    result = execute(system, scheduler, max_steps=200_000)
+    return result.require_all_decided().require_satisfies(task)
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_consensus_scaling(benchmark, n):
+    task = ConsensusTask(n)
+    inputs = tuple(i % 2 for i in range(n))
+    result = benchmark.pedantic(
+        run_once, args=(task, inputs), rounds=3, iterations=1
+    )
+    # Linear work: a small constant number of steps per participant
+    # (including the interleaved null steps of the S-processes).
+    assert result.steps <= 40 * n
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_set_agreement(benchmark, n):
+    task = SetAgreementTask(n, 2)
+    inputs = tuple(i % 3 for i in range(n))
+    benchmark.pedantic(run_once, args=(task, inputs), rounds=3, iterations=1)
+
+
+def test_strong_renaming(benchmark):
+    task = StrongRenamingTask(5, 4)
+    inputs = (1, 2, 3, 4, None)
+    result = benchmark.pedantic(
+        run_once, args=(task, inputs), rounds=3, iterations=1
+    )
+    names = sorted(v for v in result.outputs if v is not None)
+    assert names == [1, 2, 3, 4]

@@ -1,0 +1,87 @@
+"""E-F4 / E-T15 / E-T16: the renaming series.
+
+Shape to reproduce (the paper's Section 5 trade-off): for participants
+j and concurrency gate k, Figure 4 never uses a name above j + k - 1;
+the series over k charts the namespace/concurrency trade-off, and k = j
+recovers the wait-free (j, 2j-1) baseline [3, 4].
+"""
+
+import pytest
+
+from repro.algorithms.renaming_figure4 import figure4_factories
+from repro.analysis import renaming_summary
+from repro.core import System
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent
+from repro.tasks import RenamingTask
+
+
+def run_once(n, j, k, seed=2):
+    inputs = tuple(i + 1 if i < j else None for i in range(n))
+    system = System(inputs=inputs, c_factories=figure4_factories(n))
+    scheduler = k_concurrent(SeededRandomScheduler(seed), k)
+    result = execute(system, scheduler, max_steps=400_000)
+    task = RenamingTask(n, j, j + k - 1)
+    result.require_all_decided().require_satisfies(task)
+    return result
+
+
+@pytest.mark.parametrize("j,k", [(3, 1), (3, 2), (3, 3),
+                                 (5, 1), (5, 3), (5, 5)])
+def test_namespace_bound_series(benchmark, j, k):
+    n = j + 2
+    result = benchmark.pedantic(
+        run_once, args=(n, j, k), rounds=3, iterations=1
+    )
+    top, distinct = renaming_summary(result)
+    assert distinct
+    assert top <= j + k - 1  # Theorem 15's bound, per series point
+
+
+@pytest.mark.parametrize("j", [2, 4, 6])
+def test_wait_free_baseline_scaling(benchmark, j):
+    """k = j: the Attiya et al. wait-free case; cost grows with j."""
+    n = j + 1
+    result = benchmark.pedantic(
+        run_once, args=(n, j, j), rounds=3, iterations=1
+    )
+    top, distinct = renaming_summary(result)
+    assert distinct
+    assert top <= 2 * j - 1
+
+
+# -- baseline comparison: Figure 4 vs Moir-Anderson grid ------------------
+
+
+def run_moir_anderson(n, j, seed=2):
+    from repro.algorithms.splitters import (
+        moir_anderson_factories,
+        namespace_size,
+    )
+
+    inputs = tuple(i + 1 if i < j else None for i in range(n))
+    system = System(
+        inputs=inputs, c_factories=moir_anderson_factories(n, j)
+    )
+    result = execute(system, SeededRandomScheduler(seed), max_steps=100_000)
+    task = RenamingTask(n, j, namespace_size(j))
+    result.require_all_decided().require_satisfies(task)
+    return result
+
+
+@pytest.mark.parametrize("j", [2, 4, 6])
+def test_moir_anderson_baseline(benchmark, j):
+    """The classical splitter-grid baseline: no gating needed, but a
+    quadratic namespace — the crossover against Figure 4's wait-free
+    2j-1 happens already at j = 3 (j(j+1)/2 > 2j-1)."""
+    from repro.algorithms.splitters import namespace_size
+
+    n = j + 1
+    result = benchmark.pedantic(
+        run_moir_anderson, args=(n, j), rounds=3, iterations=1
+    )
+    top, distinct = renaming_summary(result)
+    assert distinct
+    assert top <= namespace_size(j)
+    if j >= 3:
+        # Shape: Figure 4's wait-free bound beats the grid's namespace.
+        assert 2 * j - 1 < namespace_size(j)

@@ -1,0 +1,50 @@
+"""E-S22 (Section 2.2): n S-processes solve n-set agreement without any
+failure detection.
+
+Shape to reproduce: trivially fast and crash-tolerant; with fewer
+S-processes than C-processes the distinct-output bound tracks the
+number of S-processes, not of C-processes.
+"""
+
+import pytest
+
+from repro.algorithms.s_helper import helper_c_factory, helper_s_factory
+from repro.core import System
+from repro.core.failures import FailurePattern
+from repro.runtime import SeededRandomScheduler, execute
+
+
+def run_once(n_c, n_s, pattern=None, seed=0):
+    system = System(
+        inputs=tuple(range(n_c)),
+        c_factories=[helper_c_factory] * n_c,
+        s_factories=[helper_s_factory] * n_s,
+        pattern=pattern,
+    )
+    result = execute(system, SeededRandomScheduler(seed), max_steps=100_000)
+    result.require_all_decided()
+    return result
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_scaling_with_n(benchmark, n):
+    result = benchmark.pedantic(run_once, args=(n, n), rounds=3, iterations=1)
+    assert len(set(result.outputs)) <= n
+
+
+@pytest.mark.parametrize("n_s", [1, 2, 4])
+def test_distinct_outputs_track_s_count(benchmark, n_s):
+    n_c = 8
+    result = benchmark.pedantic(
+        run_once, args=(n_c, n_s), rounds=3, iterations=1
+    )
+    assert len(set(result.outputs)) <= n_s
+
+
+def test_with_crashes(benchmark):
+    n = 6
+    pattern = FailurePattern.crash(n, {i: 2 for i in range(n - 1)})
+    result = benchmark.pedantic(
+        run_once, args=(n, n, pattern), rounds=3, iterations=1
+    )
+    assert result.all_participants_decided

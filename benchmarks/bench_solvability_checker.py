@@ -1,0 +1,36 @@
+"""E-L11: the exact 2-process solvability checker.
+
+Shape to reproduce: strong 2-renaming flips from solvable to unsolvable
+exactly when the original-name space first exceeds the target space
+(the Lemma 11 pigeonhole); checker cost grows with namespace size
+(solo-assignment search space).
+"""
+
+import pytest
+
+from repro.tasks import ConsensusTask, RenamingTask, StrongRenamingTask
+from repro.topology import decide_two_process_solvability
+
+
+@pytest.mark.parametrize("names", [2, 3, 4, 6])
+def test_strong_renaming_crossover(benchmark, names):
+    task = StrongRenamingTask(
+        3, 2, namespace=tuple(range(1, names + 1))
+    )
+    result = benchmark(decide_two_process_solvability, task)
+    # The crossover: solvable iff the namespace fits the target space.
+    assert result.solvable == (names <= 2)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_consensus_certificates(benchmark, n):
+    task = ConsensusTask(n, member_set={0, min(1, n - 1)})
+    result = benchmark(decide_two_process_solvability, task)
+    assert not result.solvable
+
+
+def test_loose_renaming_with_rounds(benchmark):
+    task = RenamingTask(4, 2, 3)
+    result = benchmark(decide_two_process_solvability, task)
+    assert result.solvable
+    assert result.rounds is not None

@@ -1,0 +1,50 @@
+"""E-L11 companion: protocol synthesis from solvability certificates.
+
+Shape to reproduce: synthesis cost tracks the certificate search; the
+synthesized protocols' round count equals the checker's reported bound;
+unsolvable tasks are rejected at certificate time (no partial output).
+"""
+
+import pytest
+
+from repro.core import System
+from repro.errors import SpecificationError
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import ConsensusTask, RenamingTask
+from repro.topology import synthesize_protocol
+
+
+@pytest.mark.parametrize("names", [3, 4, 6])
+def test_synthesis_cost_by_namespace(benchmark, names):
+    task = RenamingTask(3, 2, 3, namespace=tuple(range(1, names + 1)))
+    protocol = benchmark(synthesize_protocol, task)
+    assert protocol.rounds >= 0
+
+
+def test_synthesized_protocol_run_cost(benchmark):
+    task = RenamingTask(3, 2, 3)
+    protocol = synthesize_protocol(task)
+
+    def run():
+        system = System(
+            inputs=(1, 2, None), c_factories=list(protocol.factories)
+        )
+        result = execute(system, SeededRandomScheduler(1), max_steps=50_000)
+        result.require_all_decided().require_satisfies(task)
+        return result
+
+    result = benchmark(run)
+    assert result.steps < 1_000
+
+
+def test_unsolvable_rejected_fast(benchmark):
+    task = ConsensusTask(2)
+
+    def attempt():
+        try:
+            synthesize_protocol(task)
+        except SpecificationError:
+            return True
+        return False
+
+    assert benchmark(attempt)

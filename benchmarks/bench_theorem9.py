@@ -1,0 +1,73 @@
+"""E-T9 (Theorem 9): the generic double simulation versus the direct
+detector-based algorithm for the same task.
+
+Shape to reproduce: both solve k-set agreement with vector-Omega-k; the
+generic machinery pays a large constant factor over the direct
+algorithm (it buys *generality* — any k-concurrent algorithm slots in),
+and the factor grows with n.  "Who wins": direct, by one to two orders
+of magnitude — which is why the paper presents the simulation as a
+characterization tool, not a protocol.
+"""
+
+import pytest
+
+from repro.algorithms.kconcurrent_solver import theorem9_solver
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.algorithms.kset_vector import kset_factories
+from repro.core import System
+from repro.detectors import VectorOmegaK
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import SetAgreementTask
+
+RESULTS: dict[str, int] = {}
+
+
+def run_direct(n, k, seed=1):
+    c_factories, s_factories = kset_factories(n, k)
+    system = System(
+        inputs=tuple(range(n)),
+        c_factories=c_factories,
+        s_factories=s_factories,
+        detector=VectorOmegaK(n, k),
+        seed=seed,
+    )
+    result = execute(system, SeededRandomScheduler(seed), max_steps=600_000)
+    task = SetAgreementTask(n, k, domain=tuple(range(n)))
+    return result.require_all_decided().require_satisfies(task)
+
+
+def run_generic(n, k, seed=1):
+    solver = theorem9_solver(
+        n=n, k=k, algorithm_factories=kset_concurrent_factories(n, k)
+    )
+    system = System(
+        inputs=tuple(range(n)),
+        c_factories=list(solver.c_factories),
+        s_factories=list(solver.s_factories),
+        detector=VectorOmegaK(n, k),
+        seed=seed,
+    )
+    result = execute(
+        system, SeededRandomScheduler(seed), max_steps=4_000_000
+    )
+    task = SetAgreementTask(n, k, domain=tuple(range(n)))
+    return result.require_all_decided().require_satisfies(task)
+
+
+@pytest.mark.parametrize("n,k", [(3, 2), (4, 2)])
+def test_direct_algorithm(benchmark, n, k):
+    result = benchmark.pedantic(run_direct, args=(n, k), rounds=2,
+                                iterations=1)
+    RESULTS[f"direct-{n}-{k}"] = result.steps
+
+
+@pytest.mark.parametrize("n,k", [(3, 2), (4, 2)])
+def test_generic_double_simulation(benchmark, n, k):
+    result = benchmark.pedantic(run_generic, args=(n, k), rounds=1,
+                                iterations=1)
+    RESULTS[f"generic-{n}-{k}"] = result.steps
+    direct = RESULTS.get(f"direct-{n}-{k}")
+    if direct:
+        factor = result.steps / direct
+        # The direct algorithm wins by a large factor.
+        assert factor > 3, f"expected generic >> direct, factor={factor}"

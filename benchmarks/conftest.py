@@ -1,0 +1,8 @@
+"""Shared benchmark configuration.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Every benchmark both *times* its workload and *asserts* the shape the
+paper predicts (who wins, by what factor, where bounds sit), so the
+benchmark run doubles as the experiment harness behind EXPERIMENTS.md.
+"""

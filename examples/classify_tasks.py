@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's headline result: the task hierarchy.
+
+Theorem 10: every task belongs to class ``k`` — the largest concurrency
+level at which it is solvable — and the weakest failure detector for it
+is anti-Omega-k.  This script classifies the paper's task battery
+(consensus, k-set agreement, strong and loose renaming, weak symmetry
+breaking) with labeled evidence: machine-validated run sweeps for the
+upper bounds, exact dimension-1 topology certificates for the class-1
+lower bounds, literature citations above dimension 1, and "open" where
+the paper itself leaves the question open (footnote 4 / [8]).
+
+Run:  python examples/classify_tasks.py
+"""
+
+from repro.classify import build_hierarchy, format_hierarchy
+
+
+def main() -> None:
+    print("Task hierarchy for n = 4 C-processes (Theorem 10)\n")
+    rows = build_hierarchy(4)
+    print(format_hierarchy(rows))
+    class_one = [r.task_name for r in rows if r.level == 1 and r.exact]
+    print(
+        f"\nAll of {class_one} are equivalent: each needs exactly "
+        "Omega-strength advice\n(consensus == strong renaming, the "
+        "paper's Section 5 punchline)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Watch Figure 1 extract anti-Omega-1 from a consensus solution.
+
+Theorem 8: any failure detector solving a task that is not
+(k+1)-concurrently solvable can be used to emulate anti-Omega-k.  Here
+the task is consensus (class 1: not 2-concurrently solvable, which the
+topology checker certifies first), the detector is Omega, and the
+corridor-DFS exploration of A_sim finds a never-deciding 2-concurrent
+branch; the S-processes the branch permanently stops outputting are the
+emulated detector's "safe" processes — and they include the correct
+leader, exactly as anti-Omega-1 requires.
+
+Run:  python examples/extract_advice.py
+"""
+
+from repro.algorithms.extraction import ExtractionConfig, ExtractionEngine
+from repro.algorithms.kset_vector import kset_c_factory, kset_s_factory
+from repro.core.failures import FailurePattern
+from repro.detectors import Omega
+from repro.detectors.dag import SampleDAG
+from repro.tasks import ConsensusTask
+from repro.topology import decide_two_process_solvability
+
+
+def main() -> None:
+    n, k = 2, 1
+    leader = 0
+    pattern = FailurePattern.all_correct(n)
+
+    print("step 1 — certify the premise (T not 2-concurrently solvable):")
+    verdict = decide_two_process_solvability(ConsensusTask(2))
+    print(f"  consensus 2-process solvable? {verdict.solvable}")
+    print(f"  obstruction: {verdict.obstruction}\n")
+
+    print(f"step 2 — record a DAG of Omega samples (leader q{leader + 1}):")
+    dag = SampleDAG.sample(Omega(leader=leader), pattern, rounds=3000, seed=1)
+    print(f"  {len(dag)} samples recorded\n")
+
+    print("step 3 — corridor DFS over (k+1)-concurrent runs of A_sim:")
+    engine = ExtractionEngine(
+        n=n,
+        k=k,
+        c_factories=[kset_c_factory(k)] * n,
+        s_factories=[kset_s_factory(k)] * n,
+        dag=dag,
+        input_vectors=[(0, 1)],
+        config=ExtractionConfig(max_depth=400, max_calls=3000),
+    )
+    branch = engine.run()
+    print(f"  explore() calls: {engine._calls}")
+    print(f"  non-deciding branches found: {len(engine.nondeciding)}")
+    assert branch is not None
+    exclusions = branch.stable_exclusions(n)
+    print(f"  first non-deciding branch depth: {branch.depth}")
+    print(
+        "  S-processes eventually never output along it: "
+        f"{sorted('q' + str(q + 1) for q in exclusions)}"
+    )
+    print(
+        f"\nThe excluded process is q{leader + 1} — the correct leader "
+        "whose starvation is\nthe only way to stall consensus: the "
+        "emulated history satisfies anti-Omega-1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Consensus with an eventual-leader oracle, under crashes and late
+advice.
+
+Scenario: five replicas must agree on a configuration epoch.  The
+synchronization side queries Omega (= anti-Omega-1, the weakest detector
+for consensus); the oracle is noisy until it stabilizes, and some
+S-processes crash along the way.  Computation processes never wait on
+each other — each decides in finitely many of its own steps once the
+advice stabilizes (wait-freedom with advice).
+
+Run:  python examples/leader_advice_consensus.py
+"""
+
+from repro.algorithms.kset_vector import kset_factories
+from repro.core import System
+from repro.core.failures import FailurePattern
+from repro.detectors import Omega
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import SetAgreementTask
+
+
+def run_epoch_agreement(pattern, stabilization, seed):
+    n = 5
+    proposals = (3, 1, 4, 1, 5)  # each replica's preferred epoch
+    c_factories, s_factories = kset_factories(n, 1)
+    system = System(
+        inputs=proposals,
+        c_factories=c_factories,
+        s_factories=s_factories,
+        detector=Omega(stabilization_time=stabilization),
+        pattern=pattern,
+        seed=seed,
+    )
+    return execute(system, SeededRandomScheduler(seed), max_steps=400_000)
+
+
+def main() -> None:
+    n = 5
+    task = SetAgreementTask(n, 1, domain=(1, 3, 4, 5))
+    scenarios = [
+        ("failure-free, instant advice", FailurePattern.all_correct(n), 0),
+        ("failure-free, late advice", FailurePattern.all_correct(n), 120),
+        (
+            "two S-crashes, late advice",
+            FailurePattern.crash(n, {0: 10, 3: 40}),
+            150,
+        ),
+        (
+            "crash majority of S-processes",
+            FailurePattern.crash(n, {0: 5, 1: 5, 2: 5, 3: 5}),
+            80,
+        ),
+    ]
+    print(f"{'scenario':36} {'epoch':>6} {'steps':>8}  decisions")
+    for name, pattern, stabilization in scenarios:
+        result = run_epoch_agreement(pattern, stabilization, seed=11)
+        result.require_all_decided().require_satisfies(task)
+        epoch = result.outputs[0]
+        print(f"{name:36} {epoch:>6} {result.steps:>8}  {result.outputs}")
+    print(
+        "\nEvery replica decided the same proposed epoch in every "
+        "scenario —\nagreement and validity held while crashes and "
+        "pre-stabilization noise only\ndelayed (never corrupted) the runs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A slot-assignment service built on the paper's renaming results.
+
+Scenario: up to ``j`` workers out of a large fleet attach to a shard and
+each needs a distinct small slot id (for striping writes).  The target
+slot range is the service's real cost, so we chart the paper's
+trade-off (Section 5):
+
+* with no synchronization advice, gating attachment to k-at-a-time
+  gives slots in ``1 .. j+k-1`` (Figure 4 / Theorem 15);
+* with anti-Omega-k-strength advice, the same bound holds wait-free for
+  the workers (Theorem 16 via the Theorem 9 machinery);
+* tight slots (``1 .. j``, strong renaming) need full consensus power —
+  Omega advice (Corollary 13).
+
+Run:  python examples/renaming_service.py
+"""
+
+from repro import solve_task, solve_task_restricted
+from repro.analysis import renaming_summary
+from repro.detectors import Omega, VectorOmegaK
+from repro.tasks import RenamingTask, StrongRenamingTask
+
+
+def main() -> None:
+    n, j = 6, 4  # fleet slice of 6 potential workers, at most 4 attach
+    fleet_names = (17, 4, 42, 8, 23, 99)  # original (large) namespace
+    workers = tuple(
+        fleet_names[index] if index < j else None for index in range(n)
+    )
+    print(f"fleet of {n}, {j} workers attaching with names "
+          f"{[w for w in workers if w]}\n")
+
+    print(f"{'mode':44} {'slots used':>10} {'max slot':>9}")
+    for k in (1, 2, 4):
+        task = RenamingTask(n, j, j + k - 1, namespace=fleet_names)
+        result = solve_task_restricted(
+            task, inputs=workers, concurrency=k, seed=3
+        )
+        top, distinct = renaming_summary(result)
+        assert distinct
+        mode = f"no advice, {k}-at-a-time gate (Fig. 4)"
+        print(f"{mode:44} {'1..' + str(task.l):>10} {top:>9}")
+
+    k = 2
+    task = RenamingTask(n, j, j + k - 1, namespace=fleet_names)
+    result = solve_task(
+        task, inputs=workers, detector=VectorOmegaK(n, k), seed=3
+    )
+    top, distinct = renaming_summary(result)
+    assert distinct
+    mode = f"vecOmega-{k} advice, wait-free (Thm 16)"
+    print(f"{mode:44} {'1..' + str(task.l):>10} {top:>9}")
+
+    strong = StrongRenamingTask(n, j, namespace=fleet_names)
+    result = solve_task(strong, inputs=workers, detector=Omega(), seed=3)
+    top, distinct = renaming_summary(result)
+    assert distinct
+    mode = "Omega advice, tight slots (Cor. 13)"
+    print(f"{mode:44} {'1..' + str(strong.l):>10} {top:>9}")
+
+    print(
+        "\nShape matches the paper: weaker advice widens the slot range "
+        "(j+k-1);\ntight slots (strong renaming) are exactly as hard as "
+        "consensus."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands:
+    hierarchy [--n N]       print the Theorem 10 task hierarchy table
+    solve TASK [--seed S]   run a built-in task through the solver
+    check-renaming J NAMES  decide 2-process solvability of strong
+                            2-renaming with the given namespace size
+    extract                 run the Figure 1 extraction demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from .classify import build_hierarchy, format_hierarchy
+
+    print(format_hierarchy(build_hierarchy(args.n)))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from . import solve_task
+    from .detectors import Omega, VectorOmegaK
+    from .tasks import ConsensusTask, SetAgreementTask, StrongRenamingTask
+
+    if args.task == "consensus":
+        task = ConsensusTask(args.n)
+        detector = Omega()
+    elif args.task == "set-agreement":
+        task = SetAgreementTask(args.n, args.k)
+        detector = VectorOmegaK(args.n, args.k)
+    elif args.task == "strong-renaming":
+        task = StrongRenamingTask(args.n, args.n - 1)
+        detector = Omega()
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.task)
+    result = solve_task(task, detector=detector, seed=args.seed)
+    print(f"task     : {task.name}")
+    print(f"detector : {detector.name}")
+    print(f"inputs   : {result.inputs}")
+    print(f"outputs  : {result.outputs}")
+    print(f"steps    : {result.steps}")
+    return 0
+
+
+def _cmd_check_renaming(args: argparse.Namespace) -> int:
+    from .tasks import StrongRenamingTask
+    from .topology import decide_two_process_solvability
+
+    task = StrongRenamingTask(
+        max(3, args.names), 2, namespace=tuple(range(1, args.names + 1))
+    )
+    verdict = decide_two_process_solvability(task)
+    print(
+        f"strong 2-renaming, {args.names} original names: "
+        f"{'SOLVABLE' if verdict.solvable else 'UNSOLVABLE'} "
+        "2-concurrently"
+    )
+    if verdict.obstruction:
+        print(f"obstruction: {verdict.obstruction}")
+    return 0 if verdict.solvable else 1
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    import runpy
+    from pathlib import Path
+
+    demo = Path(__file__).resolve().parents[2] / "examples" / "extract_advice.py"
+    if demo.exists():  # running from a source checkout
+        runpy.run_path(str(demo), run_name="__main__")
+        return 0
+    print("extraction demo script not found; see examples/extract_advice.py")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("hierarchy", help="print the Theorem 10 table")
+    p.add_argument("--n", type=int, default=4)
+    p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser("solve", help="solve a built-in task")
+    p.add_argument(
+        "task",
+        choices=["consensus", "set-agreement", "strong-renaming"],
+    )
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "check-renaming", help="Lemma 11 solvability crossover"
+    )
+    p.add_argument("names", type=int)
+    p.set_defaults(func=_cmd_check_renaming)
+
+    p = sub.add_parser("extract", help="Figure 1 extraction demo")
+    p.set_defaults(func=_cmd_extract)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

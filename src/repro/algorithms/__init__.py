@@ -1,0 +1,56 @@
+"""Every algorithm of the paper plus its cited substrates.
+
+Paper map:
+
+* Proposition 1  -> :mod:`.one_concurrent`
+* Section 2.2    -> :mod:`.s_helper`
+* Theorem 7      -> :mod:`.set_agreement_ext`
+* Figure 1/Thm 8 -> :mod:`.extraction`
+* Figure 2/Thm 14-> :mod:`.kcode_simulation`
+* Theorem 9      -> :mod:`.kconcurrent_solver`
+* Figure 3/Thm 12-> :mod:`.renaming_figure3`
+* Figure 4/Thm 15-> :mod:`.renaming_figure4`
+* substrates     -> :mod:`.paxos`, :mod:`.safe_agreement`,
+                    :mod:`.bg_simulation`, :mod:`.kset_vector`,
+                    :mod:`.kset_concurrent`, :mod:`.wsb_concurrent`
+"""
+
+from . import (
+    bg_simulation,
+    dispatch,
+    extraction,
+    kcode_simulation,
+    kconcurrent_solver,
+    kset_concurrent,
+    kset_vector,
+    one_concurrent,
+    paxos,
+    renaming_figure3,
+    renaming_figure4,
+    s_helper,
+    safe_agreement,
+    self_synchronization,
+    set_agreement_ext,
+    splitters,
+    wsb_concurrent,
+)
+
+__all__ = [
+    "bg_simulation",
+    "dispatch",
+    "extraction",
+    "kcode_simulation",
+    "kconcurrent_solver",
+    "kset_concurrent",
+    "kset_vector",
+    "one_concurrent",
+    "paxos",
+    "renaming_figure3",
+    "renaming_figure4",
+    "s_helper",
+    "safe_agreement",
+    "self_synchronization",
+    "set_agreement_ext",
+    "splitters",
+    "wsb_concurrent",
+]

@@ -1,0 +1,348 @@
+"""BG simulation [5, 7]: k simulators run n register-protocol codes.
+
+The paper leans on BG-simulation twice: Figure 2's simulated algorithm
+``B`` is a BG simulation of the k-concurrent algorithm ``A`` (Theorem 9),
+and the extraction algorithm of Figure 1 BG-simulates the S-part of
+``A`` against a failure-detector DAG.
+
+What BG needs from the simulated codes is determinism plus read/write
+semantics.  We simulate at *operation* granularity: the codes are
+ordinary automata of this package (generators yielding ``Read`` /
+``Write`` / ``Snapshot`` / ``Nop`` / ``Decide``), and each executed
+operation of each code is funnelled through one (safe-)agreement object,
+so all simulators observe identical per-code result sequences and can
+deterministically replay the code generators.
+
+The simulated *memory* is virtual: every simulator publishes, in its own
+single-writer cell, its current knowledge — for each code, how many
+steps it performed and the latest timestamped write it made to each
+virtual register.  A snapshot of all cells, merged register-wise by
+``(seq, writer)``, is a legal atomic view of the virtual memory (the
+folklore construction of MWMR registers from single-writer snapshot
+memory).  A simulator computes its *proposal* for a code's next
+operation result from such a view and feeds it to the agreement object;
+whatever value wins is what every replica replays.
+
+Blocking semantics are inherited from the agreement objects: with the
+classic :class:`~repro.algorithms.safe_agreement.SafeAgreement`, a
+simulator that stalls inside a propose blocks that one code and BG's
+"each stalled simulator blocks at most one code" charge holds; with
+:class:`~repro.algorithms.safe_agreement.CasAgreement` nothing ever
+blocks (the Extended-BG substitution discussed in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..core.process import ProcessContext, c_process
+from ..core.system import input_register
+from ..errors import ProtocolError
+from ..runtime import ops
+from .safe_agreement import UNRESOLVED, CasAgreement, SafeAgreement
+
+#: Agreement status values (see ``status`` subroutines below).
+FREE = "free"
+BUSY = "busy"
+RESOLVED = "resolved"
+
+
+def agreement_status(agreement):
+    """Subroutine: classify an agreement as FREE / BUSY / RESOLVED.
+
+    BUSY means a propose is (observably) in flight — the blocked state a
+    BG simulator must route around.
+    """
+    if isinstance(agreement, CasAgreement):
+        cell = yield ops.Read(f"{agreement.name}/winner")
+        return FREE if cell is None else RESOLVED
+    levels = yield ops.Snapshot(f"{agreement.name}/lev/")
+    values = list(levels.values())
+    if any(lev == 1 for lev in values):
+        return BUSY
+    if any(lev == 2 for lev in values):
+        return RESOLVED
+    return FREE
+
+
+@dataclass(frozen=True)
+class VWrite:
+    """One timestamped virtual-register write."""
+
+    seq: int
+    writer: int
+    value: Any
+
+    def beats(self, other: "VWrite | None") -> bool:
+        if other is None:
+            return True
+        return (self.seq, self.writer) > (other.seq, other.writer)
+
+
+@dataclass
+class _Knowledge:
+    """What a simulator knows about one code."""
+
+    steps: int = 0
+    writes: dict[str, VWrite] = field(default_factory=dict)
+
+
+def _merge_memory(cells: dict[str, Any]) -> dict[str, VWrite]:
+    """Merge all published knowledge cells into a virtual memory view."""
+    per_code: dict[int, _Knowledge] = {}
+    for cell in cells.values():
+        if cell is None:
+            continue
+        for code, knowledge in cell.items():
+            best = per_code.get(code)
+            if best is None or knowledge.steps > best.steps:
+                per_code[code] = knowledge
+    memory: dict[str, VWrite] = {}
+    for knowledge in per_code.values():
+        for register, write in knowledge.writes.items():
+            if write.beats(memory.get(register)):
+                memory[register] = write
+    return memory
+
+
+class _CodeRunner:
+    """Deterministic local replay of one simulated code."""
+
+    def __init__(self, code_index: int, factory, n_codes: int) -> None:
+        self.code_index = code_index
+        self.factory = factory
+        self.n_codes = n_codes
+        self.input_value: Any = None
+        self.started = False
+        self.generator = None
+        self.pending: Any = None
+        self.steps = 0
+        self.writes: dict[str, VWrite] = {}
+        self.decision: Any = None
+        self.halted = False
+
+    def set_input(self, value: Any) -> None:
+        if self.started or value is None:
+            return
+        self.input_value = value
+
+    @property
+    def participating(self) -> bool:
+        return self.input_value is not None
+
+    def knowledge(self) -> _Knowledge:
+        return _Knowledge(steps=self.steps, writes=dict(self.writes))
+
+    def proposal(self, memory: dict[str, VWrite]) -> tuple:
+        """Compute this code's next-step result from a memory view."""
+        if not self.started:
+            register = input_register(self.code_index)
+            seq = memory[register].seq + 1 if register in memory else 1
+            return ("input", seq)
+        op = self.pending
+        if isinstance(op, ops.Write):
+            seq = (
+                memory[op.register].seq + 1 if op.register in memory else 1
+            )
+            return ("write", seq)
+        if isinstance(op, ops.Read):
+            cell = memory.get(op.register)
+            return ("read", cell.value if cell is not None else None)
+        if isinstance(op, ops.Snapshot):
+            view = tuple(
+                sorted(
+                    (register, write.value)
+                    for register, write in memory.items()
+                    if register.startswith(op.prefix)
+                )
+            )
+            return ("snap", view)
+        if isinstance(op, ops.Nop):
+            return ("nop", None)
+        if isinstance(op, ops.Decide):
+            return ("decide", op.value)
+        raise ProtocolError(
+            f"BG simulation supports register protocols only, got {op!r}"
+        )
+
+    def apply(self, record: tuple) -> None:
+        """Replay one agreed step result."""
+        kind, payload = record
+        if kind == "input":
+            if not self.participating:
+                raise ProtocolError(
+                    f"code {self.code_index} stepped without an input"
+                )
+            self.started = True
+            self.writes[input_register(self.code_index)] = VWrite(
+                seq=payload, writer=self.code_index, value=self.input_value
+            )
+            ctx = ProcessContext(
+                pid=c_process(self.code_index),
+                n_computation=self.n_codes,
+                n_synchronization=0,
+                input_value=self.input_value,
+            )
+            self.generator = self.factory(ctx)
+            self._resume(prime=True)
+        elif kind == "decide":
+            self.decision = payload
+            self.halted = True
+        else:
+            op = self.pending
+            if kind == "write":
+                self.writes[op.register] = VWrite(
+                    seq=payload, writer=self.code_index, value=op.value
+                )
+                result = None
+            elif kind == "read":
+                result = payload
+            elif kind == "snap":
+                result = dict(payload)
+            elif kind == "nop":
+                result = None
+            else:
+                raise ProtocolError(f"unknown BG record {record!r}")
+            self._resume(result=result)
+        self.steps += 1
+
+    def _resume(self, *, result: Any = None, prime: bool = False) -> None:
+        try:
+            if prime:
+                self.pending = next(self.generator)
+            else:
+                self.pending = self.generator.send(result)
+        except StopIteration:
+            self.halted = True
+            self.pending = None
+
+    @property
+    def runnable(self) -> bool:
+        return self.participating and not self.halted
+
+
+@dataclass
+class BGSpec:
+    """Configuration of one BG simulation.
+
+    Args:
+        name: unique register-family prefix.
+        code_factories: the ``n`` simulated code automata.
+        simulators: number of simulator slots.
+        static_inputs: fixed code inputs; or ``None`` to read them
+            dynamically from ``input_prefix`` registers (the Theorem 9
+            composition injects them there).
+        input_prefix: register family holding code inputs when dynamic.
+        agreement: ``"cas"`` (never blocks; the Extended-BG substitution)
+            or ``"safe"`` (classic blocking safe agreement).
+    """
+
+    name: str
+    code_factories: Sequence[Callable]
+    simulators: int
+    static_inputs: Sequence[Any] | None = None
+    input_prefix: str = "taskinp/"
+    agreement: str = "cas"
+
+    @property
+    def n_codes(self) -> int:
+        return len(self.code_factories)
+
+    def decision_register(self, code: int) -> str:
+        return f"{self.name}/dec/{code}"
+
+    def make_agreement(self, code: int, step: int):
+        cls = CasAgreement if self.agreement == "cas" else SafeAgreement
+        return cls(f"{self.name}/sa/{code}/{step}", self.simulators)
+
+
+def bg_simulator_factory(spec: BGSpec, simulator_index: int):
+    """Automaton factory for BG simulator ``simulator_index``.
+
+    The simulator loops forever: refresh inputs, catch up on steps other
+    simulators agreed, then advance the smallest-id participating
+    undecided unblocked code by one step (publish knowledge, snapshot,
+    propose, resolve), publishing any decisions it learns.  The
+    smallest-id-first rule is what the Theorem 9 construction uses to
+    keep the simulated run (at most) k-concurrent.
+    """
+
+    def factory(ctx: ProcessContext):
+        runners = [
+            _CodeRunner(c, f, spec.n_codes)
+            for c, f in enumerate(spec.code_factories)
+        ]
+        if spec.static_inputs is not None:
+            for runner, value in zip(runners, spec.static_inputs):
+                runner.set_input(value)
+        published: set[int] = set()
+        while True:
+            # Refresh dynamic inputs.
+            if spec.static_inputs is None:
+                snapshot = yield ops.Snapshot(spec.input_prefix)
+                for register, value in snapshot.items():
+                    code = int(register[len(spec.input_prefix):])
+                    if 0 <= code < spec.n_codes:
+                        runners[code].set_input(value)
+            # Catch up: apply every already-agreed step of every code.
+            for runner in runners:
+                while runner.runnable:
+                    agreement = spec.make_agreement(
+                        runner.code_index, runner.steps
+                    )
+                    outcome = yield from agreement.resolve()
+                    if outcome is UNRESOLVED:
+                        break
+                    runner.apply(outcome)
+            # Publish decisions we learned.
+            for runner in runners:
+                if runner.decision is not None and (
+                    runner.code_index not in published
+                ):
+                    yield ops.Write(
+                        spec.decision_register(runner.code_index),
+                        runner.decision,
+                    )
+                    published.add(runner.code_index)
+            # Advance the smallest participating undecided unblocked code.
+            advanced = False
+            for runner in runners:
+                if not runner.runnable:
+                    continue
+                agreement = spec.make_agreement(
+                    runner.code_index, runner.steps
+                )
+                status = yield from agreement_status(agreement)
+                if status is BUSY:
+                    continue  # blocked by a stalled simulator; skip it
+                if status is RESOLVED:
+                    outcome = yield from agreement.resolve()
+                    if outcome is not UNRESOLVED:
+                        runner.apply(outcome)
+                        advanced = True
+                        break
+                    continue
+                # FREE: compute and propose our view of the step result.
+                yield ops.Write(
+                    f"{spec.name}/sim/{simulator_index}",
+                    {r.code_index: r.knowledge() for r in runners},
+                )
+                cells = yield ops.Snapshot(f"{spec.name}/sim/")
+                memory = _merge_memory(cells)
+                proposal = runner.proposal(memory)
+                yield from agreement.propose(simulator_index, proposal)
+                outcome = yield from agreement.resolve()
+                if outcome is not UNRESOLVED:
+                    runner.apply(outcome)
+                advanced = True
+                break
+            if not advanced:
+                yield ops.Nop()
+
+    return factory
+
+
+def bg_factories(spec: BGSpec) -> list:
+    """One automaton factory per simulator slot."""
+    return [bg_simulator_factory(spec, s) for s in range(spec.simulators)]

@@ -1,0 +1,392 @@
+"""Figure 1 / Theorem 8: extracting anti-Omega-k from any failure
+detector ``D`` that solves a task ``T`` not solvable (k+1)-concurrently.
+
+The reduction has three moving parts, all implemented here:
+
+1. **A_sim** (:class:`AsimRun`) — the restricted algorithm in which the
+   C-processes run ``A``'s C-part natively and BG-simulate ``A``'s
+   S-part against a DAG of recorded ``D`` samples.  We render the BG
+   layer at the fidelity the theorem uses it for: every C-simulator
+   turn either *begins* a step of an S-code (claiming it; a claimed code
+   is blocked for everyone else) or *commits* its claimed step — so a
+   simulator abandoned mid-step blocks exactly one S-code, and a fair
+   simulator never blocks anything for long.  A simulated S-step that
+   queries the detector consumes the next causally-admissible DAG
+   vertex and is stuck if none remains.
+
+2. **The corridor DFS** (:class:`ExtractionEngine`) — Figure 1's
+   ``explore``: for each input vector and arrival permutation, runs of
+   A_sim are explored depth-first through participation "corridors"
+   ``P' ⊆ P``, keeping at most ``k + 1`` concurrently undecided
+   C-processes (decided processes are replaced by fresh arrivals).  The
+   emulated anti-Omega-k output after each step is the set of ``n - k``
+   S-codes that advanced *latest* in the current run — a stalled
+   corridor starves the S-codes blocked by the abandoned simulators,
+   and exactly those drop out of the output forever.
+
+3. **The online wrapper** (:func:`extraction_s_factory`) — the actual
+   reduction algorithm's S-process: sample ``D`` and exchange samples
+   through shared memory for a while, then run the (bounded) engine on
+   the pooled DAG and publish the emulated output.
+
+Finite rendering of the "eventually" clause: the engine bounds DFS
+depth and call count; its report identifies the deepest non-deciding
+branch and the processes that branch permanently excludes — when the
+premises of Theorem 8 hold, that branch exists and the exclusion set
+contains a correct process (the tests check precisely this against
+``AntiOmegaK.check_history``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..core.process import ProcessContext, c_process, s_process
+from ..core.task import Vector
+from ..detectors.dag import DagVertex, SampleDAG
+from ..runtime import ops
+from ..runtime.simulated import SimulatedWorld
+
+
+class AsimRun:
+    """One deterministic run of A_sim for a fixed input vector.
+
+    Steps are driven externally: :meth:`step_c` performs one step of
+    C-process ``i``'s own A-automaton plus one BG turn of the S-part
+    simulation on ``i``'s behalf.
+    """
+
+    def __init__(
+        self,
+        *,
+        inputs: Vector,
+        c_factories: Sequence[Callable],
+        s_factories: Sequence[Callable],
+        dag: SampleDAG,
+    ) -> None:
+        self.n_s = len(s_factories)
+        self.world = SimulatedWorld(
+            inputs=inputs,
+            c_factories=list(c_factories),
+            s_factories=list(s_factories),
+            fd_source=dag.fd_source(),
+        )
+        self.holding: dict[int, int] = {}  # simulator -> claimed S-code
+        self.blocked: set[int] = set()
+        self.last_advanced: dict[int, int] = {}
+        self._s_cursor = 0
+        self._clock = 0
+
+    def step_c(self, i: int) -> None:
+        self.world.step(c_process(i))
+        self._bg_turn(i)
+        self._clock += 1
+
+    def _bg_turn(self, simulator: int) -> None:
+        claimed = self.holding.pop(simulator, None)
+        if claimed is not None:
+            # Commit the claimed S-step.
+            self.blocked.discard(claimed)
+            if self.world.step(s_process(claimed)):
+                self.last_advanced[claimed] = self._clock
+            return
+        # Claim the next round-robin S-code that is free and can move.
+        for offset in range(self.n_s):
+            code = (self._s_cursor + offset) % self.n_s
+            if code in self.blocked:
+                continue
+            if not self.world.can_step(s_process(code)):
+                continue
+            self.holding[simulator] = code
+            self.blocked.add(code)
+            self._s_cursor = (code + 1) % self.n_s
+            return
+
+    def anti_omega_output(self, k: int) -> frozenset[int]:
+        """The ``n - k`` S-codes that advanced latest (Figure 1 line 6)."""
+        order = sorted(
+            range(self.n_s),
+            key=lambda code: (self.last_advanced.get(code, -1), code),
+        )
+        return frozenset(order[k:])
+
+    def undecided_participants(self) -> frozenset[int]:
+        started = {
+            i
+            for i in range(self.world.n_c)
+            if self.world.step_counts.get(c_process(i), 0) > 0
+        }
+        return frozenset(started - set(self.world.decisions))
+
+    def decided(self) -> frozenset[int]:
+        return self.world.decided
+
+
+@dataclass
+class ExtractionConfig:
+    """Budgets for the bounded corridor DFS.
+
+    ``max_depth`` is the finitized stand-in for "never deciding": a
+    branch whose schedule reaches it while some live participant is
+    still undecided is classified as non-deciding.  Deciding branches
+    end (much) earlier on their own.
+    """
+
+    max_depth: int = 400
+    max_calls: int = 3_000
+    max_permutations: int = 1
+    max_inputs: int = 1
+    max_recorded_branches: int = 10
+
+
+@dataclass
+class BranchRecord:
+    """One explored non-deciding branch."""
+
+    depth: int = 0
+    schedule: tuple[int, ...] = ()
+    outputs: list[frozenset[int]] = field(default_factory=list)
+
+    def stable_exclusions(self, n_s: int, tail_fraction: float = 0.5):
+        """S-codes absent from every emulated output in the branch's
+        tail — the processes the emulated anti-Omega-k "eventually never
+        outputs" along this branch."""
+        if not self.outputs:
+            return frozenset()
+        start = int(len(self.outputs) * (1 - tail_fraction))
+        tail = self.outputs[start:]
+        excluded = set(range(n_s))
+        for output in tail:
+            excluded -= set(output)
+        return frozenset(excluded)
+
+
+class ExtractionEngine:
+    """Figure 1's explore loop over a fixed DAG.
+
+    Args:
+        n: number of C-processes (= S-processes).
+        k: extraction parameter (emulating anti-Omega-k).
+        c_factories / s_factories: the algorithm ``A`` solving ``T``.
+        dag: recorded detector samples.
+        input_vectors: the task input vectors to iterate (Figure 1
+            line 1); typically ``task.maximal_input_vectors()``.
+        config: exploration budgets.
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        k: int,
+        c_factories: Sequence[Callable],
+        s_factories: Sequence[Callable],
+        dag: SampleDAG,
+        input_vectors: Iterable[Vector],
+        config: ExtractionConfig | None = None,
+    ) -> None:
+        self.n = n
+        self.k = k
+        self.c_factories = list(c_factories)
+        self.s_factories = list(s_factories)
+        self.dag = dag
+        self.input_vectors = list(input_vectors)
+        self.config = config or ExtractionConfig()
+        self.emitted: list[frozenset[int]] = []
+        self.nondeciding: list[BranchRecord] = []
+        self._calls = 0
+
+    @property
+    def first_nondeciding(self) -> BranchRecord | None:
+        """The first non-deciding branch in DFS order — the branch the
+        paper's (unbounded) exploration would be trapped in, whose tail
+        exclusions are the emulated detector's converged behaviour."""
+        return self.nondeciding[0] if self.nondeciding else None
+
+    # -- deterministic replay -------------------------------------------
+    #
+    # DFS mostly *descends* (schedule grows by one process at a time), so
+    # we keep the current run alive and extend it incrementally; only a
+    # backtrack forces a rebuild from scratch.  Determinism of AsimRun
+    # makes the two paths indistinguishable.
+
+    def _replay(self, inputs: Vector, schedule: tuple[int, ...]) -> AsimRun:
+        cached = getattr(self, "_cache", None)
+        if (
+            cached is not None
+            and cached[0] == inputs
+            and len(schedule) == len(cached[1]) + 1
+            and schedule[: len(cached[1])] == cached[1]
+        ):
+            run = cached[2]
+            run.step_c(schedule[-1])
+            self._cache = (inputs, schedule, run)
+            return run
+        run = AsimRun(
+            inputs=inputs,
+            c_factories=self.c_factories,
+            s_factories=self.s_factories,
+            dag=self.dag,
+        )
+        for i in schedule:
+            run.step_c(i)
+        self._cache = (inputs, schedule, run)
+        return run
+
+    # -- Figure 1 -----------------------------------------------------------
+
+    def run(self) -> BranchRecord | None:
+        """Explore; returns the first non-deciding branch found (or
+        ``None`` when the budgets never exposed one)."""
+        inputs_iter = itertools.islice(
+            self.input_vectors, self.config.max_inputs
+        )
+        for inputs in inputs_iter:  # line 1
+            participants = [
+                i for i, v in enumerate(inputs) if v is not None
+            ]
+            permutations = itertools.islice(
+                itertools.permutations(participants),
+                self.config.max_permutations,
+            )
+            for pi in permutations:  # line 2
+                p0 = list(pi[: self.k + 1])  # line 3
+                self._explore(inputs, (), p0, list(pi), outputs=[])
+                if self._calls >= self.config.max_calls:
+                    return self.first_nondeciding
+        return self.first_nondeciding
+
+    def _explore(
+        self,
+        inputs: Vector,
+        schedule: tuple[int, ...],
+        corridor: list[int],
+        pi: list[int],
+        outputs: list[frozenset[int]],
+    ) -> None:
+        self._calls += 1
+        if self._calls > self.config.max_calls:
+            return
+        run = self._replay(inputs, schedule)
+        output = run.anti_omega_output(self.k)  # line 6
+        self.emitted.append(output)
+        outputs = outputs + [output]
+        decided = run.decided()
+        participants = {i for i, v in enumerate(inputs) if v is not None}
+        if len(schedule) >= self.config.max_depth:
+            if run.undecided_participants():
+                self._record_branch(schedule, outputs)
+            return
+        # Replace each decided corridor member with the next process of
+        # pi that has not appeared in the schedule (lines 11-13).
+        fresh = [
+            p
+            for p in pi
+            if p not in schedule and p not in decided and p not in corridor
+        ]
+        replaced: list[int] = []
+        for member in corridor:
+            if member in decided:
+                if fresh:
+                    replaced.append(fresh.pop(0))
+            else:
+                replaced.append(member)
+        corridor = sorted(set(replaced) & participants)
+        if not corridor:
+            # Everyone decided: a deciding (finite) branch.
+            return
+        # Sub-corridors, narrowest first (lines 14-16).
+        for size in range(1, len(corridor) + 1):
+            for sub in itertools.combinations(corridor, size):
+                for p in sub:
+                    if self._calls > self.config.max_calls:
+                        return
+                    self._explore(
+                        inputs, schedule + (p,), list(sub), pi, outputs
+                    )
+
+    def _record_branch(
+        self, schedule: tuple[int, ...], outputs: list[frozenset[int]]
+    ) -> None:
+        if len(self.nondeciding) < self.config.max_recorded_branches:
+            self.nondeciding.append(
+                BranchRecord(
+                    depth=len(schedule),
+                    schedule=schedule,
+                    outputs=list(outputs),
+                )
+            )
+
+
+def extraction_s_factory(
+    *,
+    n: int,
+    k: int,
+    engine_builder: Callable[[SampleDAG], ExtractionEngine],
+    sample_rounds: int = 50,
+):
+    """The online reduction algorithm's S-process (Theorem 8).
+
+    Phase 1: query ``D`` for ``sample_rounds`` rounds, publishing every
+    sample (the shared-DAG maintenance of Figure 1's first component).
+    Phase 2: pool all published samples into one causal chain, run the
+    bounded exploration on it, and publish the computed exclusion set.
+    Phase 3: adopt the exclusions published by the smallest-index
+    process that has published (the executable rendering of Figure 1's
+    "adopt q_j's simulation", which makes all correct processes converge
+    to the same emulated behaviour) and emit the emulated anti-Omega-k
+    output — a fixed ``(n - k)``-set avoiding the adopted exclusions —
+    to ``xtr/out/<i>`` forever.
+
+    In a system solving a not-(k+1)-concurrently-solvable task, the
+    adopted exclusions contain a correct process, so the emitted history
+    satisfies the anti-Omega-k specification from phase 3 on.
+    """
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        # Phase 1: sample and publish.
+        for r in range(sample_rounds):
+            value = yield ops.QueryFD()
+            yield ops.Write(f"xtr/dag/{me}/{r}", value)
+        # Phase 2: pool the samples deterministically (round-major).
+        cells = yield ops.Snapshot("xtr/dag/")
+        samples: list[tuple[int, int, Any]] = []
+        for register, value in cells.items():
+            owner, round_index = register[len("xtr/dag/"):].split("/")
+            samples.append((int(round_index), int(owner), value))
+        samples.sort()
+        vertices = []
+        counts = {q: 0 for q in range(n)}
+        for position, (_, owner, value) in enumerate(samples):
+            vertices.append(
+                DagVertex(
+                    s_index=owner,
+                    value=value,
+                    query_index=counts[owner],
+                    position=position,
+                )
+            )
+            counts[owner] += 1
+        engine = engine_builder(SampleDAG(n, vertices))
+        branch = engine.run()
+        exclusions = (
+            branch.stable_exclusions(n) if branch is not None else frozenset()
+        )
+        yield ops.Write(f"xtr/result/{me}", tuple(sorted(exclusions)))
+        # Phase 3: adopt the smallest publisher and emit forever.
+        while True:
+            results = yield ops.Snapshot("xtr/result/")
+            published = {
+                int(register[len("xtr/result/"):]): frozenset(value)
+                for register, value in results.items()
+            }
+            adopted = published[min(published)]
+            pool = [q for q in range(n) if q not in adopted]
+            pool += sorted(adopted)
+            output = frozenset(pool[: n - k])
+            yield ops.Write(f"xtr/out/{me}", output)
+
+    return factory

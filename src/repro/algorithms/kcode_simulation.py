@@ -1,0 +1,244 @@
+"""Figure 2: n simulators run k codes using vector-Omega-k (Theorem 14).
+
+The paper's construction decides "the next state of simulated process
+``p'_j``" through a leader-based consensus instance per simulated step,
+with the leader for position ``j`` being either the j-th smallest
+registered simulator (while at most ``k`` simulators are registered) or
+the S-process named by position ``j`` of vector-Omega-k.
+
+Our executable rendering agrees on a *step log* instead of on state
+vectors: consensus instance ``t`` decides the t-th log entry
+``("step", j, inputs)`` — "simulated process ``p'_j`` takes the next
+step; these task inputs have been written so far".  Every simulator
+replays the agreed log in its own deterministic replica
+(:class:`~repro.runtime.simulated.SimulatedWorld`), so agreeing on the
+log is equivalent to agreeing on the state evolution, with two bonuses:
+proposals are tiny, and S-process leaders can propose without running
+replicas (they read the real input registers and name a position).
+Each entry carries the proposer's snapshot of the real input registers,
+which is how task inputs flow into the simulated world (the replica
+writes them to ``input_prefix`` registers before applying the step).
+
+Liveness: eventually some vector position ``j*`` pins the same correct
+S-process everywhere; that leader's proposals stop being contested, the
+log grows with steps of ``p'_{j*}``, and at least one simulated process
+takes infinitely many steps — Theorem 14's guarantee.  The registered
+count also bounds participation: a position ``j`` is only ever proposed
+when ``j < min(k, ell)`` where ``ell`` is the number of simulators that
+ever registered, giving the ``min(k, ell)`` clause of the theorem.
+
+Simulated-process decisions surface in two ways: through
+``result_register`` (a simulated-memory register per real C-process;
+when it becomes non-bottom the C-simulator departs and decides — the
+Theorem 9 composition points it at the BG layer's decision registers)
+and through real ``mirror`` registers (for tests and observability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.process import ProcessContext, c_process
+from ..core.system import INPUT_REGISTER_PREFIX
+from ..runtime import ops
+from ..runtime.simulated import SimulatedWorld
+from . import paxos
+
+#: Placeholder input for the (input-less) simulated codes; the paper's
+#: abstract simulation runs "restricted input-less algorithms" (App. C.1).
+CODE_TOKEN = "f2-token"
+
+
+@dataclass
+class F2Spec:
+    """Configuration of one Figure 2 simulation.
+
+    Args:
+        k: number of simulated codes (and detector vector length).
+        code_factories: the ``k`` simulated automata (algorithm ``B``).
+        n: number of real C-simulators (= S-processes).
+        name: unique register-family prefix.
+        input_prefix: simulated-memory register family into which the
+            real task inputs are injected (code ``B`` reads them there).
+        result_register: maps a real C-process index to the
+            simulated-memory register whose value, once set, is that
+            process's decision; ``None`` disables deciding (the
+            simulators then run forever, which standalone tests bound
+            with ``stop_when``).
+    """
+
+    k: int
+    code_factories: Sequence[Callable]
+    n: int
+    name: str = "f2"
+    input_prefix: str = "taskinp/"
+    result_register: Callable[[int], str] | None = None
+
+    def log_instance(self, t: int) -> str:
+        return f"{self.name}/log/{t}"
+
+    def active_register(self, i: int) -> str:
+        return f"{self.name}/R/{i}"
+
+    def ever_register(self, i: int) -> str:
+        return f"{self.name}/Rever/{i}"
+
+    def mirror_register(self, j: int) -> str:
+        return f"{self.name}/mirror/{j}"
+
+    @property
+    def slots(self) -> int:
+        return 2 * self.n  # C-simulators then S-processes
+
+    def make_replica(self) -> SimulatedWorld:
+        return SimulatedWorld(
+            inputs=(CODE_TOKEN,) * self.k,
+            c_factories=list(self.code_factories),
+        )
+
+
+def _entry(j: int, inputs_snapshot: dict[str, Any]) -> tuple:
+    return ("step", j, tuple(sorted(inputs_snapshot.items())))
+
+
+def _apply_entry(spec: F2Spec, replica: SimulatedWorld, entry: tuple) -> None:
+    _, j, input_items = entry
+    for register, value in input_items:
+        index = register[len(INPUT_REGISTER_PREFIX):]
+        target = f"{spec.input_prefix}{index}"
+        if replica.memory.read(target) is None:
+            replica.memory.write(target, value)
+    replica.step(c_process(j))
+
+
+def figure2_c_factory(spec: F2Spec, simulator_index: int):
+    """Automaton for real C-simulator ``p_{simulator_index+1}``.
+
+    Registers itself, then loops: depart if its result appeared in the
+    replica; apply newly decided log entries; act as position-``j``
+    leader while at most ``k`` simulators are registered and it is the
+    j-th smallest of them (Figure 2's Task 2, lines 33-34).
+    """
+
+    def factory(ctx: ProcessContext):
+        me = simulator_index
+        yield ops.Write(spec.active_register(me), 1)
+        yield ops.Write(spec.ever_register(me), 1)
+        replica = spec.make_replica()
+        t = 0
+        ballot_round = 0
+        mirrored: set[int] = set()
+        while True:
+            # Depart as soon as our own result exists (Figure 2 line 28).
+            if spec.result_register is not None:
+                value = replica.memory.read(spec.result_register(me))
+                if value is not None:
+                    yield ops.Write(spec.active_register(me), "departed")
+                    yield ops.Decide(value)
+                    return
+            # Mirror simulated decisions for observers.
+            for j in range(spec.k):
+                if j not in mirrored and j in replica.decided:
+                    yield ops.Write(
+                        spec.mirror_register(j), replica.decisions[j]
+                    )
+                    mirrored.add(j)
+            # Catch up on the agreed log.
+            entry = yield from paxos.read_decision(spec.log_instance(t))
+            if entry is not None:
+                _apply_entry(spec, replica, entry)
+                t += 1
+                ballot_round = 0
+                continue
+            # Lead while few simulators are registered.
+            active_cells = yield ops.Snapshot(f"{spec.name}/R/")
+            active = sorted(
+                int(name[len(f"{spec.name}/R/"):])
+                for name, value in active_cells.items()
+                if value == 1
+            )
+            if len(active) <= spec.k and me in active:
+                j = active.index(me)
+                inputs_snapshot = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
+                decided = yield from paxos.propose(
+                    spec.log_instance(t),
+                    me,
+                    spec.slots,
+                    paxos.make_ballot(ballot_round, me, spec.slots),
+                    _entry(j, inputs_snapshot),
+                )
+                if decided is None:
+                    ballot_round += 1
+                continue
+            yield ops.Nop()
+
+    return factory
+
+
+def figure2_s_factory(spec: F2Spec, s_index: int):
+    """Automaton for S-process ``q_{s_index+1}``.
+
+    Queries the detector; for each vector position naming it — and lying
+    below ``min(k, ell)`` where ``ell`` simulators ever registered —
+    proposes a step of that position's code at the first undecided log
+    instance.
+    """
+
+    def factory(ctx: ProcessContext):
+        me = s_index
+        slot = spec.n + me
+        t = 0
+        ballot_round = 0
+        while True:
+            advice = yield ops.QueryFD()
+            vector = advice if isinstance(advice, tuple) else (advice,)
+            entry = yield from paxos.read_decision(spec.log_instance(t))
+            if entry is not None:
+                t += 1
+                ballot_round = 0
+                continue
+            ever_cells = yield ops.Snapshot(f"{spec.name}/Rever/")
+            ell = len(ever_cells)
+            limit = min(spec.k, ell)
+            positions = [
+                j
+                for j in range(min(spec.k, len(vector)))
+                if vector[j] == me and j < limit
+            ]
+            if not positions:
+                yield ops.Nop()
+                continue
+            j = positions[0]
+            inputs_snapshot = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
+            decided = yield from paxos.propose(
+                spec.log_instance(t),
+                slot,
+                spec.slots,
+                paxos.make_ballot(ballot_round, slot, spec.slots),
+                _entry(j, inputs_snapshot),
+            )
+            if decided is None:
+                ballot_round += 1
+
+    return factory
+
+
+def figure2_factories(spec: F2Spec):
+    """(C-factories, S-factories) for a complete Figure 2 system."""
+    c_factories = [figure2_c_factory(spec, i) for i in range(spec.n)]
+    s_factories = [figure2_s_factory(spec, i) for i in range(spec.n)]
+    return c_factories, s_factories
+
+
+def replay_log(spec: F2Spec, memory) -> SimulatedWorld:
+    """Rebuild the replica state from the decided log in ``memory``
+    (observability helper for tests and experiment reports)."""
+    replica = spec.make_replica()
+    t = 0
+    while True:
+        cell = memory.read(f"{spec.log_instance(t)}/dec")
+        if cell is None:
+            return replica
+        _apply_entry(spec, replica, cell[1])
+        t += 1

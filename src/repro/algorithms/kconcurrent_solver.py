@@ -1,0 +1,102 @@
+"""Theorem 9: anti-Omega-k solves every k-concurrently solvable task.
+
+The paper's double simulation, assembled from this package's parts:
+
+* the ``n`` real C-processes and the ``n`` S-processes (querying
+  vector-Omega-k, the equivalent form of anti-Omega-k [28]) run the
+  Figure 2 simulation (:mod:`repro.algorithms.kcode_simulation`) of
+  ``k`` codes ``p'_1 .. p'_k``;
+* those ``k`` codes are BG simulators
+  (:mod:`repro.algorithms.bg_simulation`) jointly running the ``n``
+  codes ``p''_1 .. p''_n`` of the given *restricted* k-concurrent
+  algorithm ``A``, advancing the smallest-id participating undecided
+  unblocked code first;
+* real task inputs are injected into the simulated world by the log
+  entries; BG decision registers are the Figure 2 result registers, so
+  real process ``p_i`` departs and decides as soon as simulated
+  ``p''_i`` decides.
+
+Progress: vector-Omega-k eventually pins a correct leader on some
+position, that position's BG simulator takes infinitely many simulated
+steps, and (with the never-blocking agreement — the Extended-BG
+substitution of DESIGN.md) it single-handedly drives every participating
+code of ``A`` to a decision.  Concurrency: codes are started
+smallest-undecided-first by at most ``k`` simulators, so the simulated
+run of ``A`` is (at most) k-concurrent, where ``A`` is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .bg_simulation import BGSpec, bg_factories
+from .kcode_simulation import F2Spec, figure2_factories
+
+
+@dataclass(frozen=True)
+class Theorem9Solver:
+    """Assembled factories for one Theorem 9 system.
+
+    Attributes:
+        c_factories / s_factories: plug into a
+            :class:`~repro.core.system.System` with a vector-Omega-k (or
+            anti-Omega-k-equivalent) detector.
+        bg_spec / f2_spec: the two layers, exposed for inspection.
+    """
+
+    c_factories: Sequence[Callable]
+    s_factories: Sequence[Callable]
+    bg_spec: BGSpec
+    f2_spec: F2Spec
+
+
+def theorem9_solver(
+    *,
+    n: int,
+    k: int,
+    algorithm_factories: Sequence[Callable],
+    name: str = "t9",
+    agreement: str = "cas",
+) -> Theorem9Solver:
+    """Build the Theorem 9 solver for a k-concurrent algorithm ``A``.
+
+    Args:
+        n: number of C-processes (= S-processes = codes of ``A``).
+        k: concurrency class; the detector must be (at least)
+            vector-Omega-k.
+        algorithm_factories: the ``n`` C-automata of the restricted
+            algorithm ``A`` (register protocol; correct in k-concurrent
+            runs).
+        name: register-family prefix (unique per embedded instance).
+        agreement: BG agreement flavour (``"cas"`` — default, never
+            blocks; or ``"safe"`` — classic, may block and is then only
+            live while every simulator keeps taking simulated steps).
+    """
+    if len(algorithm_factories) != n:
+        raise ValueError(
+            f"{len(algorithm_factories)} code factories for n={n}"
+        )
+    bg_spec = BGSpec(
+        name=f"{name}/bg",
+        code_factories=list(algorithm_factories),
+        simulators=k,
+        static_inputs=None,
+        input_prefix="taskinp/",
+        agreement=agreement,
+    )
+    f2_spec = F2Spec(
+        k=k,
+        code_factories=bg_factories(bg_spec),
+        n=n,
+        name=f"{name}/f2",
+        input_prefix="taskinp/",
+        result_register=bg_spec.decision_register,
+    )
+    c_factories, s_factories = figure2_factories(f2_spec)
+    return Theorem9Solver(
+        c_factories=c_factories,
+        s_factories=s_factories,
+        bg_spec=bg_spec,
+        f2_spec=f2_spec,
+    )

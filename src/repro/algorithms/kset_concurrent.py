@@ -1,0 +1,51 @@
+"""A restricted algorithm solving k-set agreement in k-concurrent runs.
+
+k-set agreement is the canonical inhabitant of the paper's class k: it
+is solvable k-concurrently but not (k+1)-concurrently.  This module
+provides the upper-bound half as a *restricted* algorithm (S-processes
+take null steps), used by the Theorem 9 composition tests and by the
+concurrency-level classifier.
+
+Algorithm ("announce or adopt"): write your input; take an atomic
+snapshot of the announcement board; if any value is announced, decide
+one (the smallest, for determinism); otherwise announce your own input
+and decide it.
+
+Why at most ``k`` distinct values are decided in a k-concurrent run:
+every process that decides its own value saw an *empty* board, so its
+snapshot preceded the first announcement; from that snapshot until the
+first announcement the process is continuously participating and
+undecided.  Just before the first announcement, all such processes are
+simultaneously undecided participants — in a k-concurrent run there are
+at most ``k`` of them, so at most ``k`` values are ever announced, and
+adopters only copy announced values.  (In a run with more concurrency
+the bound fails, and the test suite exhibits violations — matching the
+task's class exactly.)
+"""
+
+from __future__ import annotations
+
+from ..core.process import ProcessContext
+from ..runtime import ops
+
+ANNOUNCE_PREFIX = "ksetc/ann/"
+
+
+def kset_concurrent_factory(k: int):
+    """Automaton factory (the parameter only names the register family so
+    independent instances can coexist; the logic is k-independent)."""
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        board = yield ops.Snapshot(ANNOUNCE_PREFIX)
+        if board:
+            yield ops.Decide(min(board.values()))
+            return
+        yield ops.Write(f"{ANNOUNCE_PREFIX}{me}", ctx.input_value)
+        yield ops.Decide(ctx.input_value)
+
+    return factory
+
+
+def kset_concurrent_factories(n: int, k: int) -> list:
+    return [kset_concurrent_factory(k)] * n

@@ -1,0 +1,99 @@
+"""k-set agreement from vector-Omega-k (the Proposition 6 upper bound).
+
+The paper's Figure 2 machinery runs a consensus instance per simulated
+step, led by the matching position of vector-Omega-k.  Specialized to
+plain k-set agreement, that collapses to the direct algorithm below —
+one long-lived consensus instance per vector position:
+
+* S-process ``q_i``: query the detector; for every position ``j`` whose
+  current value is ``i`` (I am that position's leader), propose the
+  smallest written C-input in instance ``j`` with rising ballots.
+* C-process ``p_i``: spin over the ``k`` decision registers; decide the
+  first decided value found.
+
+Eventually some position holds the same correct leader everywhere
+(vector-Omega-k's guarantee), that leader's instance decides, and every
+C-process that keeps taking steps decides — wait-free in the EFD sense.
+Safety is unconditional: at most ``k`` instances exist, so at most ``k``
+distinct values are decided, and Paxos validity keeps every decision
+among the written inputs.
+
+With ``k = 1`` and the Omega detector (whose outputs are single ids,
+accepted here as 1-vectors) this is the standard leader-based consensus
+of [9] in EFD form.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.process import ProcessContext
+from ..core.system import INPUT_REGISTER_PREFIX
+from ..runtime import ops
+from . import paxos
+
+_INSTANCE_PREFIX = "ksetv/cons/"
+
+
+def _instance(j: int) -> str:
+    return f"{_INSTANCE_PREFIX}{j}"
+
+
+def _smallest_input(snapshot: dict[str, Any]) -> Any:
+    if not snapshot:
+        return None
+    name = min(snapshot, key=lambda s: int(s[len(INPUT_REGISTER_PREFIX):]))
+    return snapshot[name]
+
+
+def kset_c_factory(k: int):
+    """C-process: decide the first of the ``k`` instances to decide."""
+
+    def factory(ctx: ProcessContext):
+        while True:
+            for j in range(k):
+                value = yield from paxos.read_decision(_instance(j))
+                if value is not None:
+                    yield ops.Decide(value)
+                    return
+
+    return factory
+
+
+def kset_s_factory(k: int):
+    """S-process: drive the instances whose leader the detector says I am."""
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        n_slots = ctx.n_synchronization
+        rounds = [0] * k
+        while True:
+            advice = yield ops.QueryFD()
+            vector = advice if isinstance(advice, tuple) else (advice,)
+            led_any = False
+            for j in range(min(k, len(vector))):
+                if vector[j] != me:
+                    continue
+                led_any = True
+                snapshot = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
+                value = _smallest_input(snapshot)
+                if value is None:
+                    continue  # nobody arrived yet
+                decided = yield from paxos.propose(
+                    _instance(j),
+                    me,
+                    n_slots,
+                    paxos.make_ballot(rounds[j], me, n_slots),
+                    value,
+                )
+                if decided is None:
+                    rounds[j] += 1
+            if not led_any:
+                yield ops.Nop()
+
+    return factory
+
+
+def kset_factories(n: int, k: int):
+    """(C-factories, S-factories) for an n-process system."""
+    return [kset_c_factory(k)] * n, [kset_s_factory(k)] * n

@@ -1,0 +1,92 @@
+"""Proposition 1: every task is 1-concurrently solvable (Appendix A).
+
+The algorithm, for C-process ``p_i``: (1) write the input (done by the
+executor's first step), (2) read the inputs already written, obtaining a
+vector ``I``, (3) read the outputs already announced, obtaining ``O``;
+then pick an output value ``v`` for itself such that ``(I', O[i -> v])``
+is in Delta, where ``I'`` is ``I`` completed with its own input; announce
+``v`` and decide it.
+
+In a 1-concurrent run, processes effectively execute this one at a time,
+and the task's closure condition (3) guarantees a suitable ``v`` always
+exists — the easy induction in the paper's Appendix A.  In a *more*
+concurrent run nothing is guaranteed (and tests demonstrate actual
+violations for consensus), exactly matching the proposition's scope.
+
+This is a *restricted* algorithm: S-processes take null steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.process import ProcessContext
+from ..core.system import INPUT_REGISTER_PREFIX
+from ..core.task import Task, Vector
+from ..errors import SpecificationError
+from ..runtime import ops
+
+#: Register family where participants announce their chosen outputs.
+OUTPUT_PREFIX = "p1c/out/"
+
+
+def choose_output(
+    task: Task, inputs: Vector, outputs: Vector, index: int
+) -> Any:
+    """A value ``v`` such that ``outputs[index -> v]`` stays in Delta.
+
+    Searches the task's declared output values.  Raises if none fits —
+    which cannot happen in a 1-concurrent run of a well-formed task, but
+    gives a crisp error on misuse.
+    """
+    getter = getattr(task, "output_values", None)
+    if getter is None:
+        raise SpecificationError(
+            f"{task!r} exposes no output_values(); Proposition 1 needs a "
+            "finite candidate set"
+        )
+    for candidate in getter():
+        attempt = tuple(
+            candidate if j == index else v for j, v in enumerate(outputs)
+        )
+        if task.allows(inputs, attempt):
+            return candidate
+    raise SpecificationError(
+        f"no output extends {outputs} for participant p{index + 1} of "
+        f"{task!r} on inputs {inputs} (run not 1-concurrent?)"
+    )
+
+
+def _parse_family(snapshot: dict[str, Any], prefix: str, n: int) -> Vector:
+    vector: list[Any] = [None] * n
+    for name, value in snapshot.items():
+        index = int(name[len(prefix):])
+        vector[index] = value
+    return tuple(vector)
+
+
+def one_concurrent_factory(task: Task):
+    """Automaton factory for the Proposition 1 solver."""
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        n = ctx.n_computation
+        # Outputs first, inputs second: any process whose output we see
+        # wrote its input earlier, so the later input snapshot includes
+        # it.  (The paper reads inputs first; either order is correct
+        # 1-concurrently, this one also degrades gracefully outside the
+        # envelope instead of hitting an input-less output.)
+        outputs_snap = yield ops.Snapshot(OUTPUT_PREFIX)
+        outputs = _parse_family(outputs_snap, OUTPUT_PREFIX, n)
+        inputs_snap = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
+        inputs = _parse_family(inputs_snap, INPUT_REGISTER_PREFIX, n)
+        value = choose_output(task, inputs, outputs, me)
+        yield ops.Write(f"{OUTPUT_PREFIX}{me}", value)
+        yield ops.Decide(value)
+
+    return factory
+
+
+def one_concurrent_factories(task: Task) -> Sequence:
+    """One factory per C-process (they are identical by symmetry)."""
+    return [one_concurrent_factory(task)] * task.n

@@ -1,0 +1,104 @@
+"""Figure 3: a 1-resilient strong j-renaming algorithm built from a
+(hypothetical) 2-concurrent solver — the gadget behind Theorem 12.
+
+Theorem 12's proof assumes, for contradiction, an algorithm ``A``
+solving strong j-renaming 2-concurrently, and wraps it so that in every
+1-resilient run (at least ``j - 1`` of the ``j`` participants keep
+taking steps) the inner runs of ``A`` are 2-concurrent: a process takes
+steps of ``A`` only while it is among the two smallest-id not-yet-
+decided participants (or the single smallest when only ``j - 1``
+participate).  Combined with [15], that contradicts Lemma 11.
+
+No such register-only ``A`` exists — that is the theorem.  This module
+implements the *wrapper* faithfully and executable; the tests drive it
+with a stand-in inner solver that genuinely is 2-concurrently correct
+(it uses the modeled compare-and-swap primitive, which register
+protocols cannot implement — exactly why the paper's contradiction
+machinery never fires on real registers).  The tests verify both of the
+wrapper's charges: the inner runs it produces are 2-concurrent, and the
+wrapped system solves strong j-renaming in 1-resilient runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.process import ProcessContext
+from ..runtime import ops
+
+PARTICIPATION_PREFIX = "f3/R/"
+
+
+def cas_strong_renaming_factory(ctx: ProcessContext):
+    """Stand-in inner solver: strong renaming by fetch-and-increment on a
+    compare-and-swap counter.  Correct at any concurrency — but built on
+    a primitive strictly stronger than registers, so it does not
+    contradict Lemma 11."""
+    while True:
+        current = yield ops.Read("f3/inner/counter")
+        taken = current if current is not None else 0
+        prior = yield ops.CompareAndSwap(
+            "f3/inner/counter", current, taken + 1
+        )
+        if prior == current:
+            yield ops.Decide(taken + 1)
+            return
+
+
+def figure3_factory(j: int, inner_factory: Callable):
+    """Wrap ``inner_factory`` (the presumed 2-concurrent strong
+    j-renaming solver) per Figure 3.
+
+    The wrapped process registers (``R_i := 1``), then repeatedly reads
+    the participation board: it advances its inner automaton by one step
+    only if it is among the two smallest-id undecided participants of a
+    full board (``|S| = j``) or the single smallest of a ``j - 1``
+    board.  On an inner decision it publishes ``R_i := 0`` and decides
+    the inner name.
+    """
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        inner = inner_factory(ctx)
+        try:
+            pending = next(inner)
+        except StopIteration:
+            raise RuntimeError("inner solver produced no steps")
+        yield ops.Write(f"{PARTICIPATION_PREFIX}{me}", 1)  # line 37
+        while True:
+            board = yield ops.Snapshot(PARTICIPATION_PREFIX)
+            participants = sorted(
+                int(name[len(PARTICIPATION_PREFIX):]) for name in board
+            )
+            undecided = sorted(
+                int(name[len(PARTICIPATION_PREFIX):])
+                for name, value in board.items()
+                if value == 1
+            )
+            if not undecided:
+                continue
+            min1 = undecided[0]
+            min2 = undecided[1] if len(undecided) > 1 else min1  # line 42
+            allowed = (
+                len(participants) == j and me in (min1, min2)
+            ) or (len(participants) == j - 1 and me == min1)  # line 43
+            if not allowed:
+                yield ops.Nop()
+                continue
+            # Take one more step of A (line 44).
+            if isinstance(pending, ops.Decide):
+                yield ops.Write(f"{PARTICIPATION_PREFIX}{me}", 0)  # line 46
+                yield ops.Decide(pending.value)  # line 47
+                return
+            result = yield pending
+            try:
+                pending = inner.send(result)
+            except StopIteration:
+                raise RuntimeError("inner solver halted without deciding")
+
+    return factory
+
+
+def figure3_factories(n: int, j: int, inner_factory: Callable | None = None):
+    inner = inner_factory or cas_strong_renaming_factory
+    return [figure3_factory(j, inner)] * n

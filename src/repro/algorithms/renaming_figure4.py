@@ -1,0 +1,72 @@
+"""Figure 4: k-concurrent (j, j+k-1)-renaming (Theorem 15).
+
+The algorithm mimics the classic wait-free (j, 2j-1)-renaming of
+Attiya et al. [3, 4]: every process repeatedly suggests a name — the
+r-th integer not suggested by anybody else, where ``r`` is its rank
+among the *not yet decided* participants — and keeps it if nobody else
+is suggesting the same name.
+
+Bounds (Theorem 15's proof): at most ``j`` participants means at most
+``j - 1`` foreign suggestions; in a k-concurrent run at most ``k``
+participants are undecided at once, so the rank is at most ``k``; hence
+no suggestion exceeds ``(j - 1) + k``.  With ``k = j`` every run
+qualifies (at most ``j`` participants can never exceed j-concurrency),
+which recovers the wait-free (j, 2j-1)-renaming baseline.
+
+This is a restricted algorithm (S-processes take null steps); plugged
+into the Theorem 9 solver it yields Theorem 16: (j, j+k-1)-renaming is
+solvable with anti-Omega-k.
+"""
+
+from __future__ import annotations
+
+from ..core.process import ProcessContext
+from ..runtime import ops
+
+REGISTER_PREFIX = "f4/R/"
+
+
+def _first_integers_not_in(taken: set[int], rank: int) -> int:
+    """The ``rank``-th positive integer outside ``taken`` (1-based)."""
+    candidate = 1
+    found = 0
+    while True:
+        if candidate not in taken:
+            found += 1
+            if found == rank:
+                return candidate
+        candidate += 1
+
+
+def figure4_factory(ctx: ProcessContext):
+    """One C-process of the Figure 4 renaming algorithm."""
+    me = ctx.pid.index
+    suggestion = 1
+    while True:
+        # Register the new suggestion (line 50).
+        yield ops.Write(f"{REGISTER_PREFIX}{me}", (me, suggestion, True))
+        board = yield ops.Snapshot(REGISTER_PREFIX)
+        entries = list(board.values())
+        clash = any(
+            owner != me and other == suggestion
+            for owner, other, _trying in entries
+        )
+        if clash:
+            trying_ids = sorted(
+                owner for owner, _s, trying in entries if trying
+            )
+            rank = trying_ids.index(me) + 1  # (line 53)
+            taken = {
+                other for owner, other, _trying in entries if owner != me
+            }
+            suggestion = _first_integers_not_in(taken, rank)  # (line 54)
+        else:
+            yield ops.Write(
+                f"{REGISTER_PREFIX}{me}", (me, suggestion, False)
+            )  # (line 56)
+            yield ops.Decide(suggestion)
+            return
+
+
+def figure4_factories(n: int) -> list:
+    return [figure4_factory] * n

@@ -1,0 +1,51 @@
+"""Section 2.2's observation: ``n`` S-processes solve n-set agreement
+with **no** failure-detection at all.
+
+Each S-process waits until at least one C-process has written its input,
+then writes that value to a shared variable ``V`` (once).  Each C-process
+waits until ``V`` is written and outputs what it read.  Because at least
+one S-process is correct, ``V`` is eventually written; because there are
+only ``n`` S-processes, at most ``n`` distinct values are ever in ``V``.
+
+This is the reason the paper restricts attention to systems where the
+number of C-processes does not exceed the number of S-processes: extra
+S-processes add synchronization power even without a detector.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.process import ProcessContext
+from ..core.system import INPUT_REGISTER_PREFIX
+from ..runtime import ops
+
+_V_REGISTER = "shelper/V"
+
+
+def _first_input(snapshot: dict[str, Any]) -> Any:
+    if not snapshot:
+        return None
+    name = min(snapshot, key=lambda s: int(s[len(INPUT_REGISTER_PREFIX):]))
+    return snapshot[name]
+
+
+def helper_s_factory(ctx: ProcessContext):
+    """S-process: copy the first observed input into ``V`` (once)."""
+    while True:
+        snapshot = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
+        value = _first_input(snapshot)
+        if value is not None:
+            yield ops.Write(_V_REGISTER, value)
+            break
+    while True:
+        yield ops.Nop()
+
+
+def helper_c_factory(ctx: ProcessContext):
+    """C-process: decide the first value that appears in ``V``."""
+    while True:
+        value = yield ops.Read(_V_REGISTER)
+        if value is not None:
+            yield ops.Decide(value)
+            return

@@ -1,0 +1,132 @@
+"""Safe agreement — the BG-simulation building block [5, 7].
+
+Safe agreement is consensus weakened exactly enough to be wait-free
+implementable from registers: agreement and validity always hold, but a
+``resolve`` may report *unresolved* while some proposer is inside its
+propose section; if a proposer crashes there, the object may stay
+unresolved forever (it "blocks").  BG-simulation's charge is that each
+crashed simulator can block at most one object at a time.
+
+Two implementations share the interface:
+
+* :class:`SafeAgreement` — the classic register-only protocol (publish
+  value, raise level to 1, snapshot, back off to 0 if someone is already
+  at 2, else commit to 2; resolution returns the minimum-id value at
+  level 2 once nobody is at level 1).
+* :class:`CasAgreement` — a never-blocking variant backed by the modeled
+  compare-and-swap register (see DESIGN.md's substitution table).  Its
+  safety is identical; its ``resolve`` succeeds as soon as any propose
+  finished.  The Theorem 9 composed solver uses it in place of the
+  Extended-BG abort mechanism [15]: where the paper *aborts* a blocked
+  agreement so the simulation can proceed, we make blocking impossible
+  in the first place, which preserves every property the simulation
+  needs (agreement, validity, and progress of the unblocked simulator).
+
+All methods are subroutine generators (compose with ``yield from``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime import ops
+
+#: Sentinel: the agreement cannot be resolved yet (some propose is in
+#: flight).  Distinct from any proposable value.
+UNRESOLVED = "safe-agreement-unresolved"
+
+
+class SafeAgreement:
+    """Classic register-only safe agreement among ``parties`` slots.
+
+    Args:
+        name: unique register-family prefix for this instance.
+        parties: number of proposer slots (each proposer uses a distinct
+            slot; one propose per slot).
+    """
+
+    def __init__(self, name: str, parties: int) -> None:
+        self.name = name
+        self.parties = parties
+
+    def _val(self, slot: int) -> str:
+        return f"{self.name}/val/{slot}"
+
+    def _lev(self, slot: int) -> str:
+        return f"{self.name}/lev/{slot}"
+
+    def propose(self, slot: int, value: Any):
+        """Subroutine: propose ``value`` from ``slot``.
+
+        After completion the object is resolvable (by this proposer at
+        least); crashing inside this subroutine may block the object.
+        """
+        if value is None:
+            raise ValueError("cannot propose None")
+        yield ops.Write(self._val(slot), value)
+        yield ops.Write(self._lev(slot), 1)
+        levels = yield ops.Snapshot(f"{self.name}/lev/")
+        if 2 in levels.values():
+            yield ops.Write(self._lev(slot), 0)
+        else:
+            yield ops.Write(self._lev(slot), 2)
+        return None
+
+    def resolve(self):
+        """Subroutine: the agreed value, or :data:`UNRESOLVED`.
+
+        Resolves once no slot is at level 1 and some slot reached
+        level 2; the agreed value is the level-2 value of the smallest
+        slot, so all resolvers agree.
+        """
+        levels = yield ops.Snapshot(f"{self.name}/lev/")
+        by_slot = {
+            int(name[len(f"{self.name}/lev/"):]): lev
+            for name, lev in levels.items()
+        }
+        if any(lev == 1 for lev in by_slot.values()):
+            return UNRESOLVED
+        committed = sorted(s for s, lev in by_slot.items() if lev == 2)
+        if not committed:
+            return UNRESOLVED
+        value = yield ops.Read(self._val(committed[0]))
+        return value
+
+
+class CasAgreement:
+    """Never-blocking agreement from one compare-and-swap register.
+
+    Same interface as :class:`SafeAgreement`; ``resolve`` returns
+    :data:`UNRESOLVED` only before the first propose completes.
+    """
+
+    def __init__(self, name: str, parties: int) -> None:
+        self.name = name
+        self.parties = parties
+
+    def _winner(self) -> str:
+        return f"{self.name}/winner"
+
+    def propose(self, slot: int, value: Any):
+        if value is None:
+            raise ValueError("cannot propose None")
+        yield ops.CompareAndSwap(self._winner(), None, (slot, value))
+        return None
+
+    def resolve(self):
+        cell = yield ops.Read(self._winner())
+        if cell is None:
+            return UNRESOLVED
+        return cell[1]
+
+
+def agree(agreement, slot: int, value: Any):
+    """Subroutine: propose then spin-resolve; returns the agreed value.
+
+    Only appropriate where the caller may block (it loops on
+    :data:`UNRESOLVED`)."""
+    yield from agreement.propose(slot, value)
+    while True:
+        outcome = yield from agreement.resolve()
+        if outcome is not UNRESOLVED:
+            return outcome

@@ -1,0 +1,74 @@
+"""Proposition 2's emulation: folding the S-part into the C-processes.
+
+The proposition's argument (Section 2.2): if ``n >= m`` and a task is
+solvable with the trivial detector, each C-process ``p_i`` can execute
+alternately the steps of ``A^C_{p_i}`` and of ``A^S_{q_i}``, emulating a
+run in which the S-processes ``q_{m+1} .. q_n`` have crashed — turning
+the algorithm into a *restricted* one.
+
+:func:`interleave_factories` builds exactly that merged automaton.  The
+only S-only operation, the detector query, is answered locally with
+bottom (the trivial detector's constant output), so the merged
+automaton is a legal C-process.  One subtlety: the emulated run's
+failure pattern crashes the unpaired S-processes at time 0, which is
+allowed in ``E_{n-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.process import ProcessContext
+from ..runtime import ops
+
+
+def _advance(generator, pending, result):
+    try:
+        return generator.send(result), False
+    except StopIteration:
+        return None, True
+
+
+def interleave_factories(
+    c_factory: Callable, s_factory: Callable
+) -> Callable:
+    """One C-automaton alternating steps of a C-part and an S-part.
+
+    Detector queries of the S-part are served bottom locally (trivial
+    detector), costing a null step so the step count stays faithful.
+    The merged automaton decides when the C-part decides — after which
+    the executor stops scheduling it, which also stops the folded
+    S-part, exactly as in the paper (a decided C-process's remaining
+    steps are null)."""
+
+    def factory(ctx: ProcessContext):
+        c_gen = c_factory(ctx)
+        s_gen = s_factory(ctx)
+        c_pending, c_done = _advance_prime(c_gen)
+        s_pending, s_done = _advance_prime(s_gen)
+        while True:
+            if not c_done:
+                if isinstance(c_pending, ops.Decide):
+                    yield c_pending
+                    c_done = True
+                else:
+                    result = yield c_pending
+                    c_pending, c_done = _advance(c_gen, c_pending, result)
+            if not s_done:
+                if isinstance(s_pending, ops.QueryFD):
+                    yield ops.Nop()  # the trivial detector outputs bottom
+                    s_pending, s_done = _advance(s_gen, s_pending, None)
+                else:
+                    result = yield s_pending
+                    s_pending, s_done = _advance(s_gen, s_pending, result)
+            if c_done and s_done:
+                return
+
+    return factory
+
+
+def _advance_prime(generator):
+    try:
+        return next(generator), False
+    except StopIteration:
+        return None, True

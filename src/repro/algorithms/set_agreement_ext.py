@@ -1,0 +1,93 @@
+"""Theorem 7: k-set agreement among one fixed set of k+1 C-processes is
+as strong as k-set agreement among all n.
+
+Two executable artifacts:
+
+* :func:`ax_factories` — the construction named ``A_x`` in the proof:
+  the members of ``U = {p_1, .., p_{k+1}}`` run the (U, k)-agreement
+  black box and return its decision, while ``p_{k+2} .. p_x`` simply
+  return their own inputs; at most ``(x - 1)`` distinct values can be
+  returned, i.e. ``A_x`` solves ``(U_x, x-1)``-agreement.
+
+* :func:`theorem7_factories` — the end-to-end statement made
+  executable: given a detector-backed (U, k)-agreement capability (the
+  leader-consensus S-part of
+  :mod:`repro.algorithms.kset_vector`), all ``n`` C-processes obtain
+  k-set agreement by colorless adoption — every process proposes on
+  behalf of the U-instance (any participant's written input is a legal
+  proposal for a colorless task, exactly the move the proof makes when
+  each simulator "proposes its input value as an input value for each
+  simulated process") and adopts the instance's decisions.  The
+  downward induction of the proof collapses here because adoption is
+  transitive; the heavy simulation machinery it leans on in general is
+  exercised separately by E-T9 (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..core.process import ProcessContext
+from ..errors import SpecificationError
+from ..runtime import ops
+from .kset_vector import kset_c_factory, kset_s_factory
+
+
+def ax_factories(
+    x: int,
+    n: int,
+    u_factories: Sequence[Callable],
+    *,
+    member_set: Iterable[int] | None = None,
+) -> list:
+    """The proof's ``A_x``: U-members run the (U, k) black box,
+    ``p_{|U|+1} .. p_x`` return their own inputs, ``p_{x+1} .. p_n``
+    never participate (their factories still exist but only matter if
+    scheduled, which ``(U_x, x-1)``-agreement inputs forbid).
+
+    Args:
+        x: size of the participating prefix ``U_x``.
+        n: total number of C-processes.
+        u_factories: factories of the black box, one per U-member.
+        member_set: U (defaults to the first ``len(u_factories)``
+            indices, as in the proof).
+    """
+    members = (
+        list(range(len(u_factories)))
+        if member_set is None
+        else sorted(member_set)
+    )
+    if len(members) != len(u_factories):
+        raise SpecificationError("one factory per U-member required")
+    if x < len(members) or x > n:
+        raise SpecificationError(f"need |U| <= x <= n, got x={x}")
+
+    def own_input_factory(ctx: ProcessContext):
+        yield ops.Decide(ctx.input_value)
+
+    factories: list[Callable] = []
+    by_member = dict(zip(members, u_factories))
+    for i in range(n):
+        factories.append(by_member.get(i, own_input_factory))
+    return factories
+
+
+def theorem7_factories(n: int, k: int, member_set: Iterable[int]):
+    """(C-factories, S-factories): extend a (U, k)-agreement capability
+    to (Pi, k)-agreement for all ``n`` C-processes.
+
+    The S-part is the vector-Omega-k-driven leader consensus of the
+    (U, k) instance; every C-process — member of U or not — adopts the
+    instance's decisions.  The detector only ever needs to be strong
+    enough for the (U, k) instance.
+    """
+    members = frozenset(member_set)
+    if len(members) != k + 1:
+        raise SpecificationError(
+            f"U must have k+1 = {k + 1} members, got {len(members)}"
+        )
+    if not members <= frozenset(range(n)):
+        raise SpecificationError("member_set out of range")
+    c_factories = [kset_c_factory(k)] * n
+    s_factories = [kset_s_factory(k)] * n
+    return c_factories, s_factories

@@ -1,0 +1,84 @@
+"""Splitters and Moir-Anderson grid renaming — the classical wait-free
+renaming baseline alongside Figure 4's Attiya-style algorithm.
+
+A *splitter* (Moir-Anderson / Lamport's fast-mutex gadget) is built
+from two registers and routes each of ``k`` concurrent visitors to
+``stop`` / ``right`` / ``down`` such that at most one stops, at most
+``k - 1`` go right, and at most ``k - 1`` go down.
+
+A triangular ``j x j`` grid of splitters renames ``j`` participants
+into ``{1, .., j(j+1)/2}`` wait-free: start at (0, 0), move per the
+splitter outcome, stop within ``j - 1`` moves (the visitor count
+strictly shrinks along every path), and take the stopped cell's index
+as the new name.
+
+The renaming benchmarks chart this against Figure 4: Moir-Anderson
+needs no concurrency gating at all but pays a *quadratic* namespace,
+while Figure 4's namespace is ``j + k - 1`` under a k-concurrency gate
+(linear; ``2j - 1`` wait-free) — the series shows exactly where each
+wins, mirroring the renaming literature the paper builds on [3, 6].
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..core.process import ProcessContext
+from ..runtime import ops
+
+Outcome = Literal["stop", "right", "down"]
+
+
+def splitter(name: str, me: int):
+    """Subroutine: visit the splitter ``name``; returns an outcome.
+
+    Classic two-register construction: write X := me; if Y is set, go
+    right; set Y; if X is still me, stop, else go down.
+    """
+    yield ops.Write(f"{name}/X", me)
+    door = yield ops.Read(f"{name}/Y")
+    if door is not None:
+        return "right"
+    yield ops.Write(f"{name}/Y", True)
+    last = yield ops.Read(f"{name}/X")
+    if last == me:
+        return "stop"
+    return "down"
+
+
+def grid_cell_name(row: int, column: int) -> int:
+    """Diagonal-major numbering of the triangular grid, 1-based."""
+    diagonal = row + column
+    return diagonal * (diagonal + 1) // 2 + row + 1
+
+
+def moir_anderson_factory(j: int):
+    """Automaton factory: Moir-Anderson renaming for at most ``j``
+    participants; decides a name in ``{1, .., j(j+1)/2}``."""
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        row = column = 0
+        while row + column <= j - 1:
+            outcome = yield from splitter(f"ma/{row}/{column}", me)
+            if outcome == "stop":
+                yield ops.Decide(grid_cell_name(row, column))
+                return
+            if outcome == "down":
+                row += 1
+            else:
+                column += 1
+        raise RuntimeError(
+            f"fell off the grid: more than {j} concurrent participants?"
+        )
+
+    return factory
+
+
+def moir_anderson_factories(n: int, j: int) -> list:
+    return [moir_anderson_factory(j)] * n
+
+
+def namespace_size(j: int) -> int:
+    """The grid's namespace: j(j+1)/2."""
+    return j * (j + 1) // 2

@@ -1,0 +1,44 @@
+"""A restricted algorithm solving (n, j) weak symmetry breaking in
+(j-1)-concurrent runs.
+
+WSB's symmetry-breaking constraint binds on runs with exactly ``j``
+participants; this algorithm places the task in class ``j - 1`` (upper
+bound; the matching lower bound for ``j = 2`` is machine-checked by the
+topology module — WSB(n, 2) is not 2-concurrently solvable, by the same
+pigeonhole as Lemma 11).
+
+Algorithm: write your input (the executor's first step), snapshot the
+input board, decide ``1`` if you see ``j`` inputs and ``0`` otherwise.
+
+Correctness in (j-1)-concurrent runs with ``j`` participants: the last
+process to write its input snapshots afterwards and sees all ``j``
+inputs, so someone decides ``1``; and because at most ``j - 1``
+processes are concurrently undecided, the ``j``-th participant arrives
+only after some earlier process decided — and that early decider's
+snapshot missed the late arrival's input, so someone decides ``0``.  In
+a fully j-concurrent run all snapshots may see everything and the
+algorithm can output all ``1``s — the tests exhibit exactly that
+violation, matching the task's class.
+"""
+
+from __future__ import annotations
+
+from ..core.process import ProcessContext
+from ..core.system import INPUT_REGISTER_PREFIX
+from ..runtime import ops
+
+
+def wsb_concurrent_factory(j: int):
+    """Automaton factory for (n, j) WSB."""
+
+    def factory(ctx: ProcessContext):
+        board = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
+        yield ops.Decide(1 if len(board) >= j else 0)
+
+    return factory
+
+
+def wsb_concurrent_factories(n: int, j: int | None = None) -> list:
+    if j is None:
+        j = n - 1
+    return [wsb_concurrent_factory(j)] * n

@@ -1,0 +1,30 @@
+"""Run verification and experiment reporting."""
+
+from .reporting import ExperimentRecord, format_report
+from .traceview import (
+    format_ledger,
+    format_lanes,
+    register_traffic,
+    summarize,
+)
+from .verify import (
+    distinct_decisions,
+    max_concurrent_undecided,
+    renaming_summary,
+    require_agreement,
+    verify_run,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "format_report",
+    "format_ledger",
+    "format_lanes",
+    "register_traffic",
+    "summarize",
+    "distinct_decisions",
+    "max_concurrent_undecided",
+    "renaming_summary",
+    "require_agreement",
+    "verify_run",
+]

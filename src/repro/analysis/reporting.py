@@ -1,0 +1,35 @@
+"""Experiment reporting: uniform records for EXPERIMENTS.md and the
+benchmark harnesses' printed tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's identity, parameters, and measured outcome."""
+
+    experiment_id: str
+    paper_artifact: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    measured: dict[str, Any] = field(default_factory=dict)
+    verdict: str = "pass"
+
+    def format_row(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        measured = ", ".join(f"{k}={v}" for k, v in self.measured.items())
+        return (
+            f"{self.experiment_id:8} | {self.paper_artifact:34} | "
+            f"{params:30} | {measured} [{self.verdict}]"
+        )
+
+
+def format_report(records: Sequence[ExperimentRecord]) -> str:
+    header = (
+        f"{'exp':8} | {'paper artifact':34} | {'parameters':30} | measured"
+    )
+    lines = [header, "-" * len(header)]
+    lines.extend(record.format_row() for record in records)
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Trace rendering: human-readable views of executions.
+
+Debugging a distributed algorithm means staring at interleavings; these
+helpers turn a recorded :class:`~repro.runtime.trace.Trace` into compact
+text — a per-step ledger, a per-process lane view, and a summary of
+register traffic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from ..runtime import ops
+from ..runtime.trace import Trace, TraceEvent
+
+
+def _describe(op) -> str:
+    if isinstance(op, ops.Read):
+        return f"read {op.register}"
+    if isinstance(op, ops.Write):
+        return f"write {op.register} := {op.value!r}"
+    if isinstance(op, ops.Snapshot):
+        return f"snapshot {op.prefix}*"
+    if isinstance(op, ops.QueryFD):
+        return "query detector"
+    if isinstance(op, ops.Decide):
+        return f"DECIDE {op.value!r}"
+    if isinstance(op, ops.CompareAndSwap):
+        return f"cas {op.register}: {op.expected!r} -> {op.new!r}"
+    if isinstance(op, ops.Nop):
+        return "nop"
+    return repr(op)
+
+
+def format_ledger(trace: Trace, *, limit: int | None = None) -> str:
+    """One line per step: time, process, operation, result."""
+    lines = []
+    events: Iterable[TraceEvent] = trace
+    for event in events:
+        if limit is not None and event.time >= limit:
+            break
+        result = "" if event.result is None else f" -> {event.result!r}"
+        lines.append(
+            f"t={event.time:<5} {event.pid.name:<5} "
+            f"{_describe(event.op)}{result}"
+        )
+    return "\n".join(lines)
+
+
+def format_lanes(trace: Trace, *, width: int = 72) -> str:
+    """A lane per process: its operations in order, truncated to fit."""
+    lanes: dict[str, list[str]] = {}
+    for event in trace:
+        lanes.setdefault(event.pid.name, []).append(_describe(event.op))
+    lines = []
+    for name in sorted(lanes):
+        body = "; ".join(lanes[name])
+        if len(body) > width:
+            body = body[: width - 3] + "..."
+        lines.append(f"{name:<5} | {body}")
+    return "\n".join(lines)
+
+
+def register_traffic(trace: Trace) -> dict[str, int]:
+    """Operation counts per register (reads+writes+cas; snapshots count
+    against their prefix)."""
+    counts: Counter[str] = Counter()
+    for event in trace:
+        op = event.op
+        if isinstance(op, (ops.Read, ops.Write, ops.CompareAndSwap)):
+            counts[op.register] += 1
+        elif isinstance(op, ops.Snapshot):
+            counts[f"{op.prefix}*"] += 1
+    return dict(counts)
+
+
+def summarize(trace: Trace) -> str:
+    """Steps per process plus the five hottest registers."""
+    per_process: Counter[str] = Counter()
+    decisions = []
+    for event in trace:
+        per_process[event.pid.name] += 1
+        if isinstance(event.op, ops.Decide):
+            decisions.append((event.pid.name, event.op.value))
+    hot = Counter(register_traffic(trace)).most_common(5)
+    lines = [f"steps: {sum(per_process.values())}"]
+    lines.append(
+        "per process: "
+        + ", ".join(f"{n}={c}" for n, c in sorted(per_process.items()))
+    )
+    if decisions:
+        lines.append(
+            "decisions: "
+            + ", ".join(f"{n}->{v!r}" for n, v in decisions)
+        )
+    if hot:
+        lines.append(
+            "hot registers: "
+            + ", ".join(f"{r} ({c})" for r, c in hot)
+        )
+    return "\n".join(lines)

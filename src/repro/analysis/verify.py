@@ -1,0 +1,52 @@
+"""Run verifiers shared by tests, examples, and benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.run import RunResult
+from ..core.task import Task
+from ..errors import SafetyViolation
+from ..runtime import ops
+from ..runtime.trace import Trace
+
+
+def verify_run(result: RunResult, task: Task) -> RunResult:
+    """Wait-freedom obligation + task relation; returns the result for
+    chaining."""
+    return result.require_all_decided().require_satisfies(task)
+
+
+def max_concurrent_undecided(trace: Trace) -> int:
+    """Largest number of started-but-undecided C-processes at any point
+    of a traced run — the quantity k-concurrency bounds."""
+    started: set[int] = set()
+    decided: set[int] = set()
+    peak = 0
+    for event in trace:
+        if event.pid.is_computation:
+            started.add(event.pid.index)
+            if isinstance(event.op, ops.Decide):
+                decided.add(event.pid.index)
+        peak = max(peak, len(started - decided))
+    return peak
+
+
+def distinct_decisions(result: RunResult) -> int:
+    """Number of distinct decided values (the k-set agreement metric)."""
+    return len({v for v in result.outputs if v is not None})
+
+
+def renaming_summary(result: RunResult) -> tuple[int, bool]:
+    """(largest name used, all names distinct)."""
+    names = [v for v in result.outputs if v is not None]
+    return (max(names) if names else 0, len(set(names)) == len(names))
+
+
+def require_agreement(results: Iterable[RunResult]) -> None:
+    """All runs' decided values form one consistent consensus value per
+    run (cross-run values may differ)."""
+    for result in results:
+        values = {v for v in result.outputs if v is not None}
+        if len(values) > 1:
+            raise SafetyViolation(f"split decision: {result.outputs}")

@@ -1,0 +1,93 @@
+"""Top-level convenience API.
+
+These helpers wrap the most common workflow — "solve this task in the
+EFD model with this detector and show me the run" — around the generic
+Theorem 9 solver and the executor.  Power users assemble
+:class:`~repro.core.system.System` objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .core.failures import FailurePattern
+from .core.run import RunResult
+from .core.task import Task, Vector
+
+
+def solve_task(
+    task: Task,
+    *,
+    detector: Any,
+    inputs: Vector | None = None,
+    pattern: FailurePattern | None = None,
+    scheduler: Any = None,
+    seed: int = 0,
+    max_steps: int = 400_000,
+    check: bool = True,
+) -> RunResult:
+    """Solve ``task`` in the EFD model using ``detector`` as advice.
+
+    Dispatches to the generic solver of Theorem 9: the task is solved
+    with ``anti-Omega-k``-strength advice (supplied here in its
+    equivalent vector form) whenever the task is k-concurrently solvable
+    and the detector is at least that strong.  For the built-in tasks the
+    right k-concurrent algorithm is selected automatically.
+
+    Args:
+        task: the task to solve.
+        detector: a failure detector instance (e.g.
+            :class:`~repro.detectors.VectorOmegaK`).
+        inputs: input vector; defaults to a canonical full-participation
+            vector for the task.
+        pattern: failure pattern; defaults to failure-free.
+        scheduler: defaults to a seeded-random scheduler.
+        seed: seed for the scheduler and detector history.
+        max_steps: liveness budget.
+        check: verify safety and wait-freedom before returning.
+
+    Returns:
+        The run result; ``result.outputs`` is the output vector.
+    """
+    from .algorithms.dispatch import solve_with_detector
+
+    return solve_with_detector(
+        task,
+        detector=detector,
+        inputs=inputs,
+        pattern=pattern,
+        scheduler=scheduler,
+        seed=seed,
+        max_steps=max_steps,
+        check=check,
+    )
+
+
+def solve_task_restricted(
+    task: Task,
+    *,
+    inputs: Vector | None = None,
+    concurrency: int = 1,
+    scheduler: Any = None,
+    seed: int = 0,
+    max_steps: int = 200_000,
+    check: bool = True,
+) -> RunResult:
+    """Solve ``task`` with a *restricted* algorithm (no detector, null
+    S-processes) in a ``concurrency``-concurrent run.
+
+    With ``concurrency=1`` this always succeeds (Proposition 1).  Larger
+    values require the task to be solvable at that concurrency level and
+    a suitable built-in algorithm to exist.
+    """
+    from .algorithms.dispatch import solve_restricted
+
+    return solve_restricted(
+        task,
+        inputs=inputs,
+        concurrency=concurrency,
+        scheduler=scheduler,
+        seed=seed,
+        max_steps=max_steps,
+        check=check,
+    )

@@ -1,0 +1,20 @@
+"""Operational model checking: exhaustive schedules and valency."""
+
+from .bivalence import ValencyReport, analyze_valency
+from .explorer import (
+    ExplorationReport,
+    ScheduleExplorer,
+    concurrency_gate,
+    drop_null_s_processes,
+    task_safety_verdict,
+)
+
+__all__ = [
+    "ValencyReport",
+    "analyze_valency",
+    "ExplorationReport",
+    "ScheduleExplorer",
+    "concurrency_gate",
+    "drop_null_s_processes",
+    "task_safety_verdict",
+]

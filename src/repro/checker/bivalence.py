@@ -1,0 +1,95 @@
+"""FLP-style valency analysis over explored schedules.
+
+Classifies explored prefixes of a consensus-like system by the set of
+decision values still reachable: *bivalent* states can still go two
+ways, *univalent* ones cannot.  The FLP argument [14] shows a wait-free
+register protocol for 2-process consensus must have a bivalent initial
+state and no way to ever leave bivalence — this module lets the tests
+watch that structure concretely on real protocols from this package
+(e.g. the Proposition 1 solver run outside its 1-concurrent envelope),
+complementing the topology module's exact unsolvability certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.process import ProcessId
+from ..core.system import System
+from .explorer import ScheduleExplorer
+
+
+@dataclass(frozen=True)
+class ValencyReport:
+    """Reachable decision outcomes from the empty schedule."""
+
+    reachable_outcomes: frozenset
+    bivalent_initial: bool
+    critical_prefixes: tuple[tuple[ProcessId, ...], ...]
+
+
+def analyze_valency(
+    system_builder: Callable[[], System],
+    *,
+    max_depth: int,
+    decision_of: Callable | None = None,
+    candidate_filter: Callable | None = None,
+) -> ValencyReport:
+    """Compute the valency structure of a small system.
+
+    ``decision_of`` maps a finished executor to its outcome (default:
+    the sorted tuple of decided values).  A prefix is *critical* when it
+    is bivalent but all its successors are univalent.
+    """
+    if decision_of is None:
+
+        def decision_of(executor):
+            return tuple(sorted(set(executor.decisions.values())))
+
+    outcomes_by_prefix: dict[tuple[ProcessId, ...], set] = {}
+
+    explorer = ScheduleExplorer(
+        system_builder,
+        max_depth=max_depth,
+        candidate_filter=candidate_filter,
+    )
+
+    def verdict(executor):
+        prefix = _prefix_of(executor)
+        if executor.system.participants <= executor.decided_c:
+            outcome = decision_of(executor)
+            for i in range(len(prefix) + 1):
+                outcomes_by_prefix.setdefault(prefix[:i], set()).add(outcome)
+            return None
+        outcomes_by_prefix.setdefault(prefix, set())
+        return True
+
+    schedule_stack: list[ProcessId] = []
+
+    def _prefix_of(executor):
+        # The explorer replays deterministic prefixes; reconstruct from
+        # step counts is fragile, so track via the explorer cache.
+        return explorer._cache[0] if explorer._cache else ()
+
+    explorer.check(verdict)
+    reachable = frozenset(outcomes_by_prefix.get((), set()))
+    bivalent = len(reachable) > 1
+    critical = []
+    for prefix, outcomes in outcomes_by_prefix.items():
+        if len(outcomes) <= 1:
+            continue
+        children = [
+            p
+            for p in outcomes_by_prefix
+            if len(p) == len(prefix) + 1 and p[: len(prefix)] == prefix
+        ]
+        if children and all(
+            len(outcomes_by_prefix[c]) == 1 for c in children
+        ):
+            critical.append(prefix)
+    return ValencyReport(
+        reachable_outcomes=reachable,
+        bivalent_initial=bivalent,
+        critical_prefixes=tuple(sorted(critical, key=len)),
+    )

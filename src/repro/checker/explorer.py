@@ -1,0 +1,178 @@
+"""Exhaustive schedule exploration of small systems.
+
+For tiny process counts and bounded depth, *every* interleaving of a
+system can be enumerated, turning "for all schedules" claims (task
+safety, k-concurrency bounds) into machine-checked facts rather than
+sampled evidence.  The classifier and several integration tests use
+this to certify the upper-bound algorithms on small instances.
+
+Exploration is a DFS over the executor's ``schedulable()`` sets.  Since
+executors cannot be forked (automata are live generators), the explorer
+re-executes prefixes deterministically, with an incremental fast path
+when the DFS descends (the common case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.process import ProcessId
+from ..core.system import System
+from ..runtime.executor import Executor
+from ..runtime.scheduler import ExplicitScheduler
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one exhaustive exploration."""
+
+    explored: int = 0
+    completed_runs: int = 0
+    truncated_runs: int = 0
+    violations: list[tuple[tuple[ProcessId, ...], object]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ScheduleExplorer:
+    """Enumerate all interleavings of a (small) system up to a depth.
+
+    Args:
+        system_builder: creates a fresh, identical system per replay
+            (systems are deterministic given their seed).
+        max_depth: schedule-length bound.
+        candidate_filter: optional narrowing of the schedulable set
+            (e.g. drop null-stepping S-processes, or impose the
+            k-concurrency gate); receives the executor and the candidate
+            tuple, returns the candidates to branch on.
+        max_runs: hard cap on completed+truncated runs (safety valve).
+    """
+
+    def __init__(
+        self,
+        system_builder: Callable[[], System],
+        *,
+        max_depth: int,
+        candidate_filter: Callable | None = None,
+        max_runs: int = 200_000,
+    ) -> None:
+        self.system_builder = system_builder
+        self.max_depth = max_depth
+        self.candidate_filter = candidate_filter
+        self.max_runs = max_runs
+        self._cache: tuple[tuple[ProcessId, ...], Executor] | None = None
+
+    def _executor_for(self, schedule: tuple[ProcessId, ...]) -> Executor:
+        if self._cache is not None:
+            prefix, executor = self._cache
+            if len(schedule) == len(prefix) + 1 and schedule[:-1] == prefix:
+                executor.step(schedule[-1])
+                self._cache = (schedule, executor)
+                return executor
+        executor = Executor(
+            self.system_builder(),
+            ExplicitScheduler([], strict=False),
+            max_steps=self.max_depth + 1,
+        )
+        for pid in schedule:
+            executor.step(pid)
+        self._cache = (schedule, executor)
+        return executor
+
+    def _branches(self, executor: Executor) -> Sequence[ProcessId]:
+        candidates = executor.schedulable()
+        if self.candidate_filter is not None:
+            candidates = tuple(self.candidate_filter(executor, candidates))
+        return candidates
+
+    def check(
+        self, verdict: Callable[[Executor], bool | None]
+    ) -> ExplorationReport:
+        """Explore; ``verdict`` is called at every node and must return
+        ``True`` (fine so far), ``False`` (violation — recorded, branch
+        pruned), or ``None`` (finished successfully — e.g. everyone
+        decided; branch ends)."""
+        report = ExplorationReport()
+        self._explore((), verdict, report)
+        return report
+
+    def _explore(
+        self,
+        schedule: tuple[ProcessId, ...],
+        verdict: Callable[[Executor], bool | None],
+        report: ExplorationReport,
+    ) -> None:
+        if report.completed_runs + report.truncated_runs >= self.max_runs:
+            return
+        executor = self._executor_for(schedule)
+        report.explored += 1
+        outcome = verdict(executor)
+        if outcome is False:
+            report.violations.append(
+                (schedule, executor._result("violation"))
+            )
+            return
+        if outcome is None:
+            report.completed_runs += 1
+            return
+        if len(schedule) >= self.max_depth:
+            report.truncated_runs += 1
+            return
+        branches = self._branches(executor)
+        if not branches:
+            report.completed_runs += 1
+            return
+        for pid in branches:
+            self._explore(schedule + (pid,), verdict, report)
+
+
+def drop_null_s_processes(executor: Executor, candidates):
+    """Candidate filter: skip S-processes (restricted algorithms only —
+    their null steps cannot affect any property)."""
+    return tuple(pid for pid in candidates if pid.is_computation)
+
+
+def concurrency_gate(k: int):
+    """Candidate filter imposing the k-concurrency arrival rule."""
+
+    def gate(executor: Executor, candidates):
+        undecided = executor.started_c - executor.decided_c
+        room = len(undecided) < k
+        kept = []
+        for pid in candidates:
+            if not pid.is_computation or pid.index in executor.started_c:
+                kept.append(pid)
+            elif room:
+                kept.append(pid)
+        return tuple(kept)
+
+    return gate
+
+
+def task_safety_verdict(task):
+    """Standard verdict: fail on a Delta violation, finish when all
+    participants decided."""
+
+    def verdict(executor: Executor):
+        outputs = tuple(
+            executor.decisions.get(i)
+            for i in range(executor.system.n_c)
+        )
+        inputs = tuple(
+            v if i in executor.started_c else None
+            for i, v in enumerate(executor.system.inputs)
+        )
+        if any(v is not None for v in inputs) and not task.allows(
+            inputs, outputs
+        ):
+            return False
+        if executor.system.participants <= executor.decided_c:
+            return None
+        return True
+
+    return verdict

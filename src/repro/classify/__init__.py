@@ -1,0 +1,37 @@
+"""Task classification: concurrency levels and the Theorem 10 hierarchy."""
+
+from .concurrency_level import (
+    Evidence,
+    TaskClassification,
+    certify_k_concurrent_exhaustively,
+    classify_task,
+    validate_k_concurrent,
+)
+from .hierarchy import (
+    build_hierarchy,
+    classify_consensus,
+    classify_identity,
+    classify_loose_renaming,
+    classify_set_agreement,
+    classify_strong_renaming,
+    classify_wsb,
+    format_hierarchy,
+)
+from .reductions import consensus_from_strong_2_renaming
+
+__all__ = [
+    "Evidence",
+    "TaskClassification",
+    "certify_k_concurrent_exhaustively",
+    "classify_task",
+    "validate_k_concurrent",
+    "build_hierarchy",
+    "classify_consensus",
+    "classify_identity",
+    "classify_loose_renaming",
+    "classify_set_agreement",
+    "classify_strong_renaming",
+    "classify_wsb",
+    "format_hierarchy",
+    "consensus_from_strong_2_renaming",
+]

@@ -1,0 +1,151 @@
+"""The task hierarchy — the paper's headline classification (Theorem 10
+and Section 5) regenerated as a table.
+
+Every task the paper discusses is placed in its concurrency class, with
+the weakest failure detector given by Theorem 10 and the evidence for
+each bound labeled (machine-validated runs, exact topology certificate,
+literature citation, or open — the paper itself leaves
+(j, j+k-1)-renaming's exact class open for some parameters, footnote 4
+/ [8], and the table reports exactly that)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms.kset_concurrent import kset_concurrent_factories
+from ..algorithms.one_concurrent import one_concurrent_factories
+from ..algorithms.renaming_figure4 import figure4_factories
+from ..algorithms.wsb_concurrent import wsb_concurrent_factories
+from ..tasks import (
+    ConsensusTask,
+    IdentityTask,
+    RenamingTask,
+    SetAgreementTask,
+    StrongRenamingTask,
+    WeakSymmetryBreakingTask,
+    identity_factories,
+)
+from .concurrency_level import TaskClassification, classify_task
+
+
+def classify_identity(n: int) -> TaskClassification:
+    """The trivial end of the spectrum: class n, no advice needed."""
+    task = IdentityTask(n)
+    return classify_task(
+        task,
+        algorithm_for=lambda k: identity_factories(n),
+        max_k=n,
+        validate_kwargs={"max_inputs": 4, "seeds": range(2)},
+    )
+
+
+def classify_consensus(n: int) -> TaskClassification:
+    task = ConsensusTask(n)
+    return classify_task(
+        task,
+        algorithm_for=lambda k: (
+            one_concurrent_factories(task) if k == 1 else None
+        ),
+        max_k=2,
+        two_process_restriction=ConsensusTask(2),
+    )
+
+
+def classify_set_agreement(n: int, k: int) -> TaskClassification:
+    task = SetAgreementTask(n, k, domain=tuple(range(min(n, k + 2))))
+    if k == 1:
+        return classify_consensus(n)
+    return classify_task(
+        task,
+        algorithm_for=lambda level: (
+            kset_concurrent_factories(n, level) if level <= k else None
+        ),
+        max_k=k,
+        literature_lower=(
+            k,
+            "k-set agreement is not wait-free (k+1)-concurrently "
+            "solvable [11, 27]",
+        ),
+        validate_kwargs={"max_inputs": 4, "seeds": range(2)},
+    )
+
+
+def classify_strong_renaming(n: int, j: int) -> TaskClassification:
+    task = StrongRenamingTask(n, j)
+    two_proc = StrongRenamingTask(max(n, 3), 2)
+    return classify_task(
+        task,
+        algorithm_for=lambda k: (
+            figure4_factories(n) if k == 1 else None
+        ),
+        max_k=2,
+        two_process_restriction=two_proc,
+        validate_kwargs={"max_inputs": 4, "seeds": range(2)},
+    )
+
+
+def classify_loose_renaming(n: int, j: int, k: int) -> TaskClassification:
+    task = RenamingTask(n, j, j + k - 1)
+    return classify_task(
+        task,
+        algorithm_for=lambda level: (
+            figure4_factories(n) if level <= k else None
+        ),
+        max_k=k,
+        validate_kwargs={"max_inputs": 4, "seeds": range(2)},
+    )
+
+
+def classify_wsb(n: int, j: int) -> TaskClassification:
+    task = WeakSymmetryBreakingTask(n, j)
+    if j == 2:
+        return classify_task(
+            task,
+            algorithm_for=lambda k: (
+                wsb_concurrent_factories(n, j) if k == 1 else None
+            ),
+            max_k=2,
+            two_process_restriction=task,
+            validate_kwargs={"max_inputs": 6, "seeds": range(2)},
+        )
+    return classify_task(
+        task,
+        algorithm_for=lambda level: (
+            wsb_concurrent_factories(n, j) if level <= j - 1 else None
+        ),
+        max_k=j - 1,
+        validate_kwargs={"max_inputs": 6, "seeds": range(2)},
+    )
+
+
+def build_hierarchy(n: int = 4) -> list[TaskClassification]:
+    """The battery used by E-T10: consensus, k-set agreement, strong and
+    loose renaming, WSB."""
+    rows = [classify_consensus(n)]
+    for k in range(2, n):
+        rows.append(classify_set_agreement(n, k))
+    rows.append(classify_strong_renaming(n, n - 1))
+    for k in (2, 3):
+        if k <= n - 1:
+            rows.append(classify_loose_renaming(n, n - 1, k))
+    rows.append(classify_wsb(n, 2))
+    if n >= 4:
+        rows.append(classify_wsb(n, 3))
+    rows.append(classify_identity(n))
+    return rows
+
+
+def format_hierarchy(rows: Sequence[TaskClassification]) -> str:
+    """Render the hierarchy as the table E-T10's bench prints."""
+    header = (
+        f"{'task':28} {'class':>6} {'exact':>6}  "
+        f"{'weakest detector':24} lower-bound evidence"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.task_name:28} {row.level:>6} "
+            f"{'yes' if row.exact else 'no':>6}  "
+            f"{row.weakest_detector:24} {row.lower.kind}: {row.lower.detail}"
+        )
+    return "\n".join(lines)

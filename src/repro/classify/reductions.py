@@ -1,0 +1,67 @@
+"""Lemma 11's reduction, executable: a strong-2-renaming solver yields a
+2-process consensus solver.
+
+The proof: among >= 3 potential participants, two processes decide name
+``1`` in their solo runs (pigeonhole).  Those two solve consensus by
+publishing their inputs, renaming, and deciding their own input on name
+``1`` and the other's input otherwise — if a process does *not* get
+name 1, the solo-name-1 peer must be participating and has already
+published its input.
+
+Since no register-only 2-concurrent strong-2-renaming solver exists
+(that is Lemma 11), the tests drive this transformer with the
+compare-and-swap stand-in (every process's solo run yields name 1
+there), and exhaustively verify the resulting consensus protocol —
+demonstrating that the reduction itself is sound, which is the half of
+the proof that is an algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.process import ProcessContext
+from ..runtime import ops
+
+PUBLISH_PREFIX = "l11/inp/"
+
+
+def consensus_from_strong_2_renaming(
+    renaming_factory: Callable, partner: dict[int, int]
+):
+    """Build a consensus automaton factory from a renaming solver.
+
+    Args:
+        renaming_factory: the (presumed) strong-2-renaming solver; its
+            decisions are names in {1, 2}.
+        partner: maps each process index to its counterpart's index (the
+            two processes chosen by the pigeonhole).
+    """
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        yield ops.Write(f"{PUBLISH_PREFIX}{me}", ctx.input_value)
+        inner = renaming_factory(ctx)
+        name = None
+        try:
+            pending = next(inner)
+            while True:
+                if isinstance(pending, ops.Decide):
+                    name = pending.value
+                    break
+                result = yield pending
+                pending = inner.send(result)
+        except StopIteration:
+            raise RuntimeError("renaming solver halted without a name")
+        if name == 1:
+            yield ops.Decide(ctx.input_value)
+            return
+        other = partner[me]
+        value = yield ops.Read(f"{PUBLISH_PREFIX}{other}")
+        if value is None:
+            raise RuntimeError(
+                "name 1 was taken, so the partner must have published"
+            )
+        yield ops.Decide(value)
+
+    return factory

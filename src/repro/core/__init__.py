@@ -1,0 +1,38 @@
+"""The EFD model core: processes, failures, histories, tasks, systems, runs."""
+
+from .adversary import Adversary
+from .failures import Environment, FailurePattern
+from .process import (
+    ProcessContext,
+    ProcessId,
+    ProcessKind,
+    c_process,
+    c_processes,
+    s_process,
+    s_processes,
+)
+from .run import RunResult
+from .system import System, input_register, null_automaton
+from .task import EnumeratedTask, Task, Vector, is_prefix, participants
+
+__all__ = [
+    "Adversary",
+    "Environment",
+    "FailurePattern",
+    "ProcessContext",
+    "ProcessId",
+    "ProcessKind",
+    "c_process",
+    "c_processes",
+    "s_process",
+    "s_processes",
+    "RunResult",
+    "System",
+    "input_register",
+    "null_automaton",
+    "EnumeratedTask",
+    "Task",
+    "Vector",
+    "is_prefix",
+    "participants",
+]

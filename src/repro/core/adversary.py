@@ -1,0 +1,149 @@
+"""Adversaries over S-process failures (the paper's concluding
+extension: "what is the weakest failure detector to solve a task T in
+the presence of an adversary A?" [13]).
+
+Following Delporte-Gallet et al. [13], an *adversary* is a non-empty
+collection of allowed *live sets* — the sets of S-processes that may be
+exactly the correct ones in a run.  An adversary induces an
+environment (the failure patterns whose correct set it allows), which
+plugs directly into this library's systems and detectors; the
+environment-quantified results (Propositions 6, Theorems 9/10) then
+make sense verbatim "in the presence of A", which is how the test suite
+exercises the extension.
+
+Utilities:
+
+* standard adversaries — wait-free, t-resilient, superset-closed
+  closures, and arbitrary custom collections;
+* :meth:`Adversary.is_superset_closed` — the structural property under
+  which adversaries are characterized by their minimal *cores*;
+* :meth:`Adversary.cores` / :meth:`Adversary.min_core_size` — the
+  hitting-set data that the L-resilience line of work [19] relates to
+  wait-freedom.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..errors import SpecificationError
+from .failures import Environment, FailurePattern
+
+LiveSet = frozenset[int]
+
+
+class Adversary:
+    """A set of allowed live (correct) sets over ``n`` S-processes."""
+
+    def __init__(
+        self, n: int, live_sets: Iterable[Iterable[int]], name: str = "custom"
+    ) -> None:
+        self.n = n
+        self.name = name
+        sets = {frozenset(s) for s in live_sets}
+        if not sets:
+            raise SpecificationError("an adversary needs a live set")
+        for s in sets:
+            if not s:
+                raise SpecificationError(
+                    "live sets must be non-empty (someone must be correct)"
+                )
+            if not s <= frozenset(range(n)):
+                raise SpecificationError(f"live set {set(s)} out of range")
+        self.live_sets: frozenset[LiveSet] = frozenset(sets)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def wait_free(cls, n: int) -> "Adversary":
+        """Any non-empty set may be the correct set (E_{n-1})."""
+        universe = range(n)
+        sets = [
+            frozenset(c)
+            for size in range(1, n + 1)
+            for c in itertools.combinations(universe, size)
+        ]
+        return cls(n, sets, name="wait-free")
+
+    @classmethod
+    def t_resilient(cls, n: int, t: int) -> "Adversary":
+        """At most ``t`` failures: live sets of size >= n - t."""
+        if not 0 <= t < n:
+            raise SpecificationError(f"need 0 <= t < n, got t={t}")
+        universe = range(n)
+        sets = [
+            frozenset(c)
+            for size in range(n - t, n + 1)
+            for c in itertools.combinations(universe, size)
+        ]
+        return cls(n, sets, name=f"{t}-resilient")
+
+    @classmethod
+    def superset_closure(
+        cls, n: int, cores: Iterable[Iterable[int]], name: str = "closure"
+    ) -> "Adversary":
+        """The smallest superset-closed adversary containing ``cores``."""
+        base = [frozenset(c) for c in cores]
+        universe = frozenset(range(n))
+        sets = set()
+        for core in base:
+            rest = sorted(universe - core)
+            for size in range(len(rest) + 1):
+                for extra in itertools.combinations(rest, size):
+                    sets.add(core | frozenset(extra))
+        return cls(n, sets, name=name)
+
+    # -- structure -------------------------------------------------------
+
+    def allows(self, live: Iterable[int]) -> bool:
+        return frozenset(live) in self.live_sets
+
+    def is_superset_closed(self) -> bool:
+        universe = frozenset(range(self.n))
+        for s in self.live_sets:
+            for extra in universe - s:
+                if s | {extra} not in self.live_sets:
+                    return False
+        return True
+
+    def cores(self) -> frozenset[LiveSet]:
+        """Minimal live sets (inclusion-wise)."""
+        return frozenset(
+            s
+            for s in self.live_sets
+            if not any(other < s for other in self.live_sets)
+        )
+
+    def min_core_size(self) -> int:
+        return min(len(core) for core in self.cores())
+
+    # -- integration ---------------------------------------------------------
+
+    def environment(self) -> Environment:
+        """The induced environment: patterns whose correct set the
+        adversary allows."""
+        return Environment(
+            self.n,
+            lambda pattern: pattern.correct in self.live_sets,
+            description=f"adversary:{self.name}",
+        )
+
+    def sample_patterns(
+        self, *, crash_times: tuple[int, ...] = (0, 5)
+    ) -> Iterable[FailurePattern]:
+        """One pattern per live set per crash time (faulty processes all
+        crash at the given time)."""
+        universe = frozenset(range(self.n))
+        for live in sorted(self.live_sets, key=sorted):
+            faulty = sorted(universe - live)
+            if not faulty:
+                yield FailurePattern.all_correct(self.n)
+                continue
+            for time in crash_times:
+                yield FailurePattern.crash(
+                    self.n, {q: time for q in faulty}
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Adversary({self.name}, n={self.n}, |A|={len(self.live_sets)})"

@@ -1,0 +1,165 @@
+"""Failure patterns and environments (paper Section 2.1).
+
+Only S-processes fail.  A *failure pattern* ``F`` maps each time
+``t in T = N`` to the set of S-processes that have crashed by ``t``;
+crashes are permanent (``F(t) ⊆ F(t+1)``).  An *environment* is a set of
+allowed failure patterns; ``E_t`` consists of the patterns with at least
+``n - t`` correct processes.
+
+We represent a pattern compactly by the crash time of each S-process
+(``None`` for a correct process), which forces monotonicity by
+construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """Crash times for a system of ``n`` S-processes.
+
+    Attributes:
+        n: number of S-processes.
+        crash_times: ``crash_times[i]`` is the time at which S-process
+            ``i`` crashes, or ``None`` if it is correct.  A process that
+            crashes at time ``t`` takes no steps at any time ``>= t``.
+    """
+
+    n: int
+    crash_times: tuple[int | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.crash_times) != self.n:
+            raise SpecificationError(
+                f"expected {self.n} crash times, got {len(self.crash_times)}"
+            )
+        for i, t in enumerate(self.crash_times):
+            if t is not None and t < 0:
+                raise SpecificationError(f"crash time of q{i + 1} is negative: {t}")
+        if not self.correct:
+            raise SpecificationError(
+                "every failure pattern must have at least one correct S-process"
+            )
+
+    @classmethod
+    def all_correct(cls, n: int) -> "FailurePattern":
+        """The failure-free pattern."""
+        return cls(n, (None,) * n)
+
+    @classmethod
+    def crash(cls, n: int, crashes: Mapping[int, int]) -> "FailurePattern":
+        """Pattern in which ``crashes[i]`` gives the crash time of ``qi+1``."""
+        times: list[int | None] = [None] * n
+        for index, time in crashes.items():
+            if not 0 <= index < n:
+                raise SpecificationError(f"S-process index {index} out of range")
+            times[index] = time
+        return cls(n, tuple(times))
+
+    @property
+    def faulty(self) -> frozenset[int]:
+        """Indices of S-processes that crash at some time (``faulty(F)``)."""
+        return frozenset(
+            i for i, t in enumerate(self.crash_times) if t is not None
+        )
+
+    @property
+    def correct(self) -> frozenset[int]:
+        """Indices of S-processes that never crash (``correct(F)``)."""
+        return frozenset(i for i, t in enumerate(self.crash_times) if t is None)
+
+    def crashed_at(self, time: int) -> frozenset[int]:
+        """``F(time)``: the set of S-processes crashed by ``time``."""
+        return frozenset(
+            i
+            for i, t in enumerate(self.crash_times)
+            if t is not None and t <= time
+        )
+
+    def is_alive(self, index: int, time: int) -> bool:
+        """Whether S-process ``index`` may take a step at ``time``."""
+        t = self.crash_times[index]
+        return t is None or time < t
+
+    def max_crash_time(self) -> int:
+        """Latest crash time in the pattern (0 if failure-free)."""
+        return max((t for t in self.crash_times if t is not None), default=0)
+
+
+class Environment:
+    """A set of failure patterns, given as a membership predicate.
+
+    The paper's ``E_t`` (at most ``t`` faulty processes) is available via
+    :meth:`at_most`; :meth:`wait_free` is ``E_{n-1}``.
+    """
+
+    def __init__(self, n: int, allows, description: str = "custom") -> None:
+        self.n = n
+        self._allows = allows
+        self.description = description
+
+    def __contains__(self, pattern: FailurePattern) -> bool:
+        if pattern.n != self.n:
+            return False
+        return bool(self._allows(pattern))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Environment(n={self.n}, {self.description})"
+
+    @classmethod
+    def at_most(cls, n: int, t: int) -> "Environment":
+        """``E_t``: all patterns with at least ``n - t`` correct processes."""
+        return cls(
+            n,
+            lambda pattern: len(pattern.faulty) <= t,
+            description=f"E_{t}",
+        )
+
+    @classmethod
+    def wait_free(cls, n: int) -> "Environment":
+        """``E_{n-1}``: any number of failures short of all."""
+        return cls.at_most(n, n - 1)
+
+    @classmethod
+    def failure_free(cls, n: int) -> "Environment":
+        """``E_0``: no failures at all."""
+        return cls.at_most(n, 0)
+
+    def sample_patterns(
+        self,
+        *,
+        crash_times: Sequence[int] = (0, 1, 5),
+        max_faulty: int | None = None,
+    ) -> Iterator[FailurePattern]:
+        """Enumerate a representative family of allowed patterns.
+
+        Yields the failure-free pattern plus, for every non-empty faulty
+        set of size up to ``max_faulty`` (default ``n - 1``), every
+        assignment of the given crash times — filtered through the
+        environment's predicate.  Intended for test sweeps, not for
+        exhaustiveness over the (infinite) pattern space.
+        """
+        limit = self.n - 1 if max_faulty is None else max_faulty
+        yield from self._sample(crash_times, limit)
+
+    def _sample(
+        self, crash_times: Sequence[int], limit: int
+    ) -> Iterator[FailurePattern]:
+        free = FailurePattern.all_correct(self.n)
+        if free in self:
+            yield free
+        indices = range(self.n)
+        for size in range(1, limit + 1):
+            for faulty in itertools.combinations(indices, size):
+                for times in itertools.product(crash_times, repeat=size):
+                    pattern = FailurePattern.crash(
+                        self.n, dict(zip(faulty, times))
+                    )
+                    if pattern in self:
+                        yield pattern

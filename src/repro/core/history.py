@@ -1,0 +1,57 @@
+"""Failure-detector histories (paper Section 2.1).
+
+A history ``H`` with range ``R`` maps ``(S-process, time)`` to a value in
+``R``; ``H(q, t)`` is what the detector module of ``q`` outputs at time
+``t``.  Detectors map a failure pattern to a *set* of histories; our
+executable detectors pick one history per (pattern, seed) pair — see
+:mod:`repro.detectors.base`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+
+class History(Protocol):
+    """Minimal interface the executor needs from a history."""
+
+    def value(self, s_index: int, time: int) -> Any:
+        """``H(q_{s_index+1}, time)``."""
+
+
+class FunctionHistory:
+    """A history backed by an arbitrary function of (process, time)."""
+
+    def __init__(self, fn: Callable[[int, int], Any]) -> None:
+        self._fn = fn
+
+    def value(self, s_index: int, time: int) -> Any:
+        return self._fn(s_index, time)
+
+
+class ConstantHistory:
+    """A history that outputs the same value everywhere (e.g. trivial D)."""
+
+    def __init__(self, constant: Any = None) -> None:
+        self._constant = constant
+
+    def value(self, s_index: int, time: int) -> Any:
+        return self._constant
+
+
+class RecordedHistory:
+    """A finite, explicitly tabulated history (used by tests and by the
+    DAG machinery of Figure 1, which replays recorded samples).
+
+    Missing entries fall back to ``default``.
+    """
+
+    def __init__(self, table: dict[tuple[int, int], Any], default: Any = None):
+        self._table = dict(table)
+        self._default = default
+
+    def value(self, s_index: int, time: int) -> Any:
+        return self._table.get((s_index, time), self._default)
+
+    def record(self, s_index: int, time: int, value: Any) -> None:
+        self._table[(s_index, time)] = value

@@ -1,0 +1,99 @@
+"""Run results and task satisfaction (paper Section 2.2).
+
+A run's *input vector* has ``I[i]`` equal to ``p_{i+1}``'s input if it
+participated and bottom otherwise; its *output vector* has ``O[i]`` equal
+to the decided value or bottom.  A run satisfies task ``T`` when
+``(I, O)`` is in Delta and every undecided process took finitely many
+steps — in a bounded execution the latter clause is replaced by the
+executor's explicit liveness accounting (see ``reason``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import LivenessViolation
+from .failures import FailurePattern
+from .process import ProcessId
+from .task import Task, Vector
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> runtime cycle
+    from ..memory.registers import RegisterFile
+    from ..runtime.trace import Trace
+
+
+@dataclass
+class RunResult:
+    """Outcome of one bounded execution.
+
+    Attributes:
+        inputs: the run's input vector (bottom for non-participants).
+        outputs: the run's output vector (bottom for undecided).
+        participants: indices of C-processes that took at least one step.
+        steps: total number of steps executed.
+        step_counts: steps per process id.
+        reason: why the execution stopped — ``"all_decided"``,
+            ``"budget"`` (step budget exhausted), ``"predicate"`` (the
+            caller's stop condition fired), or ``"halted"`` (no
+            schedulable process remained).
+        pattern: the failure pattern of the run.
+        memory: the final shared-memory state.
+        trace: the recorded trace, if tracing was enabled.
+    """
+
+    inputs: Vector
+    outputs: Vector
+    participants: frozenset[int]
+    steps: int
+    step_counts: dict[ProcessId, int]
+    reason: str
+    pattern: FailurePattern
+    memory: RegisterFile
+    trace: Trace | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def decided(self) -> dict[int, Any]:
+        """Mapping from decided C-process index to its output value."""
+        return {
+            i: v for i, v in enumerate(self.outputs) if v is not None
+        }
+
+    @property
+    def all_participants_decided(self) -> bool:
+        return self.participants <= frozenset(self.decided)
+
+    def effective_inputs(self) -> Vector:
+        """The paper's input vector: inputs restricted to participants."""
+        return tuple(
+            v if i in self.participants else None
+            for i, v in enumerate(self.inputs)
+        )
+
+    def satisfies(self, task: Task) -> bool:
+        """Whether ``(I, O)`` is in the task relation (safety only)."""
+        return task.allows(self.effective_inputs(), self.outputs)
+
+    def require_satisfies(self, task: Task) -> "RunResult":
+        """Assert safety; raise :class:`SafetyViolation` otherwise."""
+        from ..errors import SafetyViolation
+
+        if not self.satisfies(task):
+            raise SafetyViolation(
+                f"run violates {task!r}: inputs={self.effective_inputs()} "
+                f"outputs={self.outputs}"
+            )
+        return self
+
+    def require_all_decided(self) -> "RunResult":
+        """Assert the wait-freedom obligation for this bounded run: every
+        participant decided before the budget ran out."""
+        if not self.all_participants_decided:
+            missing = sorted(self.participants - frozenset(self.decided))
+            raise LivenessViolation(
+                f"C-processes {missing} participated but never decided "
+                f"(stop reason: {self.reason}, steps: {self.steps})",
+                result=self,
+            )
+        return self

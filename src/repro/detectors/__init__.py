@@ -1,0 +1,19 @@
+"""Failure detectors of the paper and the standard toolbox."""
+
+from .anti_omega import AntiOmegaK
+from .base import FailureDetector, StabilizingHistory
+from .omega import Omega
+from .perfect import EventuallyPerfectDetector, PerfectDetector
+from .trivial import TrivialDetector
+from .vector_omega import VectorOmegaK
+
+__all__ = [
+    "AntiOmegaK",
+    "FailureDetector",
+    "StabilizingHistory",
+    "Omega",
+    "EventuallyPerfectDetector",
+    "PerfectDetector",
+    "TrivialDetector",
+    "VectorOmegaK",
+]

@@ -1,0 +1,109 @@
+"""Failure-detector abstraction (paper Section 2.1, following [10]).
+
+A failure detector ``D`` maps each failure pattern ``F`` to a non-empty
+set of histories ``D(F)``.  Executable detectors here expose
+:meth:`FailureDetector.build_history`, which deterministically selects
+one history from ``D(F)`` given a seeded RNG — so a (pattern, seed) pair
+fully determines a run, which the deterministic replay machinery
+(Figure 1's DAGs, the model checker) depends on.
+
+"Eventual" guarantees are finitized with an explicit
+``stabilization_time``: before it the history may output adversarial
+noise (still within the detector's range); from it on, the history is
+converged.  Algorithms never read the stabilization time; tests sweep it
+to confirm nothing depends on its value.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from ..core.failures import FailurePattern
+from ..core.history import History
+from ..errors import SpecificationError
+
+
+def _derived_rng(base_seed: int, s_index: int, time: int) -> random.Random:
+    """A deterministic RNG for one (process, time) history cell."""
+    return random.Random((base_seed * 1_000_003 + s_index) * 1_000_003 + time)
+
+
+class FailureDetector(ABC):
+    """Base class of all detectors."""
+
+    #: Short name used in reports (e.g. ``"Omega"``, ``"anti-Omega-2"``).
+    name: str = "detector"
+
+    @abstractmethod
+    def build_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> History:
+        """Select one history from ``D(pattern)``, seeded by ``rng``."""
+
+    @abstractmethod
+    def check_history(
+        self,
+        pattern: FailurePattern,
+        history: History,
+        *,
+        horizon: int,
+        stabilized_from: int,
+    ) -> bool:
+        """Finitized validity check: does ``history`` look like a member
+        of ``D(pattern)`` when observed on ``[0, horizon)`` with the
+        eventual clause required to hold from ``stabilized_from`` on?
+
+        Used both to self-check our own detectors and to validate the
+        *emulated* histories produced by reduction algorithms (the
+        Theorem 8 extraction)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class StabilizingHistory:
+    """History that outputs seeded noise before ``stabilization_time`` and
+    a converged value from it on.
+
+    Args:
+        stable: maps ``s_index`` to the converged output.
+        noise: maps ``(s_index, time, rng)`` to a pre-convergence output;
+            must stay within the detector's range.
+        stabilization_time: the switch-over time.
+        base_seed: determinism seed for the noise.
+    """
+
+    def __init__(
+        self,
+        *,
+        stable: Callable[[int], Any],
+        noise: Callable[[int, int, random.Random], Any],
+        stabilization_time: int,
+        base_seed: int,
+    ) -> None:
+        self._stable = stable
+        self._noise = noise
+        self.stabilization_time = stabilization_time
+        self._base_seed = base_seed
+        self._cache: dict[tuple[int, int], Any] = {}
+
+    def value(self, s_index: int, time: int) -> Any:
+        key = (s_index, time)
+        if key not in self._cache:
+            if time >= self.stabilization_time:
+                self._cache[key] = self._stable(s_index)
+            else:
+                self._cache[key] = self._noise(
+                    s_index, time, _derived_rng(self._base_seed, s_index, time)
+                )
+        return self._cache[key]
+
+
+def choose_correct(pattern: FailurePattern, rng: random.Random) -> int:
+    """Pick one correct S-process (deterministically under the rng)."""
+    correct = sorted(pattern.correct)
+    if not correct:
+        raise SpecificationError("failure pattern has no correct process")
+    return rng.choice(correct)

@@ -1,0 +1,143 @@
+"""Failure-detector sample DAGs (Chandra-Hadzilacos-Toueg style [9],
+as used by the paper's Figure 1 and by [28, 18]).
+
+A DAG records samples of a detector's output in some run: vertex
+``[q, d, c]`` says the c-th query by S-process ``q`` returned ``d``;
+edges capture causal precedence between queries.  Figure 1's simulated
+S-processes consume the DAG instead of the live detector: a simulated
+query succeeds only if the DAG still has a vertex for that process
+causally after everything the simulation used so far — otherwise the
+simulated process is *stuck* (the paper: the simulation "succeeds to
+take a step for qi if there are enough values for qi in G").
+
+We build DAGs by sampling a detector history along a concrete schedule,
+which yields the common special case of a causal *chain* (each query
+happens-after all previous ones); a chain is a legal DAG and keeps the
+stuck-test simple: a query is served by the next unconsumed vertex of
+that process beyond the caller's frontier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.failures import FailurePattern
+from ..runtime.simulated import STUCK
+
+
+@dataclass(frozen=True)
+class DagVertex:
+    """One recorded detector sample."""
+
+    s_index: int
+    value: Any
+    query_index: int  # c-th query of this process (0-based)
+    position: int  # global causal position
+
+
+class SampleDAG:
+    """A causal chain of detector samples."""
+
+    def __init__(self, n: int, vertices: list[DagVertex]) -> None:
+        self.n = n
+        self.vertices = list(vertices)
+        self._by_process: dict[int, list[DagVertex]] = {
+            q: [] for q in range(n)
+        }
+        for vertex in self.vertices:
+            self._by_process[vertex.s_index].append(vertex)
+
+    @classmethod
+    def sample(
+        cls,
+        detector,
+        pattern: FailurePattern,
+        *,
+        rounds: int,
+        seed: int = 0,
+        start_time: int = 0,
+        time_stride: int = 1,
+    ) -> "SampleDAG":
+        """Record ``rounds`` round-robin query rounds of ``detector``
+        under ``pattern`` (crashed processes stop contributing)."""
+        history = detector.build_history(pattern, random.Random(seed))
+        vertices: list[DagVertex] = []
+        counts = {q: 0 for q in range(pattern.n)}
+        time = start_time
+        position = 0
+        for _ in range(rounds):
+            for q in range(pattern.n):
+                if pattern.is_alive(q, time):
+                    vertices.append(
+                        DagVertex(
+                            s_index=q,
+                            value=history.value(q, time),
+                            query_index=counts[q],
+                            position=position,
+                        )
+                    )
+                    counts[q] += 1
+                    position += 1
+                time += time_stride
+        return cls(pattern.n, vertices)
+
+    def samples_of(self, q: int) -> list[DagVertex]:
+        return list(self._by_process[q])
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def fd_source(self) -> Callable[[int, int], Any]:
+        """A fresh per-run resolver for simulated detector queries.
+
+        Serves the next vertex of the queried process whose global
+        position lies beyond the run's causal frontier (which every
+        served query advances); returns
+        :data:`~repro.runtime.simulated.STUCK` when the DAG is
+        exhausted for that process.  The frontier models "causally
+        succeeding the latest simulated steps seen so far".
+        """
+        frontier = -1
+        cursors = {q: 0 for q in range(self.n)}
+
+        def source(s_index: int, query_count: int) -> Any:
+            nonlocal frontier
+            samples = self._by_process[s_index]
+            cursor = cursors[s_index]
+            while cursor < len(samples) and (
+                samples[cursor].position <= frontier
+                or samples[cursor].query_index < query_count
+            ):
+                cursor += 1
+            cursors[s_index] = cursor
+            if cursor >= len(samples):
+                return STUCK
+            vertex = samples[cursor]
+            cursors[s_index] = cursor + 1
+            frontier = max(frontier, vertex.position)
+            return vertex.value
+
+        return source
+
+
+def merge_chains(n: int, *dags: SampleDAG) -> SampleDAG:
+    """Concatenate sample chains (used when S-processes pool the samples
+    they exchanged through shared memory)."""
+    vertices: list[DagVertex] = []
+    position = 0
+    counts = {q: 0 for q in range(n)}
+    for dag in dags:
+        for vertex in dag.vertices:
+            vertices.append(
+                DagVertex(
+                    s_index=vertex.s_index,
+                    value=vertex.value,
+                    query_index=counts[vertex.s_index],
+                    position=position,
+                )
+            )
+            counts[vertex.s_index] += 1
+            position += 1
+    return SampleDAG(n, vertices)

@@ -1,0 +1,74 @@
+"""The eventual-leader detector Omega [9].
+
+Omega outputs one S-process id at each process and time; eventually the
+same correct process is permanently output everywhere.  Omega is
+equivalent to anti-Omega-1 (see :mod:`repro.detectors.reductions`) and,
+by Corollary 13, is the weakest detector for strong renaming in EFD.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.failures import FailurePattern
+from ..core.history import History
+from .base import FailureDetector, StabilizingHistory, choose_correct
+
+
+class Omega(FailureDetector):
+    """Eventual leader election.
+
+    Args:
+        stabilization_time: time from which the history is converged.
+        leader: force the eventual leader (must be correct in the
+            pattern); by default one is chosen seeded-randomly among the
+            correct processes.
+    """
+
+    def __init__(
+        self, *, stabilization_time: int = 0, leader: int | None = None
+    ) -> None:
+        self.stabilization_time = stabilization_time
+        self.leader = leader
+        self.name = "Omega"
+
+    def build_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> History:
+        leader = self.leader
+        if leader is None:
+            leader = choose_correct(pattern, rng)
+        elif leader not in pattern.correct:
+            raise ValueError(
+                f"forced leader q{leader + 1} is faulty in the pattern"
+            )
+        n = pattern.n
+        return StabilizingHistory(
+            stable=lambda q: leader,
+            noise=lambda q, t, cell_rng: cell_rng.randrange(n),
+            stabilization_time=self.stabilization_time,
+            base_seed=rng.randrange(2**31),
+        )
+
+    def check_history(
+        self,
+        pattern: FailurePattern,
+        history: History,
+        *,
+        horizon: int,
+        stabilized_from: int,
+    ) -> bool:
+        """From ``stabilized_from`` on, all correct processes must output
+        the same correct leader, and every output must be a process id."""
+        n = pattern.n
+        for q in range(n):
+            for t in range(horizon):
+                v = history.value(q, t)
+                if not isinstance(v, int) or not 0 <= v < n:
+                    return False
+        leaders = {
+            history.value(q, t)
+            for q in pattern.correct
+            for t in range(stabilized_from, horizon)
+        }
+        return len(leaders) == 1 and next(iter(leaders)) in pattern.correct

@@ -1,0 +1,100 @@
+"""The perfect (P) and eventually-perfect (diamond-P) detectors [10].
+
+Not used by the paper's constructions directly, but part of the standard
+failure-detector toolbox; the comparison tests use them as reference
+points (P is stronger than Omega in every environment, etc.).
+Outputs are frozensets of *suspected* S-process indices.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.failures import FailurePattern
+from ..core.history import History
+from .base import FailureDetector, StabilizingHistory
+
+
+class PerfectDetector(FailureDetector):
+    """P: strong completeness + strong accuracy.
+
+    Our finitized rendering suspects exactly the processes crashed at the
+    query time, which satisfies both properties.
+    """
+
+    name = "P"
+
+    def build_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> History:
+        class _History:
+            def value(self, s_index: int, time: int) -> frozenset[int]:
+                return pattern.crashed_at(time)
+
+        return _History()
+
+    def check_history(
+        self,
+        pattern: FailurePattern,
+        history: History,
+        *,
+        horizon: int,
+        stabilized_from: int,
+    ) -> bool:
+        for q in pattern.correct:
+            for t in range(horizon):
+                suspected = history.value(q, t)
+                # Accuracy: never suspect a process before it crashed.
+                if not suspected <= pattern.crashed_at(t):
+                    return False
+        # Completeness (finitized): by the stabilization point, every
+        # faulty process that crashed early is suspected everywhere.
+        crashed_early = pattern.crashed_at(stabilized_from)
+        for q in pattern.correct:
+            for t in range(stabilized_from, horizon):
+                if not crashed_early <= history.value(q, t):
+                    return False
+        return True
+
+
+class EventuallyPerfectDetector(FailureDetector):
+    """diamond-P: eventually suspects exactly the faulty processes.
+
+    Before ``stabilization_time`` it may suspect arbitrary subsets.
+    """
+
+    def __init__(self, *, stabilization_time: int = 0) -> None:
+        self.stabilization_time = stabilization_time
+        self.name = "diamond-P"
+
+    def build_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> History:
+        n = pattern.n
+        faulty = pattern.faulty
+
+        def noise(q: int, t: int, cell_rng: random.Random) -> frozenset[int]:
+            return frozenset(
+                i for i in range(n) if cell_rng.random() < 0.3
+            )
+
+        return StabilizingHistory(
+            stable=lambda q: faulty,
+            noise=noise,
+            stabilization_time=self.stabilization_time,
+            base_seed=rng.randrange(2**31),
+        )
+
+    def check_history(
+        self,
+        pattern: FailurePattern,
+        history: History,
+        *,
+        horizon: int,
+        stabilized_from: int,
+    ) -> bool:
+        for q in pattern.correct:
+            for t in range(stabilized_from, horizon):
+                if history.value(q, t) != pattern.faulty:
+                    return False
+        return True

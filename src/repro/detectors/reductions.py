@@ -1,0 +1,166 @@
+"""Executable failure-detector reductions.
+
+The paper (following [28], [9]) uses several detector equivalences:
+
+* ``Omega  ==  anti-Omega-1`` (Section 2.3): with ``k = 1`` the
+  anti-Omega output is an all-but-one set, so the excluded process is a
+  stable leader, and conversely "everybody except the leader" is a valid
+  anti-Omega-1 output.
+* ``anti-Omega-k`` is emulated from ``vecOmega-k``: output ``n - k``
+  processes disjoint from the vector — the stably-pinned correct process
+  is always in the vector, hence eventually never output.
+* ``vecOmega-x`` from ``vecOmega-k`` for ``x >= k``: pad the vector;
+  the stable position survives.  (Used by Theorem 7's downward
+  induction, where weaker and weaker detectors suffice.)
+
+The converse direction ``vecOmega-k`` from ``anti-Omega-k`` is
+Zielinski's construction [28] and is far more involved; this library
+treats the two as interchangeable by *specification* (both detectors are
+provided natively) and implements the easy emulations above, each in two
+forms: a pure history transformer (for direct validity checking) and an
+S-process automaton that maintains the emulated output in shared memory
+(``red/out/<i>``), which is the paper's official notion of reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.history import History
+from ..core.process import ProcessContext
+from ..errors import SpecificationError
+from ..runtime import ops
+
+EMULATED_OUTPUT_PREFIX = "red/out/"
+
+
+class _TransformedHistory:
+    def __init__(self, inner: History, transform) -> None:
+        self._inner = inner
+        self._transform = transform
+
+    def value(self, s_index: int, time: int) -> Any:
+        return self._transform(self._inner.value(s_index, time))
+
+
+def anti_omega_1_from_omega(history: History, n: int) -> History:
+    """``anti-Omega-1`` history from an ``Omega`` history: output all
+    processes except the current leader."""
+
+    def transform(leader: int) -> frozenset[int]:
+        return frozenset(q for q in range(n) if q != leader)
+
+    return _TransformedHistory(history, transform)
+
+
+def omega_from_anti_omega_1(history: History, n: int) -> History:
+    """``Omega`` history from an ``anti-Omega-1`` history: the leader is
+    the unique process missing from the (n-1)-sized output."""
+
+    def transform(output: frozenset[int]) -> int:
+        missing = set(range(n)) - set(output)
+        if len(missing) != 1:
+            raise SpecificationError(
+                f"anti-Omega-1 output must exclude exactly one process, "
+                f"got {output}"
+            )
+        return missing.pop()
+
+    return _TransformedHistory(history, transform)
+
+
+def anti_omega_k_from_vector(history: History, n: int, k: int) -> History:
+    """``anti-Omega-k`` from ``vecOmega-k``: output ``n - k`` processes
+    disjoint from the vector (topping up deterministically if the vector
+    has repeats)."""
+
+    def transform(vector: tuple[int, ...]) -> frozenset[int]:
+        named = set(vector)
+        pool = [q for q in range(n) if q not in named]
+        pool += sorted(named)
+        return frozenset(pool[: n - k])
+
+    return _TransformedHistory(history, transform)
+
+
+def pad_vector(history: History, x: int) -> History:
+    """``vecOmega-x`` from ``vecOmega-k`` for ``x >= k``: repeat entries
+    to length ``x`` (the stable position keeps its index)."""
+
+    def transform(vector) -> tuple[int, ...]:
+        base = vector if isinstance(vector, tuple) else (vector,)
+        if x < len(base):
+            raise SpecificationError(
+                f"cannot pad a {len(base)}-vector down to {x}"
+            )
+        out = list(base)
+        while len(out) < x:
+            out.append(base[-1])
+        return tuple(out)
+
+    return _TransformedHistory(history, transform)
+
+
+def emulation_s_factory(transform, *, n: int):
+    """S-process automaton of a reduction algorithm: repeatedly query the
+    native detector and publish the transformed value as the emulated
+    detector's output (``D'-output_i`` in the paper's Section 2.2)."""
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        while True:
+            value = yield ops.QueryFD()
+            yield ops.Write(f"{EMULATED_OUTPUT_PREFIX}{me}", transform(value))
+
+    return factory
+
+
+def omega_to_anti1_factory(n: int):
+    """Reduction automaton: Omega -> anti-Omega-1."""
+    return emulation_s_factory(
+        lambda leader: frozenset(q for q in range(n) if q != leader), n=n
+    )
+
+
+def vector_to_anti_factory(n: int, k: int):
+    """Reduction automaton: vecOmega-k -> anti-Omega-k."""
+
+    def transform(vector):
+        base = vector if isinstance(vector, tuple) else (vector,)
+        named = set(base)
+        pool = [q for q in range(n) if q not in named]
+        pool += sorted(named)
+        return frozenset(pool[: n - k])
+
+    return emulation_s_factory(transform, n=n)
+
+
+def weaken_anti_omega(history: History, n: int, k: int) -> History:
+    """``anti-Omega-(k+1)`` from ``anti-Omega-k`` — the hierarchy is a
+    chain: dropping one (deterministically, the largest) id from each
+    output shrinks it to size ``n - k - 1`` and cannot re-introduce the
+    eventually-never-output process."""
+
+    def transform(output: frozenset[int]) -> frozenset[int]:
+        if len(output) != n - k:
+            raise SpecificationError(
+                f"expected an (n-k)={n - k} sized output, got {output}"
+            )
+        return frozenset(sorted(output)[: n - k - 1])
+
+    return _TransformedHistory(history, transform)
+
+
+def omega_from_perfect(history: History, n: int) -> History:
+    """``Omega`` from the perfect detector ``P``: lead with the smallest
+    unsuspected process.  Once every crashed process is permanently
+    suspected (P's completeness) the choice stabilizes on the smallest
+    correct process; accuracy keeps it correct throughout."""
+
+    def transform(suspected: frozenset[int]) -> int:
+        alive = [q for q in range(n) if q not in suspected]
+        if not alive:
+            raise SpecificationError("P suspects everybody")
+        return min(alive)
+
+    return _TransformedHistory(history, transform)

@@ -1,0 +1,39 @@
+"""The trivial failure detector: always outputs bottom (footnote 5).
+
+A restricted algorithm (S-processes take null steps) is equivalent to an
+algorithm using the trivial detector; Proposition 2 tests exercise both
+directions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.failures import FailurePattern
+from ..core.history import ConstantHistory, History
+from .base import FailureDetector
+
+
+class TrivialDetector(FailureDetector):
+    """Outputs ``None`` at every process and time."""
+
+    name = "trivial"
+
+    def build_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> History:
+        return ConstantHistory(None)
+
+    def check_history(
+        self,
+        pattern: FailurePattern,
+        history: History,
+        *,
+        horizon: int,
+        stabilized_from: int,
+    ) -> bool:
+        return all(
+            history.value(q, t) is None
+            for q in range(pattern.n)
+            for t in range(horizon)
+        )

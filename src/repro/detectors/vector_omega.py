@@ -1,0 +1,113 @@
+"""The vector-Omega-k detector (Section 4.2, following [28]).
+
+``vecOmega-k`` outputs a k-vector of S-process ids such that eventually
+at least one position stabilizes on the same correct process at all
+correct processes.  It is equivalent to anti-Omega-k [28] (see
+:mod:`repro.detectors.reductions` for the executable reduction) and is
+the form Figure 2's simulation consumes: position ``j`` of the vector is
+the leader used to decide steps of simulated process ``p'_{j+1}``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.failures import FailurePattern
+from ..core.history import History
+from ..errors import SpecificationError
+from .base import FailureDetector, StabilizingHistory, choose_correct
+
+
+class VectorOmegaK(FailureDetector):
+    """vector-Omega-k over ``n`` S-processes.
+
+    Args:
+        n: number of S-processes.
+        k: vector length (1 <= k <= n).
+        stabilization_time: time from which the stable position holds.
+        stable_position: force which position stabilizes (0-based).
+        leader: force the stabilized correct process.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        *,
+        stabilization_time: int = 0,
+        stable_position: int | None = None,
+        leader: int | None = None,
+    ) -> None:
+        if not 1 <= k <= n:
+            raise SpecificationError(f"need 1 <= k <= n, got k={k}, n={n}")
+        self.n = n
+        self.k = k
+        self.stabilization_time = stabilization_time
+        self.stable_position = stable_position
+        self.leader = leader
+        self.name = f"vecOmega-{k}"
+
+    def build_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> History:
+        if pattern.n != self.n:
+            raise SpecificationError(
+                f"detector built for n={self.n}, pattern has n={pattern.n}"
+            )
+        leader = self.leader
+        if leader is None:
+            leader = choose_correct(pattern, rng)
+        elif leader not in pattern.correct:
+            raise SpecificationError(
+                f"forced leader q{leader + 1} is faulty in the pattern"
+            )
+        position = self.stable_position
+        if position is None:
+            position = rng.randrange(self.k)
+        elif not 0 <= position < self.k:
+            raise SpecificationError(f"position {position} out of range")
+        n, k = self.n, self.k
+
+        def noise(q: int, t: int, cell_rng: random.Random) -> tuple[int, ...]:
+            return tuple(cell_rng.randrange(n) for _ in range(k))
+
+        def stable(q: int) -> tuple[int, ...]:
+            # Non-stable positions may output anything; we keep them
+            # deterministic but pointing at (possibly faulty) processes.
+            vec = [(position + 1 + j) % n for j in range(k)]
+            vec[position] = leader
+            return tuple(vec)
+
+        return StabilizingHistory(
+            stable=stable,
+            noise=noise,
+            stabilization_time=self.stabilization_time,
+            base_seed=rng.randrange(2**31),
+        )
+
+    def check_history(
+        self,
+        pattern: FailurePattern,
+        history: History,
+        *,
+        horizon: int,
+        stabilized_from: int,
+    ) -> bool:
+        """Range check everywhere; from ``stabilized_from`` some position
+        must hold the same correct process at all correct processes."""
+        for q in range(pattern.n):
+            for t in range(horizon):
+                v = history.value(q, t)
+                if not isinstance(v, tuple) or len(v) != self.k:
+                    return False
+                if not all(isinstance(i, int) and 0 <= i < self.n for i in v):
+                    return False
+        for position in range(self.k):
+            values = {
+                history.value(q, t)[position]
+                for q in pattern.correct
+                for t in range(stabilized_from, horizon)
+            }
+            if len(values) == 1 and next(iter(values)) in pattern.correct:
+                return True
+        return False

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SpecificationError(ReproError):
+    """A task, environment, or detector specification is malformed."""
+
+
+class ProtocolError(ReproError):
+    """A process automaton violated the step protocol.
+
+    Examples: an S-process issuing a :class:`~repro.runtime.ops.Decide`,
+    a C-process issuing a failure-detector query, or an automaton yielding
+    an object that is not an operation.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced an inadmissible choice.
+
+    Examples: scheduling a crashed S-process, or scheduling a fresh
+    C-process in a k-concurrent run that is already at its concurrency cap.
+    """
+
+
+class LivenessViolation(ReproError):
+    """A bounded execution exhausted its step budget before the required
+    processes decided.
+
+    Finite executions cannot witness true non-termination; this error is
+    the finitized stand-in for "some live participating C-process never
+    decides" and carries the offending run for inspection.
+    """
+
+    def __init__(self, message: str, *, result: object | None = None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
+class SafetyViolation(ReproError):
+    """A run produced an input/output pair outside the task relation."""

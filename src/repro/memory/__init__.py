@@ -1,0 +1,19 @@
+"""Shared-memory objects: the register file and derived objects."""
+
+from .collect import collect_array, collect_registers, write_array_entry
+from .immediate import ImmediateSnapshot, check_immediate_snapshot_views
+from .registers import RegisterFile, apply_operation
+from .snapshot import SnapCell, SnapshotObject, direct_scan
+
+__all__ = [
+    "collect_array",
+    "collect_registers",
+    "write_array_entry",
+    "ImmediateSnapshot",
+    "check_immediate_snapshot_views",
+    "RegisterFile",
+    "apply_operation",
+    "SnapCell",
+    "SnapshotObject",
+    "direct_scan",
+]

@@ -1,0 +1,41 @@
+"""Collect subroutines.
+
+Automata compose subroutines with ``yield from``: a subroutine is a
+generator that yields operations (each costs one scheduled step) and
+*returns* its result, so callers write::
+
+    views = yield from collect_registers(["a/0", "a/1"])
+
+A *collect* reads a family of registers one by one; unlike a snapshot it
+is not atomic, which is exactly the distinction the double-collect
+snapshot algorithm (:mod:`repro.memory.snapshot`) exists to bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..runtime import ops
+
+
+def collect_registers(names: Sequence[str]):
+    """Read each named register once, in order; returns a dict."""
+    view: dict[str, Any] = {}
+    for name in names:
+        view[name] = yield ops.Read(name)
+    return view
+
+
+def collect_array(prefix: str, size: int):
+    """Read ``prefix0 .. prefix{size-1}``; returns a list by index."""
+    view: list[Any] = []
+    for i in range(size):
+        value = yield ops.Read(f"{prefix}{i}")
+        view.append(value)
+    return view
+
+
+def write_array_entry(prefix: str, index: int, value: Any):
+    """Write one slot of an array register family."""
+    yield ops.Write(f"{prefix}{index}", value)
+    return None

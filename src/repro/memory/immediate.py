@@ -1,0 +1,89 @@
+"""One-shot immediate snapshot (Borowsky-Gafni [6]).
+
+The immediate-snapshot object is the combinatorial heart of the BG
+toolbox: each participant writes a value and obtains a *view* (a set of
+(process, value) pairs) such that
+
+* **self-inclusion** — a process's view contains its own value;
+* **containment** — any two views are ordered by inclusion;
+* **immediacy** — if ``j`` is in ``i``'s view then ``j``'s view is
+  contained in ``i``'s.
+
+Views of an n-process immediate snapshot are exactly the vertices of
+the standard chromatic subdivision (:mod:`repro.topology.subdivision`),
+which is why the one-round 2-process protocol complex is the 3-edge
+path — the link the property tests in ``tests/memory`` check
+explicitly.
+
+Implementation: the classic level-descent algorithm.  Every process
+starts at level ``n``; at level ``l`` it publishes ``(l, value)``,
+snapshots all cells, and if exactly ``l`` processes sit at levels
+``<= l`` it returns their values as its view, otherwise it descends to
+``l - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SpecificationError
+from ..runtime import ops
+
+
+class ImmediateSnapshot:
+    """A one-shot immediate-snapshot object for ``n`` participants.
+
+    ``participate`` is a subroutine generator (compose with
+    ``yield from``); each index may participate at most once.
+    """
+
+    def __init__(self, name: str, n: int) -> None:
+        if n < 1:
+            raise SpecificationError(f"need n >= 1, got {n}")
+        self.name = name
+        self.n = n
+
+    def _cell(self, index: int) -> str:
+        return f"{self.name}/lvl/{index}"
+
+    def participate(self, index: int, value: Any):
+        """Write ``value`` and return this process's view
+        (dict: participant index -> value)."""
+        if not 0 <= index < self.n:
+            raise SpecificationError(f"index {index} out of range")
+        level = self.n
+        while True:
+            yield ops.Write(self._cell(index), (level, value))
+            cells = yield ops.Snapshot(f"{self.name}/lvl/")
+            at_or_below = {
+                int(register[len(f"{self.name}/lvl/"):]): cell
+                for register, cell in cells.items()
+                if cell[0] <= level
+            }
+            if len(at_or_below) == level:
+                return {i: cell[1] for i, cell in at_or_below.items()}
+            level -= 1
+
+
+def check_immediate_snapshot_views(views: dict[int, dict[int, Any]]) -> None:
+    """Assert the three immediate-snapshot properties; raises
+    :class:`~repro.errors.SpecificationError` on violation.
+
+    ``views`` maps each participant to the view it obtained.
+    """
+    for i, view in views.items():
+        if i not in view:
+            raise SpecificationError(f"view of {i} misses itself: {view}")
+    items = list(views.items())
+    for i, view_i in items:
+        for j, view_j in items:
+            keys_i, keys_j = set(view_i), set(view_j)
+            if not (keys_i <= keys_j or keys_j <= keys_i):
+                raise SpecificationError(
+                    f"views of {i} and {j} are incomparable"
+                )
+            if j in keys_i and not keys_j <= keys_i:
+                raise SpecificationError(
+                    f"immediacy violated: {j} in view of {i} but "
+                    f"view({j}) !<= view({i})"
+                )

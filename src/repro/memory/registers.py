@@ -1,0 +1,82 @@
+"""The shared-memory substrate: an atomic multi-writer register file.
+
+Registers are named by strings; hierarchical names use ``/`` by
+convention (e.g. ``inp/3``, ``paxos/cons:0/R/2``) so that
+:class:`~repro.runtime.ops.Snapshot` can atomically read a whole family
+by prefix.  Unwritten registers hold ``None`` (the paper's bottom).
+
+All operations are applied atomically by the executor, giving the
+standard atomic (linearizable) register semantics assumed by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..errors import ProtocolError
+
+if TYPE_CHECKING:  # imported lazily to avoid a memory <-> runtime cycle
+    from ..runtime import ops
+
+
+class RegisterFile:
+    """A mapping from register names to values with atomic step semantics."""
+
+    def __init__(self) -> None:
+        self._cells: dict[str, Any] = {}
+
+    def read(self, name: str) -> Any:
+        return self._cells.get(name)
+
+    def write(self, name: str, value: Any) -> None:
+        self._cells[name] = value
+
+    def compare_and_swap(self, name: str, expected: Any, new: Any) -> Any:
+        """Returns the prior value; the write happened iff it equals
+        ``expected``."""
+        prior = self._cells.get(name)
+        if prior == expected:
+            self._cells[name] = new
+        return prior
+
+    def snapshot(self, prefix: str) -> dict[str, Any]:
+        """Atomic view of every written register whose name starts with
+        ``prefix``."""
+        return {
+            name: value
+            for name, value in self._cells.items()
+            if name.startswith(prefix)
+        }
+
+    def names(self) -> Iterator[str]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def copy(self) -> "RegisterFile":
+        clone = RegisterFile()
+        clone._cells = dict(self._cells)
+        return clone
+
+
+def apply_operation(memory: RegisterFile, op: "ops.Operation") -> Any:
+    """Apply one memory operation atomically and return its result.
+
+    ``QueryFD`` and ``Decide`` are not memory operations and must be
+    handled by the caller; passing them here is a protocol violation.
+    """
+    from ..runtime import ops
+
+    if isinstance(op, ops.Read):
+        return memory.read(op.register)
+    if isinstance(op, ops.Write):
+        memory.write(op.register, op.value)
+        return None
+    if isinstance(op, ops.Snapshot):
+        return memory.snapshot(op.prefix)
+    if isinstance(op, ops.CompareAndSwap):
+        return memory.compare_and_swap(op.register, op.expected, op.new)
+    if isinstance(op, ops.Nop):
+        return None
+    raise ProtocolError(f"not a memory operation: {op!r}")

@@ -1,0 +1,97 @@
+"""Atomic snapshot from registers: the bounded-time double collect.
+
+The executor offers a modeled atomic :class:`~repro.runtime.ops.Snapshot`
+operation, which the paper's algorithms use directly (atomic snapshots
+are implementable from registers [4], so this is a standard modeling
+shortcut).  This module provides the actual register-only construction —
+repeated double collect with embedded-view helping (Afek et al. style) —
+both as evidence that the shortcut is sound in our substrate and as a
+reusable subroutine for strictly register-only experiments.
+
+Protocol: each writer publishes ``(value, sequence, embedded_view)``.
+A scanner repeatedly collects twice; equal collects are a safe snapshot.
+A scanner that observes some writer move *twice* adopts that writer's
+embedded view, which was itself a safe snapshot taken within the
+scanner's interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..runtime import ops
+from .collect import collect_array
+
+
+@dataclass(frozen=True)
+class SnapCell:
+    """One writer's register content."""
+
+    value: Any
+    sequence: int
+    embedded: tuple[Any, ...] | None
+
+
+def _values(cells: list[Optional[SnapCell]]) -> tuple[Any, ...]:
+    return tuple(c.value if c is not None else None for c in cells)
+
+
+class SnapshotObject:
+    """A single-writer atomic snapshot object over ``size`` components.
+
+    All methods are subroutine generators (compose with ``yield from``).
+
+    Args:
+        name: register-family prefix (each instance must be unique).
+        size: number of components; writer ``i`` owns component ``i``.
+    """
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.size = size
+
+    def _register(self, i: int) -> str:
+        return f"{self.name}/cell/{i}"
+
+    def update(self, index: int, value: Any):
+        """Write ``value`` into component ``index`` (owner-only).
+
+        Embeds a fresh scan so that concurrent scanners can borrow it.
+        The per-component sequence number lives in shared memory (it is
+        read back before each update), so the object instance itself
+        holds no hidden state and may be shared freely between automata.
+        """
+        embedded = yield from self.scan()
+        current: Optional[SnapCell] = yield ops.Read(self._register(index))
+        sequence = (current.sequence if current is not None else 0) + 1
+        yield ops.Write(
+            self._register(index),
+            SnapCell(value=value, sequence=sequence, embedded=embedded),
+        )
+        return None
+
+    def scan(self):
+        """Atomic snapshot of all components; returns a value tuple."""
+        moved: dict[int, int] = {}
+        while True:
+            first = yield from collect_array(f"{self.name}/cell/", self.size)
+            second = yield from collect_array(f"{self.name}/cell/", self.size)
+            if first == second:
+                return _values(second)
+            for i in range(self.size):
+                a, b = first[i], second[i]
+                a_seq = a.sequence if a is not None else 0
+                b_seq = b.sequence if b is not None else 0
+                if a_seq != b_seq:
+                    moved[i] = moved.get(i, 0) + 1
+                    if moved[i] >= 2 and b is not None and b.embedded is not None:
+                        # Writer i completed a whole update inside our
+                        # interval; its embedded view is linearizable here.
+                        return b.embedded
+
+
+def direct_scan(prefix: str):
+    """The modeled-primitive counterpart: one atomic Snapshot step."""
+    view = yield ops.Snapshot(prefix)
+    return view

@@ -1,0 +1,43 @@
+"""Execution substrate: operations, schedulers, concurrency gates, executor."""
+
+from . import ops
+from .concurrency import (
+    FilteredScheduler,
+    KConcurrencyFilter,
+    PersonifiedFilter,
+    k_concurrent,
+    personified,
+)
+from .executor import Executor, execute
+from .scheduler import (
+    AdversarialScheduler,
+    ExplicitScheduler,
+    PrioritizedScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SchedulerView,
+    SeededRandomScheduler,
+    standard_scheduler_suite,
+)
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "ops",
+    "FilteredScheduler",
+    "KConcurrencyFilter",
+    "PersonifiedFilter",
+    "k_concurrent",
+    "personified",
+    "Executor",
+    "execute",
+    "AdversarialScheduler",
+    "ExplicitScheduler",
+    "PrioritizedScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SchedulerView",
+    "SeededRandomScheduler",
+    "standard_scheduler_suite",
+    "Trace",
+    "TraceEvent",
+]

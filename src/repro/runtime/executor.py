@@ -1,0 +1,257 @@
+"""The run loop: executes a :class:`~repro.core.system.System` under a
+scheduler, producing a :class:`~repro.core.run.RunResult`.
+
+Step semantics (paper Section 2.1): the k-th step of the run belongs to
+the process the schedule names; an S-process can be scheduled only while
+alive in the failure pattern; a failure-detector query at time ``t``
+returns ``H(q, t)``.  Time equals the step index.
+
+Mechanics: each automaton is a generator.  At every scheduled step the
+executor atomically performs the operation the generator most recently
+yielded, then resumes the generator with the result so it can compute
+(locally, in zero time) the operation for its *next* step.  The first
+step of a C-process writes its task input to ``inp/<i>``, exactly as the
+paper stipulates, before the automaton's own operations begin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.process import ProcessId, c_process, s_process
+from ..core.run import RunResult
+from ..core.system import System, input_register
+from ..errors import ProtocolError, SchedulingError
+from ..memory.registers import RegisterFile, apply_operation
+from . import ops
+from .scheduler import Scheduler, SchedulerView
+from .trace import Trace, TraceEvent
+
+
+class _ProcessSlot:
+    """Runtime state of one process."""
+
+    __slots__ = ("pid", "generator", "pending", "halted", "started", "steps")
+
+    def __init__(self, pid: ProcessId, generator) -> None:
+        self.pid = pid
+        self.generator = generator
+        self.pending: Any = None
+        self.halted = False
+        self.started = False
+        self.steps = 0
+
+    def prime(self) -> None:
+        """Obtain the first operation (local computation, takes no step)."""
+        try:
+            self.pending = next(self.generator)
+        except StopIteration:
+            self.halted = True
+
+    def resume(self, result: Any) -> None:
+        try:
+            self.pending = self.generator.send(result)
+        except StopIteration:
+            self.halted = True
+            self.pending = None
+
+
+class Executor:
+    """Drives one system to completion.
+
+    Args:
+        system: the system to execute.
+        scheduler: picks the process for each step.
+        max_steps: liveness budget; executions stop with reason
+            ``"budget"`` when it is exhausted.
+        trace: record a full :class:`~repro.runtime.trace.Trace`.
+        stop_when: optional predicate over the executor; when it returns
+            true the run stops with reason ``"predicate"``.  Used by
+            reduction algorithms that never "decide".
+    """
+
+    def __init__(
+        self,
+        system: System,
+        scheduler: Scheduler,
+        *,
+        max_steps: int = 200_000,
+        trace: bool = False,
+        stop_when: Callable[["Executor"], bool] | None = None,
+    ) -> None:
+        self.system = system
+        self.scheduler = scheduler
+        self.max_steps = max_steps
+        self.stop_when = stop_when
+        self.memory = RegisterFile()
+        self.trace = Trace(enabled=trace)
+        self.time = 0
+        self.decisions: dict[int, Any] = {}
+        self._slots: dict[ProcessId, _ProcessSlot] = {}
+        for i in range(system.n_c):
+            pid = c_process(i)
+            slot = _ProcessSlot(
+                pid, system.c_factories[i](system.context_for(pid))
+            )
+            self._slots[pid] = slot
+        for i in range(system.n_s):
+            pid = s_process(i)
+            slot = _ProcessSlot(
+                pid, system.s_factories[i](system.context_for(pid))
+            )
+            slot.prime()
+            self._slots[pid] = slot
+
+    # -- observation ----------------------------------------------------
+
+    @property
+    def started_c(self) -> frozenset[int]:
+        return frozenset(
+            pid.index
+            for pid, slot in self._slots.items()
+            if pid.is_computation and slot.started
+        )
+
+    @property
+    def decided_c(self) -> frozenset[int]:
+        return frozenset(self.decisions)
+
+    def schedulable(self) -> tuple[ProcessId, ...]:
+        """Processes that may legally take the next step."""
+        out: list[ProcessId] = []
+        for pid, slot in sorted(self._slots.items()):
+            if slot.halted:
+                continue
+            if pid.is_computation:
+                if self.system.inputs[pid.index] is None:
+                    continue  # non-participant: takes no steps
+                if pid.index in self.decisions:
+                    continue  # remaining steps would be null steps
+                out.append(pid)
+            else:
+                if self.system.pattern.is_alive(pid.index, self.time):
+                    out.append(pid)
+        return tuple(out)
+
+    def view(self) -> SchedulerView:
+        return SchedulerView(
+            time=self.time,
+            candidates=self.schedulable(),
+            started=self.started_c,
+            decided=self.decided_c,
+            participants=self.system.participants,
+        )
+
+    # -- stepping ---------------------------------------------------------
+
+    def step(self, pid: ProcessId) -> None:
+        """Execute one step of ``pid`` (must currently be schedulable)."""
+        slot = self._slots.get(pid)
+        if slot is None:
+            raise SchedulingError(f"unknown process {pid}")
+        if pid not in self.schedulable():
+            raise SchedulingError(f"{pid} is not schedulable at t={self.time}")
+        if pid.is_computation and not slot.started:
+            # The paper: the first step of a C-process writes its input.
+            slot.started = True
+            value = self.system.inputs[pid.index]
+            self.memory.write(input_register(pid.index), value)
+            slot.prime()
+            self.trace.record(
+                TraceEvent(
+                    self.time,
+                    pid,
+                    ops.Write(input_register(pid.index), value),
+                    None,
+                )
+            )
+        else:
+            op = slot.pending
+            result = self._perform(pid, op)
+            self.trace.record(TraceEvent(self.time, pid, op, result))
+            if isinstance(op, ops.Decide):
+                slot.halted = True
+            else:
+                slot.resume(result)
+        slot.steps += 1
+        self.time += 1
+
+    def _perform(self, pid: ProcessId, op: Any) -> Any:
+        if op is None:
+            raise ProtocolError(f"{pid} has no pending operation")
+        if isinstance(op, ops.QueryFD):
+            if pid.is_computation:
+                raise ProtocolError("C-processes cannot query the detector")
+            return self.system.history.value(pid.index, self.time)
+        if isinstance(op, ops.Decide):
+            if pid.is_synchronization:
+                raise ProtocolError("S-processes cannot decide")
+            self.decisions[pid.index] = op.value
+            return None
+        if isinstance(
+            op, (ops.Read, ops.Write, ops.Snapshot, ops.CompareAndSwap, ops.Nop)
+        ):
+            return apply_operation(self.memory, op)
+        raise ProtocolError(f"{pid} yielded a non-operation: {op!r}")
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run under the scheduler until everyone decided, the stop
+        predicate fires, the budget is exhausted, or nothing remains
+        schedulable."""
+        reason = "budget"
+        while self.time < self.max_steps:
+            if self.system.participants <= self.decided_c:
+                reason = "all_decided"
+                break
+            if self.stop_when is not None and self.stop_when(self):
+                reason = "predicate"
+                break
+            candidates = self.schedulable()
+            if not candidates:
+                reason = "halted"
+                break
+            try:
+                pid = self.scheduler.next(self.view())
+            except SchedulingError:
+                reason = "halted"
+                break
+            self.step(pid)
+        return self._result(reason)
+
+    def _result(self, reason: str) -> RunResult:
+        outputs = tuple(
+            self.decisions.get(i) for i in range(self.system.n_c)
+        )
+        return RunResult(
+            inputs=self.system.inputs,
+            outputs=outputs,
+            participants=self.started_c,
+            steps=self.time,
+            step_counts={
+                pid: slot.steps for pid, slot in self._slots.items()
+            },
+            reason=reason,
+            pattern=self.system.pattern,
+            memory=self.memory,
+            trace=self.trace if self.trace.enabled else None,
+        )
+
+
+def execute(
+    system: System,
+    scheduler: Scheduler,
+    *,
+    max_steps: int = 200_000,
+    trace: bool = False,
+    stop_when: Callable[[Executor], bool] | None = None,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(
+        system,
+        scheduler,
+        max_steps=max_steps,
+        trace=trace,
+        stop_when=stop_when,
+    ).run()

@@ -1,0 +1,98 @@
+"""Operations a process automaton may perform in one step.
+
+The paper's step model (Section 2.1): "In a step of the algorithm, a
+process may read or write to a shared register, or (if it is an
+S-process) consult its failure-detector module."  C-processes
+additionally take *decide* steps, after which all their steps are null.
+
+An automaton performs a step by yielding one of these objects; the
+executor carries it out atomically and resumes the generator with the
+result (the value read, the detector output, or ``None``).
+
+:class:`CompareAndSwap` is not in the paper's model; it exists solely as
+the modeled atomic primitive behind the *extended* (abortable) safe
+agreement used by the Theorem 9 solver — see DESIGN.md's substitution
+table.  The paper-faithful algorithms never yield it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class Read:
+    """Atomically read one named shared register; result is its value."""
+
+    register: str
+
+
+@dataclass(frozen=True)
+class Write:
+    """Atomically write ``value`` into one named shared register."""
+
+    register: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Atomically read every register whose name starts with ``prefix``.
+
+    Result is a ``dict`` mapping register name to value.  This models an
+    atomic snapshot object; :mod:`repro.memory.snapshot` also provides a
+    register-only implementation of snapshots (double collect with
+    helping) for the substrate tests, but algorithms in this package use
+    the modeled primitive for clarity, as is standard when a snapshot
+    implementation from registers is known to exist.
+    """
+
+    prefix: str
+
+
+@dataclass(frozen=True)
+class QueryFD:
+    """Consult the failure-detector module (S-processes only).
+
+    Result is ``H(q, t)``, the detector's output for this process at the
+    current time of the run.
+    """
+
+
+@dataclass(frozen=True)
+class Decide:
+    """Decide step of a C-process; ``value`` is its task output.
+
+    After a decide step the executor stops scheduling the process (its
+    remaining steps would be null steps per the paper's definition).
+    """
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Nop:
+    """A null step: consumes a scheduling turn without touching state."""
+
+
+@dataclass(frozen=True)
+class CompareAndSwap:
+    """Atomically: if register equals ``expected``, set it to ``new``.
+
+    Result is the value held *before* the operation, so the caller
+    succeeded if and only if the result equals ``expected``.  See module
+    docstring for why this exists.
+    """
+
+    register: str
+    expected: Any
+    new: Any
+
+
+Operation = Union[Read, Write, Snapshot, QueryFD, Decide, Nop, CompareAndSwap]
+
+#: Operations permitted for C-process automata.
+COMPUTATION_OPS = (Read, Write, Snapshot, Decide, Nop, CompareAndSwap)
+#: Operations permitted for S-process automata.
+SYNCHRONIZATION_OPS = (Read, Write, Snapshot, QueryFD, Nop, CompareAndSwap)

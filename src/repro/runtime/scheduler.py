@@ -1,0 +1,186 @@
+"""Schedulers: who takes the next step.
+
+The paper quantifies over all *fair* runs (every correct S-process takes
+infinitely many steps; at least one C-process does).  A scheduler here
+produces one admissible interleaving; the test suite sweeps over many —
+round-robin, seeded-random, and adversarial schedules that starve chosen
+victims for long bursts — because every safety property claimed by the
+paper is universal over schedules.
+
+A scheduler sees a :class:`SchedulerView` (the candidates it may pick
+from plus progress bookkeeping) and returns one process id.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.process import ProcessId
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class SchedulerView:
+    """What a scheduler may observe when choosing the next step.
+
+    Attributes:
+        time: current global time (equals the step index; the paper's
+            ``T[k]`` is non-decreasing, and the identity works).
+        candidates: process ids that are schedulable right now — live
+            S-processes, plus participating C-processes that have not
+            decided (and, under a concurrency gate, admitted ones).
+        started: C-process indices that have taken at least one step.
+        decided: C-process indices that have decided.
+        participants: C-process indices with a non-bottom input.
+    """
+
+    time: int
+    candidates: tuple[ProcessId, ...]
+    started: frozenset[int]
+    decided: frozenset[int]
+    participants: frozenset[int]
+
+
+class Scheduler(ABC):
+    """Base class; subclasses implement :meth:`next`."""
+
+    @abstractmethod
+    def next(self, view: SchedulerView) -> ProcessId:
+        """Pick one of ``view.candidates``."""
+
+    @staticmethod
+    def _require(view: SchedulerView) -> None:
+        if not view.candidates:
+            raise SchedulingError("no schedulable process")
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycles through all processes in a fixed order, skipping the
+    currently non-schedulable ones.  Maximally fair."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def next(self, view: SchedulerView) -> ProcessId:
+        self._require(view)
+        ordered = sorted(view.candidates)
+        choice = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return choice
+
+
+class SeededRandomScheduler(Scheduler):
+    """Uniformly random among candidates, reproducible via the seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def next(self, view: SchedulerView) -> ProcessId:
+        self._require(view)
+        return self._rng.choice(sorted(view.candidates))
+
+
+class AdversarialScheduler(Scheduler):
+    """Starves a victim set: victims get one step every ``period`` turns,
+    everyone else round-robins in between.
+
+    This is the classic "slow process" adversary; with a large period it
+    approximates, in a finite run, processes that take only finitely many
+    steps — exactly the situations wait-freedom must survive.
+    """
+
+    def __init__(self, victims: Sequence[ProcessId], period: int = 25) -> None:
+        if period < 2:
+            raise SchedulingError("period must be at least 2")
+        self.victims = frozenset(victims)
+        self.period = period
+        self._turn = 0
+        self._fallback = RoundRobinScheduler()
+
+    def next(self, view: SchedulerView) -> ProcessId:
+        self._require(view)
+        self._turn += 1
+        victims = sorted(c for c in view.candidates if c in self.victims)
+        others = tuple(c for c in view.candidates if c not in self.victims)
+        if victims and (self._turn % self.period == 0 or not others):
+            return victims[self._turn % len(victims)]
+        if not others:
+            return victims[0]
+        narrowed = SchedulerView(
+            time=view.time,
+            candidates=others,
+            started=view.started,
+            decided=view.decided,
+            participants=view.participants,
+        )
+        return self._fallback.next(narrowed)
+
+
+class ExplicitScheduler(Scheduler):
+    """Follows a predetermined sequence of process ids; used by the
+    exhaustive model checker and by deterministic regression tests.
+
+    When the sequence is exhausted, or names a non-schedulable process,
+    behaviour is controlled by ``strict``: raise (default) or fall back
+    to round-robin.
+    """
+
+    def __init__(self, sequence: Sequence[ProcessId], *, strict: bool = True):
+        self._sequence = list(sequence)
+        self._pos = 0
+        self.strict = strict
+        self._fallback = RoundRobinScheduler()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._sequence)
+
+    def next(self, view: SchedulerView) -> ProcessId:
+        self._require(view)
+        while self._pos < len(self._sequence):
+            pid = self._sequence[self._pos]
+            self._pos += 1
+            if pid in view.candidates:
+                return pid
+            if self.strict:
+                raise SchedulingError(
+                    f"{pid} named by the explicit schedule is not schedulable"
+                )
+        if self.strict:
+            raise SchedulingError("explicit schedule exhausted")
+        return self._fallback.next(view)
+
+
+class PrioritizedScheduler(Scheduler):
+    """Always schedules the highest-priority schedulable process.
+
+    ``priority`` maps process ids to smaller-is-first ranks; unknown ids
+    get rank ``default``.  Useful for constructing solo and near-solo
+    executions.
+    """
+
+    def __init__(self, priority: dict[ProcessId, int], default: int = 1000):
+        self._priority = dict(priority)
+        self._default = default
+
+    def next(self, view: SchedulerView) -> ProcessId:
+        self._require(view)
+        return min(
+            view.candidates,
+            key=lambda pid: (self._priority.get(pid, self._default), pid),
+        )
+
+
+def standard_scheduler_suite(
+    pids: Sequence[ProcessId], *, seeds: Sequence[int] = (0, 1, 2)
+) -> list[Scheduler]:
+    """The scheduler battery used across the integration tests: one
+    round-robin, several seeded-random, and one adversarial run per
+    process (that process as the victim)."""
+    suite: list[Scheduler] = [RoundRobinScheduler()]
+    suite.extend(SeededRandomScheduler(seed) for seed in seeds)
+    suite.extend(AdversarialScheduler([pid], period=17) for pid in pids)
+    return suite

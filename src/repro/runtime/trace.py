@@ -1,0 +1,44 @@
+"""Structured execution traces.
+
+Traces are optional (they cost memory) but are what most assertions in
+the test suite inspect: which process took which operation at which time,
+and with what result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.process import ProcessId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed step."""
+
+    time: int
+    pid: ProcessId
+    op: Any
+    result: Any
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceEvent`."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def steps_of(self, pid: ProcessId) -> list[TraceEvent]:
+        return [e for e in self.events if e.pid == pid]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,25 @@
+"""Task definitions: set agreement, consensus, renaming, WSB, builders."""
+
+from .builders import (
+    ParticipantRestrictedTask,
+    enumerate_task,
+    restrict_to_participants,
+)
+from .identity import IdentityTask, identity_factories, identity_factory
+from .renaming import RenamingTask, StrongRenamingTask
+from .set_agreement import ConsensusTask, SetAgreementTask
+from .wsb import WeakSymmetryBreakingTask
+
+__all__ = [
+    "ParticipantRestrictedTask",
+    "enumerate_task",
+    "restrict_to_participants",
+    "IdentityTask",
+    "identity_factories",
+    "identity_factory",
+    "RenamingTask",
+    "StrongRenamingTask",
+    "ConsensusTask",
+    "SetAgreementTask",
+    "WeakSymmetryBreakingTask",
+]

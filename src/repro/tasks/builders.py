@@ -1,0 +1,106 @@
+"""Task construction utilities.
+
+The topology checker and the classifier work on fully tabulated
+:class:`~repro.core.task.EnumeratedTask` instances; :func:`enumerate_task`
+converts any predicate-style task with finitely many inputs and a finite
+output-value set into that form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..core.task import EnumeratedTask, Task, Vector, participants
+from ..errors import SpecificationError
+
+
+def enumerate_task(
+    task: Task,
+    *,
+    output_values: Sequence[object] | None = None,
+    max_inputs: int = 100_000,
+) -> EnumeratedTask:
+    """Tabulate a predicate-style task into an :class:`EnumeratedTask`.
+
+    For every input vector, all complete output assignments over the
+    participants (drawn from ``output_values``, defaulting to the task's
+    ``output_values()`` method) are filtered through ``task.allows``.
+
+    Raises:
+        SpecificationError: if the task exposes no output-value set or
+            the input enumeration exceeds ``max_inputs``.
+    """
+    if output_values is None:
+        getter = getattr(task, "output_values", None)
+        if getter is None:
+            raise SpecificationError(
+                f"{task!r} has no output_values(); pass output_values="
+            )
+        output_values = tuple(getter())
+    delta: dict[Vector, list[Vector]] = {}
+    count = 0
+    for inputs in task.input_vectors():
+        count += 1
+        if count > max_inputs:
+            raise SpecificationError(
+                f"input enumeration of {task!r} exceeds {max_inputs}"
+            )
+        present = sorted(participants(inputs))
+        complete: list[Vector] = []
+        for assignment in itertools.product(output_values, repeat=len(present)):
+            outputs: list[object | None] = [None] * task.n
+            for i, v in zip(present, assignment):
+                outputs[i] = v
+            vec = tuple(outputs)
+            if task.allows(inputs, vec):
+                complete.append(vec)
+        if not complete:
+            raise SpecificationError(
+                f"{task!r} has no complete output for input {inputs}"
+            )
+        delta[inputs] = complete
+    return EnumeratedTask(
+        task.n, delta, name=task.name, colorless=task.colorless
+    )
+
+
+def restrict_to_participants(
+    task: Task, allowed: Iterable[int]
+) -> "ParticipantRestrictedTask":
+    """The same task with participation limited to ``allowed`` indices."""
+    return ParticipantRestrictedTask(task, allowed)
+
+
+class ParticipantRestrictedTask(Task):
+    """Wraps a task, additionally requiring participants within a set."""
+
+    def __init__(self, inner: Task, allowed: Iterable[int]) -> None:
+        self.inner = inner
+        self.allowed = frozenset(allowed)
+        if not self.allowed <= frozenset(range(inner.n)):
+            raise SpecificationError("allowed set out of range")
+        self.n = inner.n
+        self.colorless = inner.colorless
+        names = ",".join(f"p{i + 1}" for i in sorted(self.allowed))
+        self.name = f"{inner.name}|{{{names}}}"
+
+    def is_input(self, vector: Vector) -> bool:
+        return (
+            participants(vector) <= self.allowed
+            and self.inner.is_input(vector)
+        )
+
+    def allows(self, inputs: Vector, outputs: Vector) -> bool:
+        return self.is_input(inputs) and self.inner.allows(inputs, outputs)
+
+    def input_vectors(self):
+        for vec in self.inner.input_vectors():
+            if participants(vec) <= self.allowed:
+                yield vec
+
+    def output_values(self):
+        getter = getattr(self.inner, "output_values", None)
+        if getter is None:
+            raise SpecificationError(f"{self.inner!r} has no output_values()")
+        return getter()

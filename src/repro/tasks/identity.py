@@ -1,0 +1,70 @@
+"""The identity task: output your own input.
+
+The trivial end of the hierarchy — wait-free solvable, hence class
+``n`` (no concurrency level constrains it).  It anchors the top of the
+Theorem 10 table the way consensus anchors the bottom, and by
+Proposition 2 it needs no advice at all (its "weakest detector" row is
+the trivial detector).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..core.task import Task, Vector, participants
+from ..errors import SpecificationError
+
+
+class IdentityTask(Task):
+    """Every participant must decide exactly its own input."""
+
+    colorless = False
+
+    def __init__(self, n: int, *, domain: Sequence[object] = (0, 1)) -> None:
+        if n < 1:
+            raise SpecificationError(f"need n >= 1, got {n}")
+        self.n = n
+        self.domain = tuple(domain)
+        if not self.domain:
+            raise SpecificationError("domain must be non-empty")
+        self.name = f"identity-{n}"
+
+    def is_input(self, vector: Vector) -> bool:
+        if len(vector) != self.n:
+            return False
+        present = participants(vector)
+        return bool(present) and all(
+            vector[i] in self.domain for i in present
+        )
+
+    def allows(self, inputs: Vector, outputs: Vector) -> bool:
+        if not self.is_input(inputs) or len(outputs) != self.n:
+            return False
+        return all(
+            v is None or v == inputs[i] for i, v in enumerate(outputs)
+        )
+
+    def input_vectors(self) -> Iterator[Vector]:
+        indices = range(self.n)
+        for size in range(1, self.n + 1):
+            for subset in itertools.combinations(indices, size):
+                for values in itertools.product(self.domain, repeat=size):
+                    vec: list[object | None] = [None] * self.n
+                    for i, v in zip(subset, values):
+                        vec[i] = v
+                    yield tuple(vec)
+
+    def output_values(self) -> tuple[object, ...]:
+        return self.domain
+
+
+def identity_factory(ctx):
+    """The wait-free solver: decide your own input."""
+    from ..runtime import ops
+
+    yield ops.Decide(ctx.input_value)
+
+
+def identity_factories(n: int) -> list:
+    return [identity_factory] * n

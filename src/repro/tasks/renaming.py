@@ -1,0 +1,105 @@
+"""(j, l)-renaming and strong renaming (paper Section 5, [3]).
+
+At most ``j`` of the ``n > j`` C-processes participate; each arrives
+with a distinct *original name* from a large namespace and must output a
+name in ``{1, .., l}`` distinct from every other output.  Strong
+j-renaming is the tight case ``l = j``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..core.task import Task, Vector, participants
+from ..errors import SpecificationError
+
+
+class RenamingTask(Task):
+    """(j, l)-renaming.
+
+    Args:
+        n: number of C-processes (must exceed ``j``).
+        j: maximum number of participants in any run.
+        l: size of the target namespace ``{1, .., l}``.
+        namespace: finite pool of original names used when enumerating
+            input vectors; defaults to ``{1, .., n}``.
+    """
+
+    colorless = False
+
+    def __init__(
+        self,
+        n: int,
+        j: int,
+        l: int,
+        *,
+        namespace: Sequence[int] | None = None,
+    ) -> None:
+        if not 1 <= j < n:
+            raise SpecificationError(f"need 1 <= j < n, got j={j}, n={n}")
+        if l < j:
+            raise SpecificationError(
+                f"target namespace {l} cannot fit {j} distinct names"
+            )
+        self.n = n
+        self.j = j
+        self.l = l
+        self.namespace = (
+            tuple(range(1, n + 1)) if namespace is None else tuple(namespace)
+        )
+        if len(set(self.namespace)) < j:
+            raise SpecificationError("namespace too small for j participants")
+        self.name = (
+            f"strong-{j}-renaming" if l == j else f"({j},{l})-renaming"
+        )
+
+    def is_input(self, vector: Vector) -> bool:
+        if len(vector) != self.n:
+            return False
+        present = participants(vector)
+        if not present or len(present) > self.j:
+            return False
+        values = [vector[i] for i in present]
+        return len(set(values)) == len(values) and all(
+            v in self.namespace for v in values
+        )
+
+    def allows(self, inputs: Vector, outputs: Vector) -> bool:
+        if not self.is_input(inputs):
+            return False
+        if len(outputs) != self.n:
+            return False
+        present = participants(inputs)
+        chosen: list[int] = []
+        for i, v in enumerate(outputs):
+            if v is None:
+                continue
+            if i not in present:
+                return False
+            if not isinstance(v, int) or not 1 <= v <= self.l:
+                return False
+            chosen.append(v)
+        return len(set(chosen)) == len(chosen)
+
+    def input_vectors(self) -> Iterator[Vector]:
+        indices = range(self.n)
+        for size in range(1, self.j + 1):
+            for subset in itertools.combinations(indices, size):
+                for names in itertools.permutations(self.namespace, size):
+                    vec: list[int | None] = [None] * self.n
+                    for i, name in zip(subset, names):
+                        vec[i] = name
+                    yield tuple(vec)
+
+    def output_values(self) -> tuple[int, ...]:
+        return tuple(range(1, self.l + 1))
+
+
+class StrongRenamingTask(RenamingTask):
+    """(j, j)-renaming — equivalent to consensus by Corollary 13."""
+
+    def __init__(
+        self, n: int, j: int, *, namespace: Sequence[int] | None = None
+    ) -> None:
+        super().__init__(n, j, j, namespace=namespace)

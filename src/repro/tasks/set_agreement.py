@@ -1,0 +1,116 @@
+"""(U, k)-agreement, k-set agreement, and consensus (paper Section 2.1).
+
+In ``(U, k)``-agreement only the C-processes in ``U`` participate; input
+values come from a finite domain (the paper uses ``{0, .., k}``); the
+non-bottom output values must be a subset of the proposed values of size
+at most ``k``.  ``(Pi, k)``-agreement is the conventional k-set
+agreement task [11]; ``(Pi, 1)``-agreement is consensus [14].
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from ..core.task import Task, Vector, participants
+from ..errors import SpecificationError
+
+
+class SetAgreementTask(Task):
+    """(U, k)-agreement.
+
+    Args:
+        n: number of C-processes.
+        k: at most ``k`` distinct values may be decided.
+        member_set: the set ``U`` of allowed participants (indices);
+            defaults to all C-processes.
+        domain: finite input domain; defaults to ``{0, .., k}`` as in the
+            paper.
+    """
+
+    colorless = True
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        *,
+        member_set: Iterable[int] | None = None,
+        domain: Sequence[object] | None = None,
+    ) -> None:
+        if n < 1:
+            raise SpecificationError(f"need n >= 1, got {n}")
+        if k < 1:
+            raise SpecificationError(f"need k >= 1, got {k}")
+        self.n = n
+        self.k = k
+        self.member_set = (
+            frozenset(range(n)) if member_set is None else frozenset(member_set)
+        )
+        if not self.member_set <= frozenset(range(n)):
+            raise SpecificationError("member_set contains out-of-range indices")
+        if not self.member_set:
+            raise SpecificationError("member_set must be non-empty")
+        self.domain = tuple(range(k + 1)) if domain is None else tuple(domain)
+        if not self.domain:
+            raise SpecificationError("domain must be non-empty")
+        if self.member_set == frozenset(range(n)):
+            self.name = "consensus" if k == 1 else f"{k}-set-agreement"
+        else:
+            u = "{" + ",".join(f"p{i + 1}" for i in sorted(self.member_set)) + "}"
+            self.name = f"({u},{k})-agreement"
+
+    def is_input(self, vector: Vector) -> bool:
+        if len(vector) != self.n:
+            return False
+        present = participants(vector)
+        if not present or not present <= self.member_set:
+            return False
+        return all(vector[i] in self.domain for i in present)
+
+    def allows(self, inputs: Vector, outputs: Vector) -> bool:
+        if not self.is_input(inputs):
+            return False
+        if len(outputs) != self.n:
+            return False
+        present = participants(inputs)
+        proposed = {inputs[i] for i in present}
+        decided_values = set()
+        for i, v in enumerate(outputs):
+            if v is None:
+                continue
+            if i not in present:
+                return False  # a non-participant decided
+            if v not in proposed:
+                return False  # validity: decisions come from proposals
+            decided_values.add(v)
+        return len(decided_values) <= self.k
+
+    def input_vectors(self) -> Iterator[Vector]:
+        members = sorted(self.member_set)
+        for size in range(1, len(members) + 1):
+            for subset in itertools.combinations(members, size):
+                for values in itertools.product(self.domain, repeat=size):
+                    vec: list[object | None] = [None] * self.n
+                    for i, v in zip(subset, values):
+                        vec[i] = v
+                    yield tuple(vec)
+
+    def output_values(self) -> tuple[object, ...]:
+        """Possible non-bottom output values (for task enumeration)."""
+        return self.domain
+
+
+class ConsensusTask(SetAgreementTask):
+    """(Pi, 1)-agreement: all decided values are equal and proposed."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        member_set: Iterable[int] | None = None,
+        domain: Sequence[object] | None = None,
+    ) -> None:
+        super().__init__(
+            n, 1, member_set=member_set, domain=domain or (0, 1)
+        )

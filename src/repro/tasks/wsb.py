@@ -1,0 +1,84 @@
+"""Weak symmetry breaking (mentioned in the paper's introduction as a
+"colored" task that evaded characterization before EFD).
+
+WSB with parameters ``(n, j)``: at most ``j`` of the ``n > j``
+C-processes participate, each outputs a bit, and in runs where exactly
+``j`` processes participate and all decide, not all outputs may be
+equal.  Requiring ``j < n`` is what makes the task non-trivial: with a
+fixed full participant set (``j = n``) the task is solved by the
+id-based rule "p1 says 0, everybody else says 1", but when any
+``j``-subset may show up, no such static assignment works (two
+processes with the same assigned bit can be the participants) — the
+same pigeonhole that drives Lemma 11.
+
+WSB is the prototypical colored task: unlike set agreement, a process
+cannot simply adopt another's output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..core.task import Task, Vector, participants
+from ..errors import SpecificationError
+
+
+class WeakSymmetryBreakingTask(Task):
+    """(n, j) weak symmetry breaking.
+
+    Inputs are the participants' (distinct) identities — conventionally
+    their own index plus one; the symmetry-breaking constraint binds
+    only on runs with exactly ``j`` participants, all decided.
+    """
+
+    colorless = False
+
+    def __init__(self, n: int, j: int | None = None) -> None:
+        if n < 2:
+            raise SpecificationError(f"WSB needs n >= 2, got {n}")
+        if j is None:
+            j = n - 1
+        if not 2 <= j <= n:
+            raise SpecificationError(f"need 2 <= j <= n, got j={j}")
+        self.n = n
+        self.j = j
+        self.name = f"wsb-{j}of{n}"
+
+    def is_input(self, vector: Vector) -> bool:
+        if len(vector) != self.n:
+            return False
+        present = participants(vector)
+        if not present or len(present) > self.j:
+            return False
+        return all(vector[i] == i + 1 for i in present)
+
+    def allows(self, inputs: Vector, outputs: Vector) -> bool:
+        if not self.is_input(inputs):
+            return False
+        if len(outputs) != self.n:
+            return False
+        present = participants(inputs)
+        for i, v in enumerate(outputs):
+            if v is None:
+                continue
+            if i not in present or v not in (0, 1):
+                return False
+        decided = [v for v in outputs if v is not None]
+        if len(present) == self.j and len(decided) == self.j:
+            return len(set(decided)) == 2
+        # Partial outputs are fine: an undecided process can always pick
+        # the missing bit, so a completion exists.
+        return True
+
+    def input_vectors(self) -> Iterator[Vector]:
+        indices = range(self.n)
+        for size in range(1, self.j + 1):
+            for subset in itertools.combinations(indices, size):
+                vec: list[int | None] = [None] * self.n
+                for i in subset:
+                    vec[i] = i + 1
+                yield tuple(vec)
+
+    def output_values(self) -> tuple[int, ...]:
+        return (0, 1)

@@ -1,0 +1,46 @@
+"""Combinatorial topology: complexes, chromatic subdivision, and the
+exact 2-process solvability checker used for the paper's lower bounds."""
+
+from .complexes import Complex, Vertex, path_complex
+from .solvability import (
+    SolvabilityResult,
+    decide_two_process_solvability,
+    solvable_in_rounds,
+)
+from .subdivision import (
+    iterated_subdivision,
+    protocol_complex,
+    subdivide_edge_path,
+)
+from .synthesis import (
+    SynthesizedProtocol,
+    path_index,
+    shortest_walk,
+    synthesize_protocol,
+)
+from .task_complex import (
+    JointInput,
+    TwoProcessTaskData,
+    output_graph,
+    two_process_task_data,
+)
+
+__all__ = [
+    "Complex",
+    "Vertex",
+    "path_complex",
+    "SolvabilityResult",
+    "decide_two_process_solvability",
+    "solvable_in_rounds",
+    "iterated_subdivision",
+    "protocol_complex",
+    "subdivide_edge_path",
+    "SynthesizedProtocol",
+    "path_index",
+    "shortest_walk",
+    "synthesize_protocol",
+    "JointInput",
+    "TwoProcessTaskData",
+    "output_graph",
+    "two_process_task_data",
+]

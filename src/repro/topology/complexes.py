@@ -1,0 +1,160 @@
+"""Chromatic simplicial complexes (the combinatorial-topology substrate
+behind the paper's impossibility citations [21, 27, 5]).
+
+A *chromatic* complex colors every vertex by a process id, and every
+simplex has distinctly colored vertices.  For the paper's 2-process
+arguments (Lemma 11, the consensus reduction) only dimension <= 1
+matters — graphs — where the relevant topological invariant is plain
+connectivity; this module nevertheless keeps the general vocabulary so
+the structures read like the literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from ..errors import SpecificationError
+
+
+@dataclass(frozen=True, order=True)
+class Vertex:
+    """A colored vertex: ``color`` is a process index, ``view`` its
+    local value (input, output, or full-information view)."""
+
+    color: int
+    view: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.color}:{self.view!r}>"
+
+
+class Complex:
+    """A chromatic simplicial complex, closed under taking faces."""
+
+    def __init__(self, simplices: Iterable[frozenset[Vertex]] = ()) -> None:
+        self._simplices: set[frozenset[Vertex]] = set()
+        for simplex in simplices:
+            self.add(simplex)
+
+    def add(self, simplex: Iterable[Vertex]) -> None:
+        simplex = frozenset(simplex)
+        colors = [v.color for v in simplex]
+        if len(set(colors)) != len(colors):
+            raise SpecificationError(
+                f"simplex {set(simplex)} repeats a color"
+            )
+        # Close under faces.
+        items = list(simplex)
+        for mask in range(1, 2 ** len(items)):
+            face = frozenset(
+                items[i] for i in range(len(items)) if mask >> i & 1
+            )
+            self._simplices.add(face)
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        return frozenset(
+            v for s in self._simplices if len(s) == 1 for v in s
+        )
+
+    def simplices(self, dimension: int | None = None) -> Iterator:
+        for s in self._simplices:
+            if dimension is None or len(s) == dimension + 1:
+                yield s
+
+    def facets(self) -> Iterator[frozenset[Vertex]]:
+        """Maximal simplices."""
+        for s in self._simplices:
+            if not any(
+                s < other for other in self._simplices
+            ):
+                yield s
+
+    @property
+    def dimension(self) -> int:
+        return max((len(s) - 1 for s in self._simplices), default=-1)
+
+    def has_simplex(self, simplex: Iterable[Vertex]) -> bool:
+        return frozenset(simplex) in self._simplices
+
+    def edges(self) -> Iterator[frozenset[Vertex]]:
+        return self.simplices(dimension=1)
+
+    def __contains__(self, simplex) -> bool:
+        return self.has_simplex(simplex)
+
+    def __len__(self) -> int:
+        return len(self._simplices)
+
+    # -- connectivity (the dimension-1 invariant) -----------------------
+
+    def connected_components(self) -> list[frozenset[Vertex]]:
+        """Components of the 1-skeleton."""
+        adjacency: dict[Vertex, set[Vertex]] = {
+            v: set() for v in self.vertices
+        }
+        for edge in self.edges():
+            a, b = tuple(edge)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        seen: set[Vertex] = set()
+        components: list[frozenset[Vertex]] = []
+        for start in sorted(adjacency):
+            if start in seen:
+                continue
+            stack = [start]
+            component: set[Vertex] = set()
+            while stack:
+                vertex = stack.pop()
+                if vertex in component:
+                    continue
+                component.add(vertex)
+                stack.extend(adjacency[vertex] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def same_component(self, a: Vertex, b: Vertex) -> bool:
+        for component in self.connected_components():
+            if a in component:
+                return b in component
+        return False
+
+    def path_distance(self, a: Vertex, b: Vertex) -> int | None:
+        """Shortest walk length between two vertices (``None`` if
+        disconnected); used to bound protocol round complexity."""
+        if a == b:
+            return 0
+        adjacency: dict[Vertex, set[Vertex]] = {
+            v: set() for v in self.vertices
+        }
+        for edge in self.edges():
+            x, y = tuple(edge)
+            adjacency[x].add(y)
+            adjacency[y].add(x)
+        if a not in adjacency or b not in adjacency:
+            return None
+        frontier = {a}
+        seen = {a}
+        distance = 0
+        while frontier:
+            distance += 1
+            frontier = {
+                nxt
+                for v in frontier
+                for nxt in adjacency[v]
+                if nxt not in seen
+            }
+            if b in frontier:
+                return distance
+            seen |= frontier
+        return None
+
+
+def path_complex(vertices: list[Vertex]) -> Complex:
+    """The 1-dimensional complex of a vertex path."""
+    complex_ = Complex()
+    for a, b in zip(vertices, vertices[1:]):
+        complex_.add({a, b})
+    return complex_

@@ -1,0 +1,204 @@
+"""Exact wait-free solvability for 2-participant tasks.
+
+Dimension-1 instance of the Herlihy-Shavit characterization [21] (in
+the style of Biran-Moran-Zaks): a task whose runs involve at most two
+participants is wait-free read-write solvable if and only if one can
+pick a solo decision ``s(p, u)`` for every solo input such that, for
+every joint input ``I`` on participants ``p, q`` with values ``u, v``,
+the vertices ``(p, s(p, u))`` and ``(q, s(q, v))`` lie in the same
+connected component of the allowed-output graph ``H_I``.
+
+Why: the r-round protocol complex of an input edge is an alternating
+path with the solo views as endpoints
+(:mod:`repro.topology.subdivision`); a protocol is a color-preserving
+simplicial map from it into ``H_I`` agreeing with the solo decisions at
+the endpoints — i.e. a walk, which exists iff the endpoints are
+connected; conversely any walk of length ``<= 3^r`` folds onto the path.
+The shortest-walk lengths therefore also give the exact round
+complexity, reported as :attr:`SolvabilityResult.rounds`.
+
+This is the machine-checked engine behind the paper's Lemma 11 (strong
+2-renaming is not 2-concurrently solvable) and Theorem 12's base case,
+and behind the classifier's class-1-versus-class-2 separations.  Note
+"solvable 2-concurrently" for a 2-participant task coincides with
+wait-free solvability: with at most two participants, every fair run is
+2-concurrent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.task import Task
+from .complexes import Vertex
+from .task_complex import TwoProcessTaskData, two_process_task_data
+
+
+@dataclass(frozen=True)
+class SolvabilityResult:
+    """Outcome of the decision procedure.
+
+    Attributes:
+        solvable: the verdict (exact, not sampled).
+        assignment: a witnessing solo-decision map when solvable.
+        rounds: rounds of iterated immediate snapshot sufficient for a
+            protocol realizing the witness (0 when no joint input needs
+            communication).
+        obstruction: when unsolvable, a human-readable core reason.
+    """
+
+    task_name: str
+    solvable: bool
+    assignment: dict[tuple[int, Any], Any] | None = None
+    rounds: int | None = None
+    obstruction: str | None = None
+
+
+def _joint_constraint_table(data: TwoProcessTaskData):
+    """For each joint input: map (solo value of p, solo value of q) ->
+    shortest-walk length, for the compatible pairs only."""
+    tables = []
+    for joint in data.joints:
+        u = joint.inputs[joint.p]
+        v = joint.inputs[joint.q]
+        compatible: dict[tuple[Any, Any], int] = {}
+        for a in data.solo_options[(joint.p, u)]:
+            va = Vertex(joint.p, a)
+            for b in data.solo_options[(joint.q, v)]:
+                vb = Vertex(joint.q, b)
+                distance = joint.graph.path_distance(va, vb)
+                if distance is not None:
+                    compatible[(a, b)] = distance
+        tables.append((joint, compatible))
+    return tables
+
+
+def decide_two_process_solvability(
+    task: Task, *, output_values=None
+) -> SolvabilityResult:
+    """Decide wait-free solvability of a (<= 2)-participant task.
+
+    Backtracking search over solo assignments, with the binary
+    constraints given by connectivity in each joint input's
+    allowed-output graph.
+    """
+    data = two_process_task_data(task, output_values=output_values)
+    tables = _joint_constraint_table(data)
+    keys = sorted(data.solo_options, key=repr)
+    constraints_by_key: dict[tuple[int, Any], list] = {k: [] for k in keys}
+    for joint, compatible in tables:
+        if not compatible:
+            return SolvabilityResult(
+                task_name=data.task_name,
+                solvable=False,
+                obstruction=(
+                    f"input {joint.inputs} admits no connected pair of "
+                    "solo decisions"
+                ),
+            )
+        ku = (joint.p, joint.inputs[joint.p])
+        kv = (joint.q, joint.inputs[joint.q])
+        constraints_by_key[ku].append((joint, compatible, True))
+        constraints_by_key[kv].append((joint, compatible, False))
+
+    assignment: dict[tuple[int, Any], Any] = {}
+
+    def consistent(key) -> bool:
+        for joint, compatible, key_is_p in constraints_by_key[key]:
+            ku = (joint.p, joint.inputs[joint.p])
+            kv = (joint.q, joint.inputs[joint.q])
+            if ku in assignment and kv in assignment:
+                if (assignment[ku], assignment[kv]) not in compatible:
+                    return False
+        return True
+
+    def search(index: int) -> bool:
+        if index == len(keys):
+            return True
+        key = keys[index]
+        for value in sorted(data.solo_options[key], key=repr):
+            assignment[key] = value
+            if consistent(key) and search(index + 1):
+                return True
+            del assignment[key]
+        return False
+
+    if not search(0):
+        return SolvabilityResult(
+            task_name=data.task_name,
+            solvable=False,
+            obstruction=(
+                "no solo-decision assignment connects all joint inputs "
+                "(pigeonhole over the solo choices fails)"
+            ),
+        )
+    # Round complexity: longest shortest-walk among the chosen pairs.
+    longest = 0
+    for joint, compatible in tables:
+        a = assignment[(joint.p, joint.inputs[joint.p])]
+        b = assignment[(joint.q, joint.inputs[joint.q])]
+        longest = max(longest, compatible[(a, b)])
+    rounds = 0 if longest <= 1 else math.ceil(math.log(longest, 3))
+    return SolvabilityResult(
+        task_name=data.task_name,
+        solvable=True,
+        assignment=dict(assignment),
+        rounds=rounds,
+    )
+
+
+def solvable_in_rounds(
+    task: Task, rounds: int, *, output_values=None
+) -> bool:
+    """Cross-validation: is there a decision map from the ``rounds``-round
+    protocol complex?  Dynamic programming over each joint input's path
+    (walks of length ``3^rounds``), joined across joint inputs through
+    the shared solo decisions.
+
+    Agrees with :func:`decide_two_process_solvability` once ``rounds``
+    reaches the reported bound; used by tests and by the solvability
+    benchmarks to chart the round/reachability crossover.
+    """
+    data = two_process_task_data(task, output_values=output_values)
+    length = 3**rounds
+    tables = []
+    for joint in data.joints:
+        u = joint.inputs[joint.p]
+        v = joint.inputs[joint.q]
+        compatible: set[tuple[Any, Any]] = set()
+        for a in data.solo_options[(joint.p, u)]:
+            va = Vertex(joint.p, a)
+            for b in data.solo_options[(joint.q, v)]:
+                vb = Vertex(joint.q, b)
+                distance = joint.graph.path_distance(va, vb)
+                if distance is not None and distance <= length:
+                    compatible.add((a, b))
+        if not compatible:
+            return False
+        tables.append((joint, compatible))
+    keys = sorted(data.solo_options, key=repr)
+    assignment: dict[tuple[int, Any], Any] = {}
+
+    def ok() -> bool:
+        for joint, compatible in tables:
+            ku = (joint.p, joint.inputs[joint.p])
+            kv = (joint.q, joint.inputs[joint.q])
+            if ku in assignment and kv in assignment:
+                if (assignment[ku], assignment[kv]) not in compatible:
+                    return False
+        return True
+
+    def search(index: int) -> bool:
+        if index == len(keys):
+            return True
+        key = keys[index]
+        for value in sorted(data.solo_options[key], key=repr):
+            assignment[key] = value
+            if ok() and search(index + 1):
+                return True
+            del assignment[key]
+        return False
+
+    return search(0)

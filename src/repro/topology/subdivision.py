@@ -1,0 +1,67 @@
+"""Standard chromatic subdivision in dimension one.
+
+One round of immediate snapshot turns the input edge
+``{(p, u), (q, v)}`` into the three-edge path
+
+    (p, u-solo) -- (q, saw-both) -- (p, saw-both) -- (q, v-solo)
+
+whose endpoints are the solo views.  ``r`` rounds give an alternating
+path of ``3^r`` edges: the protocol complex of the r-round
+full-information protocol for two processes [21].  Decision maps are
+color-preserving simplicial maps from this path, which is why
+connectivity of the allowed-output graph is the exact solvability
+criterion in dimension 1 (see :mod:`repro.topology.solvability`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import SpecificationError
+from .complexes import Complex, Vertex, path_complex
+
+
+def subdivide_edge_path(path: list[Vertex]) -> list[Vertex]:
+    """One chromatic subdivision of an alternating-color vertex path.
+
+    Each edge ``A -- B`` becomes ``A -- B' -- A' -- B`` where the primed
+    vertices carry the "saw both" view ``(A.view, B.view)``.
+    """
+    if len(path) < 2:
+        raise SpecificationError("need at least one edge")
+    out: list[Vertex] = [path[0]]
+    for a, b in zip(path, path[1:]):
+        if a.color == b.color:
+            raise SpecificationError("path must alternate colors")
+        both_b = Vertex(b.color, ("both", a.view, b.view))
+        both_a = Vertex(a.color, ("both", a.view, b.view))
+        out.extend([both_b, both_a, b])
+    return out
+
+
+def iterated_subdivision(
+    p_color: int,
+    q_color: int,
+    p_view: Hashable,
+    q_view: Hashable,
+    rounds: int,
+) -> list[Vertex]:
+    """The vertex path of the r-round protocol complex of one input
+    edge.  Length ``3^rounds`` edges; endpoints are the solo views."""
+    path = [Vertex(p_color, ("solo", p_view)), Vertex(q_color, ("solo", q_view))]
+    for _ in range(rounds):
+        path = subdivide_edge_path(path)
+    return path
+
+
+def protocol_complex(
+    p_color: int,
+    q_color: int,
+    p_view: Hashable,
+    q_view: Hashable,
+    rounds: int,
+) -> Complex:
+    """The r-round 2-process protocol complex as a :class:`Complex`."""
+    return path_complex(
+        iterated_subdivision(p_color, q_color, p_view, q_view, rounds)
+    )

@@ -1,0 +1,207 @@
+"""Protocol synthesis from solvability certificates.
+
+The dimension-1 decision procedure
+(:mod:`repro.topology.solvability`) does not just answer
+solvable/unsolvable — its witness (a solo-decision assignment plus, per
+joint input, a walk in the allowed-output graph) *is* a protocol.  This
+module materializes it: ``synthesize_protocol(task)`` returns automaton
+factories that solve the task wait-free, built from ``r`` rounds of
+one-shot immediate snapshots (:mod:`repro.memory.immediate`) followed by
+a decision read off the walk.
+
+The geometry at work: after ``r`` rounds of iterated immediate
+snapshot, a process's full-information history pins it to one vertex of
+the ``r``-th chromatic subdivision of the input edge — an alternating
+path with ``3^r`` edges (:mod:`repro.topology.subdivision`).  The
+synthesized decision map is the simplicial map that walks the witness:
+vertex ``i`` of the path maps to walk vertex ``min(i, L)``, with a
+parity bounce past the walk's end (``L`` and ``3^r`` are both odd, so
+the endpoints land exactly on the pinned solo decisions).
+
+The vertex-index computation is the classic correspondence: a process
+starts at its endpoint of the path; seeing only itself in a round
+multiplies its index by 3 (the old vertices survive subdivision at
+tripled indices); seeing both pins the pair to the edge between their
+(necessarily adjacent) round-``t`` vertices, and the process moves to
+its colored interior vertex of that edge's subdivision — index
+``3m + 2`` for the left occupant, ``3m + 1`` for the right, where ``m``
+is the edge's left index.  Histories are full-information (each round's
+snapshot value carries everything), so a process that ever saw its peer
+can also compute the peer's index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.process import ProcessContext
+from ..core.task import Task
+from ..errors import SpecificationError
+from ..memory.immediate import ImmediateSnapshot
+from ..runtime import ops
+from .complexes import Complex, Vertex
+from .solvability import decide_two_process_solvability
+from .task_complex import two_process_task_data
+
+#: A history is a list of per-round observations: ``None`` (saw only
+#: myself) or the peer's ``(index, input, history-prefix)``.
+History = list
+
+
+def shortest_walk(graph: Complex, start: Vertex, goal: Vertex):
+    """BFS walk (vertex list) from ``start`` to ``goal``; ``None`` if
+    disconnected."""
+    if start == goal:
+        return [start]
+    adjacency: dict[Vertex, set[Vertex]] = {v: set() for v in graph.vertices}
+    for edge in graph.edges():
+        a, b = tuple(edge)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    if start not in adjacency or goal not in adjacency:
+        return None
+    parents: dict[Vertex, Vertex] = {}
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        nxt: list[Vertex] = []
+        for vertex in frontier:
+            for neighbour in sorted(adjacency[vertex]):
+                if neighbour in seen:
+                    continue
+                parents[neighbour] = vertex
+                if neighbour == goal:
+                    walk = [goal]
+                    while walk[-1] != start:
+                        walk.append(parents[walk[-1]])
+                    return list(reversed(walk))
+                seen.add(neighbour)
+                nxt.append(neighbour)
+        frontier = nxt
+    return None
+
+
+def path_index(is_left: bool, history: Sequence[Any]) -> int:
+    """The subdivision-path index pinned by a full-information history.
+
+    ``is_left`` says whether this process is the path's left endpoint
+    (the smaller participant index, by convention).
+    """
+    index = 0 if is_left else 1
+    for rounds_done, observation in enumerate(history):
+        if observation is None:
+            index *= 3
+            continue
+        peer_index = observation[0]
+        if abs(index - peer_index) != 1:
+            raise SpecificationError(
+                f"incompatible round-{rounds_done} positions "
+                f"{index} / {peer_index}"
+            )
+        left = min(index, peer_index)
+        if index == left:
+            index = 3 * left + 2
+        else:
+            index = 3 * left + 1
+    return index
+
+
+def _bounced(walk, index: int):
+    last = len(walk) - 1
+    if index <= last:
+        return walk[index]
+    over = index - last
+    return walk[last - (over % 2)]
+
+
+@dataclass(frozen=True)
+class SynthesizedProtocol:
+    """The synthesis artifact: factories plus the witness data."""
+
+    task_name: str
+    rounds: int
+    factories: Sequence[Callable]
+    assignment: dict
+
+
+def synthesize_protocol(
+    task: Task, *, output_values=None, name: str = "synth"
+) -> SynthesizedProtocol:
+    """Build a wait-free protocol for a solvable (<= 2)-participant task.
+
+    Raises :class:`SpecificationError` when the task is unsolvable (the
+    certificate says so exactly).
+    """
+    verdict = decide_two_process_solvability(
+        task, output_values=output_values
+    )
+    if not verdict.solvable:
+        raise SpecificationError(
+            f"{task.name} is not 2-process wait-free solvable: "
+            f"{verdict.obstruction}"
+        )
+    data = two_process_task_data(task, output_values=output_values)
+    assignment = dict(verdict.assignment or {})
+    rounds = verdict.rounds or 0
+
+    # Per joint input: the witness walk between the pinned solo vertices.
+    walks: dict[tuple, list[Vertex]] = {}
+    for joint in data.joints:
+        u = joint.inputs[joint.p]
+        v = joint.inputs[joint.q]
+        start = Vertex(joint.p, assignment[(joint.p, u)])
+        goal = Vertex(joint.q, assignment[(joint.q, v)])
+        walk = shortest_walk(joint.graph, start, goal)
+        if walk is None:  # pragma: no cover - contradicts the verdict
+            raise SpecificationError("witness walk vanished")
+        walks[(joint.p, u, joint.q, v)] = walk
+
+    snapshots = [
+        ImmediateSnapshot(f"{name}/round/{r}", task.n) for r in range(rounds)
+    ]
+
+    def factory(ctx: ProcessContext):
+        me = ctx.pid.index
+        my_input = ctx.input_value
+        history: History = []
+        peer: tuple[int, Any] | None = None  # (index, input)
+        for r in range(rounds):
+            payload = (me, my_input, list(history))
+            view = yield from snapshots[r].participate(me, payload)
+            others = {i: cell for i, cell in view.items() if i != me}
+            if not others:
+                history.append(None)
+                continue
+            if len(others) > 1:
+                raise SpecificationError(
+                    "synthesized protocols support two participants"
+                )
+            peer_id, (peer_me, peer_input, peer_history) = next(
+                iter(others.items())
+            )
+            peer = (peer_id, peer_input)
+            peer_position = path_index(peer_id < me, peer_history)
+            history.append((peer_position, peer_input, peer_history))
+        if peer is None:
+            yield ops.Decide(assignment[(me, my_input)])
+            return
+        peer_id, peer_input = peer
+        p, q = (me, peer_id) if me < peer_id else (peer_id, me)
+        u = my_input if me == p else peer_input
+        v = peer_input if me == p else my_input
+        walk = walks[(p, u, q, v)]
+        index = path_index(me == p, history)
+        vertex = _bounced(walk, index)
+        if vertex.color != me:  # pragma: no cover - sanity guard
+            raise SpecificationError(
+                f"decision map broke color preservation at index {index}"
+            )
+        yield ops.Decide(vertex.view)
+
+    return SynthesizedProtocol(
+        task_name=task.name,
+        rounds=rounds,
+        factories=[factory] * task.n,
+        assignment=assignment,
+    )

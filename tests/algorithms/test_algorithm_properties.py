@@ -1,0 +1,121 @@
+"""Property-based tests on algorithm invariants under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import paxos
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.algorithms.renaming_figure4 import figure4_factories
+from repro.core import System, c_process
+from repro.runtime import (
+    ExplicitScheduler,
+    SeededRandomScheduler,
+    execute,
+    k_concurrent,
+    ops,
+)
+from repro.tasks import RenamingTask, SetAgreementTask
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_figure4_uniqueness_any_schedule(seed):
+    """Renaming uniqueness is schedule-independent."""
+    n = 4
+    system = System(
+        inputs=(1, 2, 3, None), c_factories=figure4_factories(n)
+    )
+    result = execute(system, SeededRandomScheduler(seed), max_steps=200_000)
+    result.require_all_decided()
+    names = [v for v in result.outputs if v is not None]
+    assert len(set(names)) == len(names)
+    assert all(name >= 1 for name in names)
+
+
+@given(st.integers(0, 2**16), st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_figure4_bound_under_gate(seed, k):
+    """Name bound j + k - 1 in k-concurrent runs, any seed."""
+    n, j = 4, 3
+    task = RenamingTask(n, j, j + k - 1)
+    inputs = (1, 2, 3, None)
+    system = System(inputs=inputs, c_factories=figure4_factories(n))
+    scheduler = k_concurrent(SeededRandomScheduler(seed), k)
+    result = execute(system, scheduler, max_steps=200_000)
+    result.require_all_decided().require_satisfies(task)
+
+
+@given(st.lists(st.integers(0, 2), min_size=6, max_size=24))
+@settings(max_examples=60, deadline=None)
+def test_paxos_agreement_on_arbitrary_interleavings(pattern):
+    """Single-decree safety: any finite interleaving of three bounded
+    proposers yields at most one decided value."""
+    n = 3
+
+    def proposer(slot):
+        def factory(ctx):
+            for r in range(3):
+                decided = yield from paxos.propose(
+                    "c", slot, n, paxos.make_ballot(r, slot, n), f"v{slot}"
+                )
+                if decided is not None:
+                    yield ops.Decide(decided)
+                    return
+            while True:
+                decided = yield from paxos.read_decision("c")
+                if decided is not None:
+                    yield ops.Decide(decided)
+                    return
+
+        return factory
+
+    schedule = [c_process(i) for i in pattern]
+    system = System(
+        inputs=(0, 1, 2), c_factories=[proposer(i) for i in range(n)]
+    )
+    result = execute(
+        system, ExplicitScheduler(schedule, strict=False), max_steps=5_000
+    )
+    decided = {v for v in result.outputs if v is not None}
+    assert len(decided) <= 1
+
+
+@given(st.integers(0, 2**16), st.integers(2, 3))
+@settings(max_examples=25, deadline=None)
+def test_kset_concurrent_respects_class(seed, k):
+    n = 4
+    task = SetAgreementTask(n, k, domain=tuple(range(n)))
+    system = System(
+        inputs=tuple(range(n)), c_factories=kset_concurrent_factories(n, k)
+    )
+    scheduler = k_concurrent(SeededRandomScheduler(seed), k)
+    result = execute(system, scheduler, max_steps=100_000)
+    result.require_all_decided().require_satisfies(task)
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_snapshot_object_component_monotonicity(seed):
+    """Register-only snapshots never observe a component regressing."""
+    from repro.memory.snapshot import SnapshotObject
+
+    n = 2
+    obj = SnapshotObject("snap", n)
+    scans: dict[int, list] = {0: [], 1: []}
+
+    def worker(index):
+        def factory(ctx):
+            for value in range(3):
+                yield from obj.update(index, value)
+                snap = yield from obj.scan()
+                scans[index].append(snap)
+            yield ops.Decide(0)
+
+        return factory
+
+    system = System(inputs=(0, 1), c_factories=[worker(0), worker(1)])
+    execute(system, SeededRandomScheduler(seed), max_steps=200_000)
+    for i in range(n):
+        for j in range(n):
+            seen = [s[j] for s in scans[i] if s[j] is not None]
+            assert seen == sorted(seen)

@@ -1,0 +1,205 @@
+"""Tests for BG simulation: k simulators running n register codes."""
+
+import pytest
+
+from repro.algorithms.bg_simulation import BGSpec, bg_factories
+from repro.core import System, c_process
+from repro.core.system import INPUT_REGISTER_PREFIX
+from repro.runtime import (
+    ExplicitScheduler,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    ops,
+)
+
+
+def echo_code(ctx):
+    """Decide own input (read back from the virtual input register)."""
+    value = yield ops.Read(f"{INPUT_REGISTER_PREFIX}{ctx.pid.index}")
+    yield ops.Decide(value)
+
+
+def max_code(ctx):
+    """Decide the maximum input visible in the virtual memory."""
+    view = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
+    yield ops.Decide(max(view.values()))
+
+
+def flag_chain_code(ctx):
+    """Code i waits for code i-1's flag, then flags and decides."""
+    me = ctx.pid.index
+    if me > 0:
+        while True:
+            value = yield ops.Read(f"flag/{me - 1}")
+            if value is not None:
+                break
+    yield ops.Write(f"flag/{me}", f"from-{me}")
+    yield ops.Decide(me)
+
+
+def run_bg(spec, n_simulators, scheduler=None, max_steps=400_000):
+    system = System(
+        inputs=tuple(range(n_simulators)),
+        c_factories=bg_factories(spec),
+    )
+    return execute(
+        system,
+        scheduler or RoundRobinScheduler(),
+        max_steps=max_steps,
+        stop_when=lambda ex: all(
+            ex.memory.read(spec.decision_register(c)) is not None
+            for c in range(spec.n_codes)
+        ),
+    )
+
+
+def decisions(result, spec):
+    return tuple(
+        result.memory.read(spec.decision_register(c))
+        for c in range(spec.n_codes)
+    )
+
+
+class TestBGBasics:
+    @pytest.mark.parametrize("agreement", ["cas", "safe"])
+    def test_echo_codes_decide_their_inputs(self, agreement):
+        spec = BGSpec(
+            name="bg",
+            code_factories=[echo_code] * 4,
+            simulators=2,
+            static_inputs=(10, 11, 12, 13),
+            agreement=agreement,
+        )
+        result = run_bg(spec, 2)
+        assert decisions(result, spec) == (10, 11, 12, 13)
+
+    @pytest.mark.parametrize("agreement", ["cas", "safe"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_max_codes_agree_on_inputs_seen(self, agreement, seed):
+        spec = BGSpec(
+            name="bg",
+            code_factories=[max_code] * 3,
+            simulators=3,
+            static_inputs=(5, 9, 7),
+            agreement=agreement,
+        )
+        result = run_bg(spec, 3, scheduler=SeededRandomScheduler(seed))
+        for value in decisions(result, spec):
+            assert value in (5, 9, 7)
+
+    @pytest.mark.parametrize("agreement", ["cas", "safe"])
+    def test_codes_communicate_through_virtual_memory(self, agreement):
+        """The flag chain only completes if virtual writes propagate."""
+        spec = BGSpec(
+            name="bg",
+            code_factories=[flag_chain_code] * 3,
+            simulators=2,
+            static_inputs=(1, 1, 1),
+            agreement=agreement,
+        )
+        result = run_bg(spec, 2, scheduler=SeededRandomScheduler(1))
+        assert decisions(result, spec) == (0, 1, 2)
+
+    def test_single_simulator_runs_everything(self):
+        spec = BGSpec(
+            name="bg",
+            code_factories=[echo_code] * 5,
+            simulators=1,
+            static_inputs=tuple(range(5)),
+        )
+        result = run_bg(spec, 1)
+        assert decisions(result, spec) == (0, 1, 2, 3, 4)
+
+    def test_non_participating_codes_are_skipped(self):
+        spec = BGSpec(
+            name="bg",
+            code_factories=[echo_code] * 3,
+            simulators=2,
+            static_inputs=(7, None, 9),
+        )
+        system = System(inputs=(0, 1), c_factories=bg_factories(spec))
+        result = execute(
+            system,
+            RoundRobinScheduler(),
+            max_steps=200_000,
+            stop_when=lambda ex: all(
+                ex.memory.read(spec.decision_register(c)) is not None
+                for c in (0, 2)
+            ),
+        )
+        assert result.memory.read(spec.decision_register(0)) == 7
+        assert result.memory.read(spec.decision_register(1)) is None
+        assert result.memory.read(spec.decision_register(2)) == 9
+
+    def test_replicas_agree_across_simulators(self):
+        """Same decisions under wildly different schedules."""
+        outcomes = set()
+        for seed in range(6):
+            spec = BGSpec(
+                name="bg",
+                code_factories=[max_code] * 3,
+                simulators=3,
+                static_inputs=(1, 2, 3),
+            )
+            result = run_bg(spec, 3, scheduler=SeededRandomScheduler(seed))
+            outcomes.add(decisions(result, spec))
+            # Every decision is a legal input value.
+            assert all(v in (1, 2, 3) for v in decisions(result, spec))
+        # (Different schedules may produce different — but always legal —
+        # decisions; at least one run completed.)
+        assert outcomes
+
+
+class TestBlockingCharge:
+    """BG's charge: a simulator stalled mid-agreement blocks <= 1 code."""
+
+    @pytest.mark.parametrize("stall_after", [0, 3, 7, 12, 20, 35, 60])
+    def test_abandoned_simulator_blocks_at_most_one_code(self, stall_after):
+        spec = BGSpec(
+            name="bg",
+            code_factories=[echo_code] * 4,
+            simulators=2,
+            static_inputs=(1, 2, 3, 4),
+            agreement="safe",
+        )
+        sim1, sim2 = c_process(0), c_process(1)
+        # sim2 takes `stall_after` steps then is never scheduled again;
+        # sim1 runs alone afterwards.
+        schedule = [sim2] * stall_after + [sim1] * 30_000
+        system = System(inputs=(0, 1), c_factories=bg_factories(spec))
+        result = execute(
+            system,
+            ExplicitScheduler(schedule, strict=False),
+            max_steps=31_000,
+        )
+        undecided = [
+            c
+            for c in range(spec.n_codes)
+            if result.memory.read(spec.decision_register(c)) is None
+        ]
+        assert len(undecided) <= 1, (
+            f"stall_after={stall_after} blocked codes {undecided}"
+        )
+
+    def test_cas_agreement_never_blocks(self):
+        spec = BGSpec(
+            name="bg",
+            code_factories=[echo_code] * 4,
+            simulators=2,
+            static_inputs=(1, 2, 3, 4),
+            agreement="cas",
+        )
+        sim1, sim2 = c_process(0), c_process(1)
+        for stall_after in (0, 5, 11, 23, 41):
+            schedule = [sim2] * stall_after + [sim1] * 30_000
+            system = System(inputs=(0, 1), c_factories=bg_factories(spec))
+            result = execute(
+                system,
+                ExplicitScheduler(schedule, strict=False),
+                max_steps=31_000,
+            )
+            assert all(
+                result.memory.read(spec.decision_register(c)) is not None
+                for c in range(spec.n_codes)
+            )

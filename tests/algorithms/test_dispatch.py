@@ -1,0 +1,98 @@
+"""Tests for the dispatch helpers behind the top-level API."""
+
+import pytest
+
+from repro.algorithms.dispatch import (
+    algorithm_for_task,
+    default_inputs,
+    detector_level,
+    task_concurrency_class,
+)
+from repro.core.task import participants
+from repro.detectors import AntiOmegaK, Omega, PerfectDetector, VectorOmegaK
+from repro.errors import SpecificationError
+from repro.tasks import (
+    ConsensusTask,
+    IdentityTask,
+    RenamingTask,
+    SetAgreementTask,
+    StrongRenamingTask,
+    WeakSymmetryBreakingTask,
+)
+
+
+class TestTaskClass:
+    def test_set_agreement_class_is_k(self):
+        assert task_concurrency_class(SetAgreementTask(5, 3)) == 3
+        assert task_concurrency_class(ConsensusTask(4)) == 1
+
+    def test_renaming_class_is_slack_plus_one(self):
+        assert task_concurrency_class(RenamingTask(5, 3, 3)) == 1
+        assert task_concurrency_class(RenamingTask(5, 3, 4)) == 2
+        assert task_concurrency_class(RenamingTask(5, 3, 5)) == 3
+        # Clamped at j even with huge namespaces.
+        assert task_concurrency_class(RenamingTask(5, 3, 9)) == 3
+
+    def test_wsb_class_is_j_minus_one(self):
+        assert task_concurrency_class(WeakSymmetryBreakingTask(5, 3)) == 2
+
+    def test_unknown_tasks_default_to_one(self):
+        assert task_concurrency_class(IdentityTask(3)) == 1
+
+
+class TestAlgorithmSelection:
+    def test_level_one_uses_proposition_one(self):
+        task = ConsensusTask(3)
+        factories = algorithm_for_task(task, 1)
+        assert len(factories) == 3
+
+    def test_over_class_rejected(self):
+        with pytest.raises(SpecificationError):
+            algorithm_for_task(ConsensusTask(3), 2)
+        with pytest.raises(SpecificationError):
+            algorithm_for_task(SetAgreementTask(4, 2), 3)
+
+    def test_class_level_algorithms_exist(self):
+        assert algorithm_for_task(SetAgreementTask(4, 2), 2)
+        assert algorithm_for_task(RenamingTask(4, 3, 4), 2)
+        assert algorithm_for_task(WeakSymmetryBreakingTask(4, 3), 2)
+
+
+class TestDetectorLevel:
+    def test_levels(self):
+        assert detector_level(Omega()) == 1
+        assert detector_level(VectorOmegaK(4, 3)) == 3
+
+    def test_anti_omega_redirected(self):
+        with pytest.raises(SpecificationError, match="vector"):
+            detector_level(AntiOmegaK(4, 2))
+
+    def test_unsupported_detector(self):
+        with pytest.raises(SpecificationError):
+            detector_level(PerfectDetector())
+
+
+class TestDefaultInputs:
+    def test_set_agreement_inputs_valid(self):
+        task = SetAgreementTask(4, 2)
+        assert task.is_input(default_inputs(task))
+
+    def test_member_set_respected(self):
+        task = SetAgreementTask(4, 1, member_set={1, 3})
+        inputs = default_inputs(task)
+        assert participants(inputs) == {1, 3}
+        assert task.is_input(inputs)
+
+    def test_renaming_inputs_valid(self):
+        task = StrongRenamingTask(5, 3)
+        inputs = default_inputs(task)
+        assert task.is_input(inputs)
+        assert len(participants(inputs)) == 3
+
+    def test_wsb_inputs_valid(self):
+        task = WeakSymmetryBreakingTask(5, 3)
+        assert task.is_input(default_inputs(task))
+
+    def test_generic_fallback(self):
+        task = IdentityTask(3)
+        assert task.is_input(default_inputs(task))

@@ -1,0 +1,75 @@
+"""Tests for the restricted k-concurrent k-set-agreement algorithm."""
+
+import pytest
+
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.core import System, c_process
+from repro.runtime import (
+    ExplicitScheduler,
+    SeededRandomScheduler,
+    execute,
+    k_concurrent,
+)
+from repro.tasks import SetAgreementTask
+
+
+def run(n, k, inputs, *, seed=0, concurrency=None):
+    system = System(
+        inputs=inputs, c_factories=kset_concurrent_factories(n, k)
+    )
+    scheduler = k_concurrent(
+        SeededRandomScheduler(seed), concurrency or k
+    )
+    return execute(system, scheduler, max_steps=100_000)
+
+
+class TestWithinClass:
+    @pytest.mark.parametrize(
+        "n,k", [(3, 1), (3, 2), (4, 2), (5, 3), (6, 2)]
+    )
+    def test_solves_in_k_concurrent_runs(self, n, k):
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        for seed in range(5):
+            result = run(n, k, tuple(range(n)), seed=seed)
+            result.require_all_decided().require_satisfies(task)
+            assert len(set(result.outputs)) <= k
+
+    def test_lower_concurrency_also_fine(self):
+        n, k = 4, 3
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        result = run(n, k, tuple(range(n)), concurrency=1)
+        result.require_all_decided().require_satisfies(task)
+
+    def test_partial_participation(self):
+        n, k = 4, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        result = run(n, k, (None, 1, 2, None))
+        result.require_all_decided().require_satisfies(task)
+
+
+class TestOutsideClass:
+    def test_violation_at_higher_concurrency(self):
+        """An explicit (k+1)-concurrent schedule makes the algorithm
+        output k+1 distinct values: the task's class is tight."""
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        p = [c_process(i) for i in range(3)]
+        # All three snapshot the empty board before anyone announces:
+        # each needs input-write + snapshot (2 steps) before announcing.
+        schedule = [p[0]] * 2 + [p[1]] * 2 + [p[2]] * 2 + [
+            p[0],
+            p[0],
+            p[1],
+            p[1],
+            p[2],
+            p[2],
+        ]
+        system = System(
+            inputs=(0, 1, 2), c_factories=kset_concurrent_factories(n, k)
+        )
+        result = execute(
+            system, ExplicitScheduler(schedule, strict=False), max_steps=100
+        )
+        assert result.all_participants_decided
+        assert not result.satisfies(task)
+        assert len(set(result.outputs)) == 3

@@ -1,0 +1,139 @@
+"""E-P6: k-set agreement with vector-Omega-k / anti-Omega-k strength
+advice (Proposition 6 upper bound, direct algorithm)."""
+
+import pytest
+
+from repro.algorithms.kset_vector import kset_factories
+from repro.core import System, s_process
+from repro.core.failures import Environment, FailurePattern
+from repro.detectors import Omega, VectorOmegaK
+from repro.runtime import (
+    AdversarialScheduler,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+)
+from repro.tasks import SetAgreementTask
+
+
+def run_kset(n, k, inputs, *, detector=None, pattern=None, seed=0,
+             scheduler=None, max_steps=400_000):
+    c_factories, s_factories = kset_factories(n, k)
+    system = System(
+        inputs=inputs,
+        c_factories=c_factories,
+        s_factories=s_factories,
+        detector=detector or VectorOmegaK(n, k),
+        pattern=pattern,
+        seed=seed,
+    )
+    return execute(
+        system, scheduler or SeededRandomScheduler(seed), max_steps=max_steps
+    )
+
+
+class TestKSetWithVectorOmega:
+    @pytest.mark.parametrize(
+        "n,k", [(3, 1), (3, 2), (4, 1), (4, 2), (4, 3), (6, 3)]
+    )
+    def test_solves_kset(self, n, k):
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        inputs = tuple(range(n))
+        result = run_kset(n, k, inputs)
+        result.require_all_decided().require_satisfies(task)
+        assert len(set(result.outputs)) <= k
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scheduler_sweep(self, seed):
+        n, k = 4, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        result = run_kset(n, k, (3, 1, 2, 0), seed=seed)
+        result.require_all_decided().require_satisfies(task)
+
+    def test_starved_s_processes(self):
+        n, k = 4, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        # Detector stabilizes on a forced leader; starve two other
+        # S-processes heavily.
+        detector = VectorOmegaK(
+            n, k, stabilization_time=30, stable_position=0, leader=2
+        )
+        scheduler = AdversarialScheduler(
+            [s_process(0), s_process(1)], period=37
+        )
+        result = run_kset(
+            n, k, (0, 1, 2, 3), detector=detector, scheduler=scheduler
+        )
+        result.require_all_decided().require_satisfies(task)
+
+    def test_survives_crashes_of_non_leaders(self):
+        n, k = 4, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        pattern = FailurePattern.crash(n, {0: 5, 3: 10})
+        detector = VectorOmegaK(
+            n, k, stabilization_time=20, stable_position=1, leader=1
+        )
+        result = run_kset(
+            n, k, (0, 1, 2, 3), detector=detector, pattern=pattern
+        )
+        result.require_all_decided().require_satisfies(task)
+
+    @pytest.mark.parametrize("stabilization", [0, 25, 100])
+    def test_stabilization_time_sweep(self, stabilization):
+        """Algorithms must not depend on when the detector converges."""
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        detector = VectorOmegaK(n, k, stabilization_time=stabilization)
+        result = run_kset(n, k, (2, 0, 1), detector=detector)
+        result.require_all_decided().require_satisfies(task)
+
+    def test_partial_participation(self):
+        n, k = 4, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        result = run_kset(n, k, (None, 1, None, 3))
+        result.require_all_decided().require_satisfies(task)
+        assert set(v for v in result.outputs if v is not None) <= {1, 3}
+
+    def test_environment_sweep(self):
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        env = Environment.wait_free(n)
+        for pattern in env.sample_patterns(crash_times=(0, 10), max_faulty=2):
+            detector = VectorOmegaK(n, k, stabilization_time=15)
+            result = run_kset(
+                n, k, (0, 1, 2), detector=detector, pattern=pattern
+            )
+            result.require_all_decided().require_satisfies(task)
+
+
+class TestConsensusWithOmega:
+    """k = 1 with the plain Omega detector (its outputs are accepted as
+    1-vectors): the classical [9]-style leader consensus, EFD form."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_and_validity(self, seed):
+        n = 4
+        task = SetAgreementTask(n, 1, domain=tuple(range(n)))
+        result = run_kset(n, 1, (0, 1, 2, 3), detector=Omega(), seed=seed)
+        result.require_all_decided().require_satisfies(task)
+        assert len(set(result.outputs)) == 1
+
+    def test_late_stabilizing_omega(self):
+        n = 3
+        task = SetAgreementTask(n, 1, domain=tuple(range(n)))
+        result = run_kset(
+            n, 1, (2, 1, 0), detector=Omega(stabilization_time=60)
+        )
+        result.require_all_decided().require_satisfies(task)
+
+    def test_leader_crash_before_stabilization(self):
+        """Omega may point at a process that later crashes, before
+        stabilizing on a correct one."""
+        n = 3
+        task = SetAgreementTask(n, 1, domain=tuple(range(n)))
+        pattern = FailurePattern.crash(n, {0: 40})
+        detector = Omega(stabilization_time=50, leader=2)
+        result = run_kset(
+            n, 1, (0, 1, 2), detector=detector, pattern=pattern
+        )
+        result.require_all_decided().require_satisfies(task)

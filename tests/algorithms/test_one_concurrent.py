@@ -1,0 +1,128 @@
+"""E-P1: Proposition 1 — every task is 1-concurrently solvable."""
+
+import pytest
+
+from repro.algorithms.one_concurrent import (
+    choose_output,
+    one_concurrent_factories,
+)
+from repro.core import System
+from repro.errors import SpecificationError
+from repro.runtime import (
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    k_concurrent,
+)
+from repro.tasks import (
+    ConsensusTask,
+    RenamingTask,
+    SetAgreementTask,
+    StrongRenamingTask,
+    WeakSymmetryBreakingTask,
+)
+
+
+def solve_one_concurrently(task, inputs, seed=0, arrival_order=None):
+    system = System(
+        inputs=inputs, c_factories=list(one_concurrent_factories(task))
+    )
+    scheduler = k_concurrent(
+        SeededRandomScheduler(seed), 1, arrival_order=arrival_order
+    )
+    return execute(system, scheduler, max_steps=100_000)
+
+
+class TestUniversalSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consensus(self, seed):
+        task = ConsensusTask(4)
+        result = solve_one_concurrently(task, (0, 1, 1, 0), seed=seed)
+        result.require_all_decided().require_satisfies(task)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_set_agreement(self, seed):
+        task = SetAgreementTask(4, 2)
+        result = solve_one_concurrently(task, (0, 1, 2, 2), seed=seed)
+        result.require_all_decided().require_satisfies(task)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_strong_renaming(self, seed):
+        task = StrongRenamingTask(4, 3, namespace=tuple(range(1, 11)))
+        result = solve_one_concurrently(task, (5, 9, 2, None), seed=seed)
+        result.require_all_decided().require_satisfies(task)
+
+    def test_loose_renaming(self):
+        task = RenamingTask(5, 3, 4, namespace=tuple(range(1, 11)))
+        result = solve_one_concurrently(task, (7, None, 3, 1, None))
+        result.require_all_decided().require_satisfies(task)
+
+    def test_wsb(self):
+        task = WeakSymmetryBreakingTask(3, 2)
+        result = solve_one_concurrently(task, (1, 2, None))
+        result.require_all_decided().require_satisfies(task)
+
+    def test_wsb_full_quorum(self):
+        task = WeakSymmetryBreakingTask(3, 3)
+        result = solve_one_concurrently(task, (1, 2, 3))
+        result.require_all_decided().require_satisfies(task)
+
+    def test_partial_participation(self):
+        task = ConsensusTask(3)
+        result = solve_one_concurrently(task, (None, 1, None))
+        result.require_all_decided().require_satisfies(task)
+        assert result.outputs == (None, 1, None)
+
+    @pytest.mark.parametrize(
+        "arrival", [[0, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2]]
+    )
+    def test_arrival_orders(self, arrival):
+        task = SetAgreementTask(4, 2)
+        result = solve_one_concurrently(
+            task, (0, 1, 2, 0), arrival_order=arrival
+        )
+        result.require_all_decided().require_satisfies(task)
+
+
+class TestOutsideItsScope:
+    def test_consensus_can_fail_at_higher_concurrency(self):
+        """The Proposition 1 solver is only correct 1-concurrently: an
+        explicit 2-concurrent schedule makes it violate consensus.
+
+        Schedule: p2 runs until it has snapshotted inputs and outputs
+        (seeing only itself), then p1 runs to completion (seeing both
+        inputs but no outputs), then p2 finishes — they split."""
+        from repro.core import c_process
+        from repro.runtime import ExplicitScheduler
+
+        task = ConsensusTask(2)
+        p1, p2 = c_process(0), c_process(1)
+        schedule = [p2] * 3 + [p1] * 5 + [p2] * 2
+        system = System(
+            inputs=(0, 1), c_factories=list(one_concurrent_factories(task))
+        )
+        result = execute(
+            system,
+            ExplicitScheduler(schedule, strict=False),
+            max_steps=1_000,
+        )
+        assert result.all_participants_decided
+        assert not result.satisfies(task)
+        assert result.outputs == (0, 1)
+
+
+class TestChooseOutput:
+    def test_picks_extension(self):
+        task = ConsensusTask(2)
+        # p2 already decided 1; p1 must follow.
+        assert choose_output(task, (0, 1), (None, 1), 0) == 1
+
+    def test_respects_solo_validity(self):
+        task = ConsensusTask(2)
+        assert choose_output(task, (0, None), (None, None), 0) == 0
+
+    def test_error_when_nothing_fits(self):
+        task = ConsensusTask(3)
+        with pytest.raises(SpecificationError):
+            # The other two already split; nothing extends for p3.
+            choose_output(task, (0, 1, 0), (0, 1, None), 2)

@@ -1,0 +1,180 @@
+"""Tests for the shared-memory leader-based consensus substrate."""
+
+import itertools
+
+import pytest
+
+from repro.core import System, c_process
+from repro.algorithms import paxos
+from repro.runtime import (
+    AdversarialScheduler,
+    ExplicitScheduler,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    ops,
+)
+
+
+def solo_proposer(name, slot, n_slots, value):
+    """Proposes with rising ballots until decided, then decides."""
+
+    def factory(ctx):
+        decided = yield from paxos.propose_until_decided(
+            name, slot, n_slots, value
+        )
+        yield ops.Decide(decided)
+
+    return factory
+
+
+def one_shot_proposer(name, slot, n_slots, value, rounds=40):
+    """Bounded retries (for contention tests), then adopt any decision."""
+
+    def factory(ctx):
+        for r in range(rounds):
+            decided = yield from paxos.propose(
+                name, slot, n_slots, paxos.make_ballot(r, slot, n_slots), value
+            )
+            if decided is not None:
+                yield ops.Decide(decided)
+                return
+        while True:
+            decided = yield from paxos.read_decision(name)
+            if decided is not None:
+                yield ops.Decide(decided)
+                return
+
+    return factory
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_under_contention(self, seed):
+        n = 3
+        system = System(
+            inputs=tuple(range(n)),
+            c_factories=[
+                one_shot_proposer("c", i, n, f"v{i}") for i in range(n)
+            ],
+        )
+        result = execute(
+            system, SeededRandomScheduler(seed), max_steps=300_000
+        )
+        decided = [v for v in result.outputs if v is not None]
+        assert decided, "someone must decide under bounded retries"
+        assert len(set(decided)) == 1, f"split decision: {result.outputs}"
+        assert decided[0] in {f"v{i}" for i in range(n)}
+
+    @pytest.mark.parametrize("victim", range(3))
+    def test_agreement_with_starved_proposer(self, victim):
+        n = 3
+        system = System(
+            inputs=tuple(range(n)),
+            c_factories=[
+                one_shot_proposer("c", i, n, f"v{i}") for i in range(n)
+            ],
+        )
+        result = execute(
+            system,
+            AdversarialScheduler([c_process(victim)], period=31),
+            max_steps=300_000,
+        )
+        decided = {v for v in result.outputs if v is not None}
+        assert len(decided) == 1
+
+    def test_two_proposer_interleavings_exhaustive_prefixes(self):
+        """All interleavings of the first 10 steps of two proposers never
+        produce conflicting decisions."""
+        n = 2
+        for pattern in itertools.product([0, 1], repeat=10):
+            schedule = [c_process(b) for b in pattern]
+            system = System(
+                inputs=(0, 1),
+                c_factories=[
+                    one_shot_proposer("c", i, n, f"v{i}") for i in range(n)
+                ],
+            )
+            sched = ExplicitScheduler(schedule, strict=False)
+            result = execute(system, sched, max_steps=5_000)
+            decided = {v for v in result.outputs if v is not None}
+            assert len(decided) <= 1
+
+
+class TestLiveness:
+    def test_solo_leader_decides(self):
+        system = System(
+            inputs=(1,),
+            c_factories=[solo_proposer("c", 0, 1, "only")],
+        )
+        result = execute(system, RoundRobinScheduler(), max_steps=10_000)
+        assert result.outputs == ("only",)
+
+    def test_eventually_lone_proposer_terminates(self):
+        """A proposer that keeps retrying decides once rivals stop."""
+        n = 2
+
+        def finite_rival(ctx):
+            for r in range(3):
+                yield from paxos.propose(
+                    "c", 1, n, paxos.make_ballot(r, 1, n), "rival"
+                )
+            decided = yield from paxos.await_decision("c")
+            yield ops.Decide(decided)
+
+        system = System(
+            inputs=(0, 1),
+            c_factories=[solo_proposer("c", 0, n, "mine"), finite_rival],
+        )
+        result = execute(system, RoundRobinScheduler(), max_steps=100_000)
+        assert result.all_participants_decided
+        assert len(set(result.outputs)) == 1
+
+
+class TestMechanics:
+    def test_ballots_unique_across_slots(self):
+        seen = set()
+        for r in range(5):
+            for slot in range(4):
+                b = paxos.make_ballot(r, slot, 4)
+                assert b > 0
+                assert b not in seen
+                seen.add(b)
+
+    def test_cannot_propose_none(self):
+        gen = paxos.propose("c", 0, 1, 1, None)
+        with pytest.raises(ValueError):
+            next(gen)
+
+    def test_read_decision_none_before_any_decision(self):
+        collected = []
+
+        def reader(ctx):
+            value = yield from paxos.read_decision("empty")
+            collected.append(value)
+            yield ops.Decide(0)
+
+        system = System(inputs=(1,), c_factories=[reader])
+        execute(system, RoundRobinScheduler(), max_steps=100)
+        assert collected == [None]
+
+    def test_proposal_adopts_existing_decision(self):
+        order = []
+
+        def first(ctx):
+            v = yield from paxos.propose_until_decided("c", 0, 2, "A")
+            order.append(v)
+            yield ops.Decide(v)
+
+        def second(ctx):
+            # Wait for the decision, then propose something else.
+            yield from paxos.await_decision("c")
+            v = yield from paxos.propose(
+                "c", 1, 2, paxos.make_ballot(50, 1, 2), "B"
+            )
+            order.append(v)
+            yield ops.Decide(v)
+
+        system = System(inputs=(0, 1), c_factories=[first, second])
+        result = execute(system, RoundRobinScheduler(), max_steps=50_000)
+        assert result.outputs == ("A", "A")

@@ -1,0 +1,100 @@
+"""E-T12: Figure 3 — the 1-resilient strong-renaming wrapper used in
+Theorem 12's contradiction argument."""
+
+import pytest
+
+from repro.algorithms.renaming_figure3 import (
+    cas_strong_renaming_factory,
+    figure3_factories,
+)
+from repro.core import System, c_process
+from repro.runtime import (
+    AdversarialScheduler,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    ops,
+)
+from repro.tasks import StrongRenamingTask
+
+
+def run_wrapper(n, j, inputs, scheduler, max_steps=300_000):
+    system = System(
+        inputs=inputs, c_factories=figure3_factories(n, j)
+    )
+    return execute(system, scheduler, max_steps=max_steps, trace=True)
+
+
+def inner_concurrency_peak(result):
+    """Max number of processes simultaneously 'inside' the inner
+    algorithm A: from their first inner step until they publish
+    ``R_i := 0`` (Figure 3 line 46), which is where they leave A."""
+    inside: set[int] = set()
+    peak = 0
+    for event in result.trace:
+        if not event.pid.is_computation:
+            continue
+        op = event.op
+        if isinstance(op, (ops.CompareAndSwap,)) or (
+            isinstance(op, ops.Read) and op.register.startswith("f3/inner/")
+        ):
+            inside.add(event.pid.index)
+            peak = max(peak, len(inside))
+        if (
+            isinstance(op, ops.Write)
+            and op.register.startswith("f3/R/")
+            and op.value == 0
+        ):
+            inside.discard(event.pid.index)
+    return peak
+
+
+class TestFigure3:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_solves_strong_renaming_with_full_participation(self, seed):
+        n, j = 4, 3
+        task = StrongRenamingTask(n, j, namespace=tuple(range(1, n + 1)))
+        inputs = (1, 2, 3, None)  # exactly j participants
+        result = run_wrapper(n, j, inputs, SeededRandomScheduler(seed))
+        result.require_all_decided().require_satisfies(task)
+
+    @pytest.mark.parametrize("victim", range(3))
+    def test_one_resilient_runs(self, victim):
+        """j - 1 of the j participants keep running; the starved one gets
+        only rare steps — everyone still decides."""
+        n, j = 4, 3
+        task = StrongRenamingTask(n, j, namespace=tuple(range(1, n + 1)))
+        inputs = (1, 2, 3, None)
+        scheduler = AdversarialScheduler([c_process(victim)], period=41)
+        result = run_wrapper(n, j, inputs, scheduler)
+        result.require_all_decided().require_satisfies(task)
+
+    def test_j_minus_one_participants(self):
+        n, j = 4, 3
+        task = StrongRenamingTask(n, j, namespace=tuple(range(1, n + 1)))
+        inputs = (1, None, 3, None)  # j - 1 participants
+        result = run_wrapper(n, j, inputs, RoundRobinScheduler())
+        result.require_all_decided().require_satisfies(task)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_inner_runs_are_two_concurrent(self, seed):
+        """The wrapper's whole point: at most two processes concurrently
+        execute steps of the inner algorithm A."""
+        n, j = 4, 3
+        inputs = (1, 2, 3, None)
+        result = run_wrapper(n, j, inputs, SeededRandomScheduler(seed))
+        result.require_all_decided()
+        assert inner_concurrency_peak(result) <= 2
+
+    def test_inner_solver_standalone(self):
+        """The CAS stand-in really solves strong renaming wait-free (it
+        uses a primitive stronger than registers, so no contradiction
+        with Lemma 11)."""
+        n = 3
+        task = StrongRenamingTask(n + 1, n, namespace=tuple(range(1, 9)))
+        system = System(
+            inputs=(5, 6, 7, None),
+            c_factories=[cas_strong_renaming_factory] * 4,
+        )
+        result = execute(system, SeededRandomScheduler(3), max_steps=50_000)
+        result.require_all_decided().require_satisfies(task)

@@ -1,0 +1,121 @@
+"""E-F4 / E-T15: Figure 4 — (j, j+k-1)-renaming in k-concurrent runs."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.renaming_figure4 import (
+    _first_integers_not_in,
+    figure4_factories,
+)
+from repro.core import System
+from repro.runtime import (
+    ExplicitScheduler,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    k_concurrent,
+)
+from repro.core.process import c_process
+from repro.tasks import RenamingTask
+
+
+def run_figure4(n, inputs, k, *, seed=0, arrival_order=None,
+                max_steps=300_000):
+    system = System(inputs=inputs, c_factories=figure4_factories(n))
+    scheduler = k_concurrent(
+        SeededRandomScheduler(seed), k, arrival_order=arrival_order
+    )
+    return execute(system, scheduler, max_steps=max_steps)
+
+
+def participating_count(inputs):
+    return sum(1 for v in inputs if v is not None)
+
+
+class TestNameBound:
+    @pytest.mark.parametrize(
+        "n,j,k",
+        [(3, 2, 1), (3, 2, 2), (4, 3, 1), (4, 3, 2), (4, 3, 3),
+         (6, 4, 2), (8, 5, 3)],
+    )
+    def test_solves_j_jk1_renaming(self, n, j, k):
+        task = RenamingTask(n, j, j + k - 1, namespace=tuple(range(1, n + 1)))
+        inputs = tuple(i + 1 if i < j else None for i in range(n))
+        for seed in range(4):
+            result = run_figure4(n, inputs, k, seed=seed)
+            result.require_all_decided().require_satisfies(task)
+            names = [v for v in result.outputs if v is not None]
+            assert max(names) <= j + k - 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_wait_free_case_k_equals_j(self, seed):
+        """k = j: every run qualifies, giving wait-free (j, 2j-1)-renaming
+        (the Attiya et al. baseline)."""
+        n, j = 5, 3
+        task = RenamingTask(n, j, 2 * j - 1, namespace=tuple(range(1, n + 1)))
+        inputs = (1, None, 3, None, 5)
+        system = System(inputs=inputs, c_factories=figure4_factories(n))
+        result = execute(
+            system, SeededRandomScheduler(seed), max_steps=300_000
+        )
+        result.require_all_decided().require_satisfies(task)
+
+    def test_solo_participant_gets_name_one(self):
+        n = 4
+        inputs = (None, 7, None, None)
+        result = run_figure4(n, inputs, 1)
+        assert result.outputs == (None, 1, None, None)
+
+    @pytest.mark.parametrize(
+        "arrival", list(itertools.permutations(range(3)))
+    )
+    def test_arrival_order_sweep_sequential(self, arrival):
+        """1-concurrent runs with j = 3 participants always fit j names
+        (k = 1 gives (j, j)-renaming -- strong renaming 1-concurrently)."""
+        n, j = 4, 3
+        task = RenamingTask(n, j, j, namespace=tuple(range(1, n + 1)))
+        inputs = tuple(i + 1 if i < 3 else None for i in range(n))
+        result = run_figure4(n, inputs, 1, arrival_order=list(arrival))
+        result.require_all_decided().require_satisfies(task)
+
+
+class TestUniqueness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_names_always_distinct_any_concurrency(self, seed):
+        """Uniqueness is unconditional (only the bound needs
+        k-concurrency)."""
+        n = 5
+        inputs = (1, 2, 3, 4, None)
+        system = System(inputs=inputs, c_factories=figure4_factories(n))
+        result = execute(
+            system, SeededRandomScheduler(seed), max_steps=300_000
+        )
+        result.require_all_decided()
+        names = [v for v in result.outputs if v is not None]
+        assert len(set(names)) == len(names)
+
+    def test_exhaustive_two_process_interleavings(self):
+        """All schedules of two concurrent renamers up to 14 steps: names
+        distinct and within 2 + 2 - 1 = 3."""
+        for pattern in itertools.product([0, 1], repeat=14):
+            schedule = [c_process(b) for b in pattern]
+            system = System(
+                inputs=(1, 2, None), c_factories=figure4_factories(3)
+            )
+            result = execute(
+                system,
+                ExplicitScheduler(schedule, strict=False),
+                max_steps=5_000,
+            )
+            names = [v for v in result.outputs if v is not None]
+            assert len(set(names)) == len(names)
+            assert all(1 <= v <= 3 for v in names)
+
+
+class TestHelpers:
+    def test_first_integers_not_in(self):
+        assert _first_integers_not_in(set(), 1) == 1
+        assert _first_integers_not_in({1, 2}, 1) == 3
+        assert _first_integers_not_in({2}, 2) == 3
+        assert _first_integers_not_in({1, 3}, 2) == 4

@@ -1,0 +1,74 @@
+"""E-S22: n S-processes solve n-set agreement without a detector."""
+
+import pytest
+
+from repro.algorithms.s_helper import helper_c_factory, helper_s_factory
+from repro.core import System
+from repro.core.failures import Environment, FailurePattern
+from repro.runtime import (
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+)
+from repro.tasks import SetAgreementTask
+
+
+def run_helper(n_c, n_s, inputs, pattern=None, seed=0):
+    system = System(
+        inputs=inputs,
+        c_factories=[helper_c_factory] * n_c,
+        s_factories=[helper_s_factory] * n_s,
+        pattern=pattern,
+    )
+    return execute(system, SeededRandomScheduler(seed), max_steps=100_000)
+
+
+class TestSectionTwoTwo:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_failure_free(self, n):
+        task = SetAgreementTask(n, n - 1, domain=tuple(range(n)))
+        inputs = tuple(range(n))
+        result = run_helper(n, n, inputs)
+        result.require_all_decided()
+        decided = set(result.outputs)
+        assert len(decided) <= n
+        assert decided <= set(inputs)
+
+    def test_fewer_s_processes_bound_distinct_outputs(self):
+        """With n_s < n_c S-processes, at most n_s distinct values."""
+        n_c, n_s = 5, 2
+        inputs = tuple(range(n_c))
+        for seed in range(10):
+            result = run_helper(n_c, n_s, inputs, seed=seed)
+            result.require_all_decided()
+            assert len(set(result.outputs)) <= n_s
+            assert set(result.outputs) <= set(inputs)
+
+    def test_survives_all_but_one_s_crash(self):
+        n = 4
+        env = Environment.wait_free(n)
+        for pattern in env.sample_patterns(crash_times=(0, 3), max_faulty=3):
+            result = run_helper(n, n, tuple(range(n)), pattern=pattern)
+            result.require_all_decided()
+            assert set(result.outputs) <= set(range(n))
+
+    def test_late_arrivals_get_values(self):
+        n = 3
+        from repro.runtime import k_concurrent
+
+        system = System(
+            inputs=(7, 8, 9),
+            c_factories=[helper_c_factory] * n,
+            s_factories=[helper_s_factory] * n,
+        )
+        scheduler = k_concurrent(SeededRandomScheduler(4), 1)
+        result = execute(system, scheduler, max_steps=100_000)
+        result.require_all_decided()
+        assert set(result.outputs) <= {7, 8, 9}
+
+    def test_output_is_some_participants_input(self):
+        result = run_helper(3, 3, (10, None, 30))
+        result.require_all_decided()
+        for i, v in enumerate(result.outputs):
+            if v is not None:
+                assert v in {10, 30}

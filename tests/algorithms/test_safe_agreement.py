@@ -1,0 +1,152 @@
+"""Direct unit tests for safe agreement (classic and CAS-backed)."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.safe_agreement import (
+    UNRESOLVED,
+    CasAgreement,
+    SafeAgreement,
+    agree,
+)
+from repro.core import System, c_process
+from repro.runtime import (
+    ExplicitScheduler,
+    SeededRandomScheduler,
+    execute,
+    ops,
+)
+
+
+def proposer(agreement, slot, value, results):
+    def factory(ctx):
+        outcome = yield from agree(agreement, slot, value)
+        results[slot] = outcome
+        yield ops.Decide(outcome)
+
+    return factory
+
+
+def resolver_once(agreement, results, key="resolver"):
+    def factory(ctx):
+        outcome = yield from agreement.resolve()
+        results[key] = outcome
+        yield ops.Decide(0)
+
+    return factory
+
+
+@pytest.mark.parametrize("cls", [SafeAgreement, CasAgreement])
+class TestAgreementAndValidity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_proposers_agree(self, cls, seed):
+        agreement = cls("sa", 3)
+        results: dict[int, object] = {}
+        system = System(
+            inputs=(0, 1, 2),
+            c_factories=[
+                proposer(agreement, i, f"v{i}", results) for i in range(3)
+            ],
+        )
+        run = execute(system, SeededRandomScheduler(seed), max_steps=20_000)
+        assert run.all_participants_decided
+        values = set(results.values())
+        assert len(values) == 1
+        assert values <= {"v0", "v1", "v2"}
+
+    def test_solo_proposer_gets_own_value(self, cls):
+        agreement = cls("sa", 2)
+        results: dict[int, object] = {}
+        system = System(
+            inputs=(1, None),
+            c_factories=[
+                proposer(agreement, 0, "mine", results),
+                proposer(agreement, 1, "other", results),
+            ],
+        )
+        execute(system, SeededRandomScheduler(0), max_steps=10_000)
+        assert results == {0: "mine"}
+
+    def test_none_proposal_rejected(self, cls):
+        agreement = cls("sa", 2)
+        with pytest.raises(ValueError):
+            next(agreement.propose(0, None))
+
+
+class TestBlockingSemantics:
+    def test_classic_unresolved_while_propose_in_flight(self):
+        """Stop a proposer right after its level-1 write: resolve must
+        report UNRESOLVED (the blocked state)."""
+        agreement = SafeAgreement("sa", 2)
+        results: dict = {}
+        p0, p1 = c_process(0), c_process(1)
+        # p0: input write, val write, level-1 write = 3 steps, then stall.
+        schedule = [p0] * 3 + [p1] * 20
+        system = System(
+            inputs=(0, 1),
+            c_factories=[
+                proposer(agreement, 0, "stuck", results),
+                resolver_once(agreement, results),
+            ],
+        )
+        execute(
+            system, ExplicitScheduler(schedule, strict=False), max_steps=100
+        )
+        assert results["resolver"] is UNRESOLVED
+
+    def test_classic_resolves_after_propose_completes(self):
+        agreement = SafeAgreement("sa", 2)
+        results: dict = {}
+        p0, p1 = c_process(0), c_process(1)
+        schedule = [p0] * 6 + [p1] * 20  # p0 completes its propose
+        system = System(
+            inputs=(0, 1),
+            c_factories=[
+                proposer(agreement, 0, "done", results),
+                resolver_once(agreement, results),
+            ],
+        )
+        execute(
+            system, ExplicitScheduler(schedule, strict=False), max_steps=200
+        )
+        assert results["resolver"] == "done"
+
+    def test_cas_resolves_as_soon_as_any_propose_lands(self):
+        agreement = CasAgreement("sa", 2)
+        results: dict = {}
+        p0, p1 = c_process(0), c_process(1)
+        # CAS propose is a single operation after the input write.
+        schedule = [p0] * 2 + [p1] * 10
+        system = System(
+            inputs=(0, 1),
+            c_factories=[
+                proposer(agreement, 0, "fast", results),
+                resolver_once(agreement, results),
+            ],
+        )
+        execute(
+            system, ExplicitScheduler(schedule, strict=False), max_steps=100
+        )
+        assert results["resolver"] == "fast"
+
+    def test_classic_exhaustive_pairs_never_split(self):
+        """Agreement across all interleavings of two proposers."""
+        for bits in itertools.product([0, 1], repeat=12):
+            agreement = SafeAgreement("sa", 2)
+            results: dict = {}
+            system = System(
+                inputs=(0, 1),
+                c_factories=[
+                    proposer(agreement, 0, "a", results),
+                    proposer(agreement, 1, "b", results),
+                ],
+            )
+            schedule = [c_process(b) for b in bits]
+            execute(
+                system,
+                ExplicitScheduler(schedule, strict=False),
+                max_steps=3_000,
+            )
+            if len(results) == 2:
+                assert results[0] == results[1]

@@ -1,0 +1,128 @@
+"""Tests for splitters and Moir-Anderson grid renaming."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.splitters import (
+    grid_cell_name,
+    moir_anderson_factories,
+    namespace_size,
+    splitter,
+)
+from repro.core import System, c_process
+from repro.runtime import (
+    ExplicitScheduler,
+    SeededRandomScheduler,
+    execute,
+    ops,
+)
+from repro.tasks import RenamingTask
+
+
+def splitter_contender(index, outcomes):
+    def factory(ctx):
+        outcome = yield from splitter("s", index)
+        outcomes[index] = outcome
+        yield ops.Decide(outcome)
+
+    return factory
+
+
+class TestSplitter:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_splitter_law(self, k, seed):
+        outcomes: dict[int, str] = {}
+        system = System(
+            inputs=(1,) * k,
+            c_factories=[splitter_contender(i, outcomes) for i in range(k)],
+        )
+        result = execute(system, SeededRandomScheduler(seed), max_steps=5_000)
+        assert result.all_participants_decided
+        counts = {
+            o: sum(1 for v in outcomes.values() if v == o)
+            for o in ("stop", "right", "down")
+        }
+        assert counts["stop"] <= 1
+        if k >= 1:
+            assert counts["right"] <= k - 1 if k > 1 else counts["right"] == 0
+            assert counts["down"] <= k - 1 if k > 1 else counts["down"] == 0
+
+    def test_solo_visitor_stops(self):
+        outcomes: dict[int, str] = {}
+        system = System(
+            inputs=(1,), c_factories=[splitter_contender(0, outcomes)]
+        )
+        execute(system, SeededRandomScheduler(0), max_steps=1_000)
+        assert outcomes[0] == "stop"
+
+    def test_exhaustive_two_visitors(self):
+        """All interleavings of two visitors: at most one stop, never
+        both right, never both down."""
+        for bits in itertools.product([0, 1], repeat=10):
+            outcomes: dict[int, str] = {}
+            system = System(
+                inputs=(1, 1),
+                c_factories=[
+                    splitter_contender(i, outcomes) for i in range(2)
+                ],
+            )
+            schedule = [c_process(b) for b in bits]
+            result = execute(
+                system,
+                ExplicitScheduler(schedule, strict=False),
+                max_steps=1_000,
+            )
+            if not result.all_participants_decided:
+                continue
+            values = list(outcomes.values())
+            assert values.count("stop") <= 1
+            assert values.count("right") <= 1
+            assert values.count("down") <= 1
+
+
+class TestGridNaming:
+    def test_cell_names_injective_and_bounded(self):
+        j = 6
+        names = [
+            grid_cell_name(r, c)
+            for r in range(j)
+            for c in range(j)
+            if r + c <= j - 1
+        ]
+        assert len(set(names)) == len(names)
+        assert min(names) == 1
+        assert max(names) == namespace_size(j)
+
+
+class TestMoirAnderson:
+    @pytest.mark.parametrize("j", [1, 2, 3, 5])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_renaming_into_quadratic_namespace(self, j, seed):
+        n = j + 2
+        task = RenamingTask(
+            n, j, namespace_size(j), namespace=tuple(range(1, n + 1))
+        )
+        inputs = tuple(i + 1 if i < j else None for i in range(n))
+        system = System(
+            inputs=inputs, c_factories=moir_anderson_factories(n, j)
+        )
+        result = execute(system, SeededRandomScheduler(seed), max_steps=50_000)
+        result.require_all_decided().require_satisfies(task)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_uniqueness_any_seed(self, seed):
+        n, j = 5, 3
+        inputs = (1, 2, 3, None, None)
+        system = System(
+            inputs=inputs, c_factories=moir_anderson_factories(n, j)
+        )
+        result = execute(system, SeededRandomScheduler(seed), max_steps=50_000)
+        result.require_all_decided()
+        names = [v for v in result.outputs if v is not None]
+        assert len(set(names)) == len(names)
+        assert all(1 <= v <= namespace_size(j) for v in names)

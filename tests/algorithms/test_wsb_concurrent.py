@@ -1,0 +1,64 @@
+"""Tests for the (j-1)-concurrent weak-symmetry-breaking algorithm."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.wsb_concurrent import wsb_concurrent_factories
+from repro.core import System, c_process
+from repro.runtime import (
+    ExplicitScheduler,
+    SeededRandomScheduler,
+    execute,
+    k_concurrent,
+)
+from repro.tasks import WeakSymmetryBreakingTask
+
+
+def run_wsb(n, j, inputs, concurrency, seed=0):
+    system = System(
+        inputs=inputs, c_factories=wsb_concurrent_factories(n, j)
+    )
+    scheduler = k_concurrent(SeededRandomScheduler(seed), concurrency)
+    return execute(system, scheduler, max_steps=50_000)
+
+
+class TestWithinClass:
+    @pytest.mark.parametrize("n,j", [(3, 2), (4, 3), (5, 3), (6, 5)])
+    def test_exact_quorum_breaks_symmetry(self, n, j):
+        task = WeakSymmetryBreakingTask(n, j)
+        for subset in itertools.combinations(range(n), j):
+            inputs = tuple(
+                i + 1 if i in subset else None for i in range(n)
+            )
+            result = run_wsb(n, j, inputs, j - 1, seed=sum(subset))
+            result.require_all_decided().require_satisfies(task)
+            decided = [v for v in result.outputs if v is not None]
+            assert set(decided) == {0, 1}
+
+    def test_partial_participation_unconstrained(self):
+        n, j = 4, 3
+        task = WeakSymmetryBreakingTask(n, j)
+        result = run_wsb(n, j, (1, None, 3, None), j - 1)
+        result.require_all_decided().require_satisfies(task)
+
+
+class TestOutsideClass:
+    def test_violation_at_full_concurrency(self):
+        """A j-concurrent schedule in which every participant writes
+        before anyone snapshots makes everybody see the full quorum and
+        decide 1 — symmetry unbroken."""
+        n, j = 4, 3
+        task = WeakSymmetryBreakingTask(n, j)
+        p = [c_process(i) for i in range(j)]
+        schedule = [p[0], p[1], p[2]] + [p[0]] * 2 + [p[1]] * 2 + [p[2]] * 2
+        system = System(
+            inputs=(1, 2, 3, None),
+            c_factories=wsb_concurrent_factories(n, j),
+        )
+        result = execute(
+            system, ExplicitScheduler(schedule, strict=False), max_steps=100
+        )
+        assert result.all_participants_decided
+        assert result.outputs == (1, 1, 1, None)
+        assert not result.satisfies(task)

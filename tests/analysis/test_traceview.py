@@ -1,0 +1,60 @@
+"""Tests for the trace renderers."""
+
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.analysis.traceview import (
+    format_ledger,
+    format_lanes,
+    register_traffic,
+    summarize,
+)
+from repro.core import System
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent
+
+
+def traced_run():
+    system = System(
+        inputs=(0, 1, 2), c_factories=kset_concurrent_factories(3, 2)
+    )
+    return execute(
+        system,
+        k_concurrent(SeededRandomScheduler(1), 2),
+        max_steps=50_000,
+        trace=True,
+    )
+
+
+class TestRenderers:
+    def test_ledger_has_one_line_per_step(self):
+        result = traced_run()
+        ledger = format_ledger(result.trace)
+        assert len(ledger.splitlines()) == len(result.trace)
+        assert "DECIDE" in ledger
+
+    def test_ledger_limit(self):
+        result = traced_run()
+        short = format_ledger(result.trace, limit=5)
+        assert len(short.splitlines()) <= 5
+
+    def test_lanes_cover_all_processes(self):
+        result = traced_run()
+        lanes = format_lanes(result.trace)
+        for name in ("p1", "p2", "p3", "q1"):
+            assert name in lanes
+
+    def test_lane_width_respected(self):
+        result = traced_run()
+        for line in format_lanes(result.trace, width=40).splitlines():
+            assert len(line) <= 40 + 8  # name column + separator
+
+    def test_register_traffic_counts_inputs(self):
+        result = traced_run()
+        traffic = register_traffic(result.trace)
+        assert any(name.startswith("inp/") for name in traffic)
+        assert any(name.startswith("ksetc/ann/") for name in traffic)
+
+    def test_summary_mentions_decisions(self):
+        result = traced_run()
+        text = summarize(result.trace)
+        assert "steps:" in text
+        assert "decisions:" in text
+        assert "p1=" in text

@@ -1,0 +1,87 @@
+"""Tests for the analysis helpers."""
+
+import pytest
+
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.analysis import (
+    ExperimentRecord,
+    distinct_decisions,
+    format_report,
+    max_concurrent_undecided,
+    renaming_summary,
+    require_agreement,
+    verify_run,
+)
+from repro.core import System
+from repro.errors import SafetyViolation
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent
+from repro.tasks import SetAgreementTask
+
+
+def make_result(k=2, seed=0, trace=False):
+    n = 3
+    system = System(
+        inputs=(0, 1, 2), c_factories=kset_concurrent_factories(n, 2)
+    )
+    scheduler = k_concurrent(SeededRandomScheduler(seed), k)
+    return execute(system, scheduler, max_steps=50_000, trace=trace)
+
+
+class TestVerify:
+    def test_verify_run_passes(self):
+        task = SetAgreementTask(3, 2)
+        result = make_result()
+        assert verify_run(result, task) is result
+
+    def test_distinct_decisions(self):
+        result = make_result()
+        assert 1 <= distinct_decisions(result) <= 2
+
+    def test_max_concurrent_undecided(self):
+        result = make_result(k=2, trace=True)
+        assert 1 <= max_concurrent_undecided(result.trace) <= 2
+        sequential = make_result(k=1, trace=True)
+        assert max_concurrent_undecided(sequential.trace) == 1
+
+    def test_renaming_summary(self):
+        result = make_result()
+        top, distinct = renaming_summary(result)
+        assert top >= 0
+        assert isinstance(distinct, bool)
+
+    def test_require_agreement_raises_on_split(self):
+        from dataclasses import replace
+
+        result = make_result()
+        split = replace(result, outputs=(0, 1, None))
+        with pytest.raises(SafetyViolation):
+            require_agreement([split])
+
+    def test_require_agreement_accepts_unanimous(self):
+        from dataclasses import replace
+
+        result = make_result()
+        unanimous = replace(result, outputs=(1, 1, 1))
+        require_agreement([unanimous])
+
+
+class TestReporting:
+    def test_record_and_report(self):
+        records = [
+            ExperimentRecord(
+                experiment_id="E-P6",
+                paper_artifact="Proposition 6",
+                parameters={"n": 4, "k": 2},
+                measured={"distinct": 2},
+            ),
+            ExperimentRecord(
+                experiment_id="E-T10",
+                paper_artifact="Theorem 10",
+                verdict="pass",
+            ),
+        ]
+        report = format_report(records)
+        assert "E-P6" in report
+        assert "Proposition 6" in report
+        assert "n=4" in report
+        assert report.count("\n") >= 3

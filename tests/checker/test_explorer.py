@@ -1,0 +1,159 @@
+"""Tests for the exhaustive schedule explorer and valency analysis."""
+
+import pytest
+
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.algorithms.one_concurrent import one_concurrent_factories
+from repro.algorithms.renaming_figure4 import figure4_factories
+from repro.checker import (
+    ScheduleExplorer,
+    analyze_valency,
+    concurrency_gate,
+    drop_null_s_processes,
+    task_safety_verdict,
+)
+from repro.core import System
+from repro.tasks import ConsensusTask, RenamingTask, SetAgreementTask
+
+
+class TestExplorer:
+    def test_figure4_pair_exhaustively_safe(self):
+        """All interleavings of two Figure 4 renamers stay within
+        (2, 3)-renaming — an exhaustive certificate on this instance."""
+        task = RenamingTask(3, 2, 3)
+
+        def build():
+            return System(
+                inputs=(1, 2, None), c_factories=figure4_factories(3)
+            )
+
+        explorer = ScheduleExplorer(
+            build, max_depth=16, candidate_filter=drop_null_s_processes
+        )
+        report = explorer.check(task_safety_verdict(task))
+        assert report.ok
+        assert report.completed_runs > 0
+        assert report.explored > 1000
+
+    def test_kset_concurrent_certified_under_gate(self):
+        """2-set agreement algorithm, 3 processes, all 2-concurrent
+        interleavings: exhaustively safe."""
+        task = SetAgreementTask(3, 2)
+
+        def build():
+            return System(
+                inputs=(0, 1, 2),
+                c_factories=kset_concurrent_factories(3, 2),
+            )
+
+        def gate(executor, candidates):
+            return concurrency_gate(2)(
+                executor, drop_null_s_processes(executor, candidates)
+            )
+
+        explorer = ScheduleExplorer(build, max_depth=14, candidate_filter=gate)
+        report = explorer.check(task_safety_verdict(task))
+        assert report.ok
+        assert report.completed_runs > 0
+
+    def test_explorer_finds_known_violation(self):
+        """Without the gate, the same algorithm violates 2-set agreement
+        somewhere — the explorer locates a concrete witness schedule."""
+        task = SetAgreementTask(3, 2)
+
+        def build():
+            return System(
+                inputs=(0, 1, 2),
+                c_factories=kset_concurrent_factories(3, 2),
+            )
+
+        explorer = ScheduleExplorer(
+            build, max_depth=14, candidate_filter=drop_null_s_processes
+        )
+        report = explorer.check(task_safety_verdict(task))
+        assert not report.ok
+        schedule, result = report.violations[0]
+        assert schedule  # a concrete witness
+
+    def test_max_runs_cap(self):
+        def build():
+            return System(
+                inputs=(0, 1, 2),
+                c_factories=kset_concurrent_factories(3, 2),
+            )
+
+        explorer = ScheduleExplorer(
+            build,
+            max_depth=12,
+            candidate_filter=drop_null_s_processes,
+            max_runs=50,
+        )
+        report = explorer.check(task_safety_verdict(SetAgreementTask(3, 2)))
+        assert report.completed_runs + report.truncated_runs <= 50
+
+
+class TestValency:
+    def test_prop1_consensus_is_bivalent_without_gate(self):
+        """The Proposition 1 solver at full concurrency: both outcomes
+        (agree on 0 / agree on 1) and even disagreement are reachable —
+        a bivalent initial state."""
+        task = ConsensusTask(2)
+
+        def build():
+            return System(
+                inputs=(0, 1),
+                c_factories=list(one_concurrent_factories(task)),
+            )
+
+        report = analyze_valency(
+            build, max_depth=12, candidate_filter=drop_null_s_processes
+        )
+        assert report.bivalent_initial
+        assert len(report.reachable_outcomes) >= 2
+
+    def test_gated_prop1_consensus_is_safe_but_still_bivalent(self):
+        """Under the 1-concurrency gate the solver is correct, yet the
+        *outcome* still depends on arrival order — bivalence of inputs,
+        not a safety failure."""
+        task = ConsensusTask(2)
+
+        def build():
+            return System(
+                inputs=(0, 1),
+                c_factories=list(one_concurrent_factories(task)),
+            )
+
+        def gate(executor, candidates):
+            return concurrency_gate(1)(
+                executor, drop_null_s_processes(executor, candidates)
+            )
+
+        report = analyze_valency(build, max_depth=14, candidate_filter=gate)
+        assert report.reachable_outcomes <= {(0,), (1,)}
+        assert report.bivalent_initial
+
+
+class TestValencyCriticalPrefixes:
+    def test_critical_prefixes_exist_under_gate(self):
+        """With the 1-concurrency gate, consensus outcome is fixed by the
+        arrival decision: the empty prefix is bivalent and critical
+        prefixes (all children univalent) exist at the arrival point."""
+        task = ConsensusTask(2)
+
+        def build():
+            return System(
+                inputs=(0, 1),
+                c_factories=list(one_concurrent_factories(task)),
+            )
+
+        def gate(executor, candidates):
+            return concurrency_gate(1)(
+                executor, drop_null_s_processes(executor, candidates)
+            )
+
+        report = analyze_valency(build, max_depth=14, candidate_filter=gate)
+        assert report.bivalent_initial
+        assert report.critical_prefixes
+        # The earliest critical prefix is at the very first scheduling
+        # decision: whoever is admitted first fixes the outcome.
+        assert len(report.critical_prefixes[0]) == 0

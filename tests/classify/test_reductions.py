@@ -1,0 +1,60 @@
+"""E-L11: the Lemma 11 reduction — strong-2-renaming gives 2-process
+consensus."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.renaming_figure3 import cas_strong_renaming_factory
+from repro.checker import (
+    ScheduleExplorer,
+    drop_null_s_processes,
+    task_safety_verdict,
+)
+from repro.classify import consensus_from_strong_2_renaming
+from repro.core import System, c_process
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import ConsensusTask
+
+PARTNER = {0: 1, 1: 0}
+
+
+def consensus_factories():
+    factory = consensus_from_strong_2_renaming(
+        cas_strong_renaming_factory, PARTNER
+    )
+    return [factory, factory]
+
+
+class TestLemma11Reduction:
+    @pytest.mark.parametrize("inputs", [(0, 1), (1, 0), (0, 0), (1, 1)])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_solves_consensus(self, inputs, seed):
+        task = ConsensusTask(2)
+        system = System(inputs=inputs, c_factories=consensus_factories())
+        result = execute(system, SeededRandomScheduler(seed), max_steps=20_000)
+        result.require_all_decided().require_satisfies(task)
+
+    @pytest.mark.parametrize("inputs", [(0, 1), (1, 0)])
+    def test_exhaustively_correct(self, inputs):
+        """All interleavings (to depth 16): the derived protocol is a
+        correct wait-free consensus — which is exactly why no register
+        implementation of the inner solver can exist (Lemma 11)."""
+        task = ConsensusTask(2)
+
+        def build():
+            return System(inputs=inputs, c_factories=consensus_factories())
+
+        explorer = ScheduleExplorer(
+            build, max_depth=16, candidate_filter=drop_null_s_processes
+        )
+        report = explorer.check(task_safety_verdict(task))
+        assert report.ok
+        assert report.completed_runs > 0
+
+    def test_solo_runs_decide_own_input(self):
+        task = ConsensusTask(2)
+        system = System(inputs=(1, None), c_factories=consensus_factories())
+        result = execute(system, SeededRandomScheduler(0), max_steps=10_000)
+        result.require_all_decided()
+        assert result.outputs == (1, None)

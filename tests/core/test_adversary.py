@@ -1,0 +1,95 @@
+"""Tests for the adversary extension (the paper's concluding remark)."""
+
+import pytest
+
+from repro.algorithms.kset_vector import kset_factories
+from repro.core import System
+from repro.core.adversary import Adversary
+from repro.core.failures import FailurePattern
+from repro.detectors import VectorOmegaK
+from repro.errors import SpecificationError
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import SetAgreementTask
+
+
+class TestStructure:
+    def test_wait_free_adversary(self):
+        adv = Adversary.wait_free(3)
+        assert len(adv.live_sets) == 7
+        assert adv.is_superset_closed()
+        assert adv.min_core_size() == 1
+
+    def test_t_resilient(self):
+        adv = Adversary.t_resilient(4, 1)
+        assert all(len(s) >= 3 for s in adv.live_sets)
+        assert adv.is_superset_closed()
+        assert adv.cores() == frozenset(
+            s for s in adv.live_sets if len(s) == 3
+        )
+
+    def test_superset_closure(self):
+        adv = Adversary.superset_closure(3, [{0}])
+        assert adv.allows({0})
+        assert adv.allows({0, 1})
+        assert adv.allows({0, 1, 2})
+        assert not adv.allows({1})
+        assert adv.is_superset_closed()
+        assert adv.cores() == frozenset({frozenset({0})})
+
+    def test_non_closed_adversary_detected(self):
+        adv = Adversary(3, [{0}, {0, 1, 2}], name="gappy")
+        assert not adv.is_superset_closed()
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            Adversary(3, [])
+        with pytest.raises(SpecificationError):
+            Adversary(3, [set()])
+        with pytest.raises(SpecificationError):
+            Adversary(3, [{7}])
+        with pytest.raises(SpecificationError):
+            Adversary.t_resilient(3, 3)
+
+    def test_environment_membership(self):
+        adv = Adversary.superset_closure(3, [{1}])
+        env = adv.environment()
+        assert FailurePattern.crash(3, {0: 0, 2: 0}) in env  # live {1}
+        assert FailurePattern.crash(3, {1: 0}) not in env  # 1 faulty
+
+    def test_sample_patterns_cover_live_sets(self):
+        adv = Adversary.t_resilient(3, 1)
+        patterns = list(adv.sample_patterns(crash_times=(0,)))
+        live_sets = {p.correct for p in patterns}
+        assert live_sets == adv.live_sets
+
+
+class TestSolvingUnderAdversaries:
+    """The environment-quantified upper bounds hold verbatim 'in the
+    presence of A': vector-Omega-k solves k-set agreement under every
+    pattern any adversary allows."""
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [
+            Adversary.t_resilient(3, 1),
+            Adversary.superset_closure(3, [{2}], name="2-lives"),
+            Adversary(3, [{0, 1}, {0, 1, 2}], name="pair"),
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_kset_under_adversary(self, adversary):
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        for pattern in adversary.sample_patterns(crash_times=(0, 8)):
+            c_factories, s_factories = kset_factories(n, k)
+            system = System(
+                inputs=(0, 1, 2),
+                c_factories=c_factories,
+                s_factories=s_factories,
+                detector=VectorOmegaK(n, k, stabilization_time=15),
+                pattern=pattern,
+            )
+            result = execute(
+                system, SeededRandomScheduler(3), max_steps=400_000
+            )
+            result.require_all_decided().require_satisfies(task)

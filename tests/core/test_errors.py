@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy and error paths."""
+
+import pytest
+
+from repro.errors import (
+    LivenessViolation,
+    ProtocolError,
+    ReproError,
+    SafetyViolation,
+    SchedulingError,
+    SpecificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SpecificationError,
+            ProtocolError,
+            SchedulingError,
+            LivenessViolation,
+            SafetyViolation,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_liveness_violation_carries_result(self):
+        sentinel = object()
+        error = LivenessViolation("stuck", result=sentinel)
+        assert error.result is sentinel
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise SchedulingError("nope")
+
+
+class TestErrorPaths:
+    def test_solver_validation(self):
+        from repro.algorithms.kconcurrent_solver import theorem9_solver
+
+        with pytest.raises(ValueError):
+            theorem9_solver(n=3, k=1, algorithm_factories=[lambda c: None])
+
+    def test_system_factory_count_mismatch(self):
+        from repro.core import System, null_automaton
+
+        with pytest.raises(SpecificationError):
+            System(inputs=(1, 2), c_factories=[null_automaton])
+
+    def test_system_pattern_size_mismatch(self):
+        from repro.core import System, null_automaton
+        from repro.core.failures import FailurePattern
+
+        with pytest.raises(SpecificationError):
+            System(
+                inputs=(1,),
+                c_factories=[null_automaton],
+                s_factories=[null_automaton, null_automaton],
+                pattern=FailurePattern.all_correct(1),
+            )
+
+    def test_bg_rejects_cas_codes(self):
+        from repro.algorithms.bg_simulation import BGSpec, bg_factories
+        from repro.core import System
+        from repro.errors import ProtocolError
+        from repro.runtime import RoundRobinScheduler, execute, ops
+
+        def cas_code(ctx):
+            yield ops.CompareAndSwap("x", None, 1)
+            yield ops.Decide(0)
+
+        spec = BGSpec(
+            name="bg",
+            code_factories=[cas_code],
+            simulators=1,
+            static_inputs=(1,),
+        )
+        system = System(inputs=(0,), c_factories=bg_factories(spec))
+        with pytest.raises(ProtocolError, match="register protocols"):
+            execute(system, RoundRobinScheduler(), max_steps=1_000)

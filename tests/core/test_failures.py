@@ -1,0 +1,89 @@
+"""Unit tests for failure patterns and environments."""
+
+import pytest
+
+from repro.core.failures import Environment, FailurePattern
+from repro.errors import SpecificationError
+
+
+class TestFailurePattern:
+    def test_all_correct(self):
+        p = FailurePattern.all_correct(4)
+        assert p.correct == frozenset(range(4))
+        assert p.faulty == frozenset()
+        assert p.crashed_at(1000) == frozenset()
+
+    def test_crash_builder(self):
+        p = FailurePattern.crash(3, {1: 5})
+        assert p.faulty == frozenset({1})
+        assert p.correct == frozenset({0, 2})
+
+    def test_crashed_at_monotone(self):
+        p = FailurePattern.crash(4, {0: 3, 2: 10})
+        assert p.crashed_at(0) == frozenset()
+        assert p.crashed_at(3) == frozenset({0})
+        assert p.crashed_at(9) == frozenset({0})
+        assert p.crashed_at(10) == frozenset({0, 2})
+        for t in range(20):
+            assert p.crashed_at(t) <= p.crashed_at(t + 1)
+
+    def test_is_alive(self):
+        p = FailurePattern.crash(2, {0: 5})
+        assert p.is_alive(0, 4)
+        assert not p.is_alive(0, 5)
+        assert p.is_alive(1, 10**9)
+
+    def test_all_faulty_rejected(self):
+        with pytest.raises(SpecificationError):
+            FailurePattern(2, (0, 0))
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(SpecificationError):
+            FailurePattern(2, (-1, None))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SpecificationError):
+            FailurePattern(3, (None, None))
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(SpecificationError):
+            FailurePattern.crash(2, {5: 0})
+
+    def test_max_crash_time(self):
+        assert FailurePattern.all_correct(3).max_crash_time() == 0
+        assert FailurePattern.crash(3, {0: 7, 1: 2}).max_crash_time() == 7
+
+
+class TestEnvironment:
+    def test_at_most_membership(self):
+        env = Environment.at_most(4, 2)
+        assert FailurePattern.all_correct(4) in env
+        assert FailurePattern.crash(4, {0: 0, 1: 0}) in env
+        assert FailurePattern.crash(4, {0: 0, 1: 0, 2: 0}) not in env
+
+    def test_wait_free_allows_all_but_one(self):
+        env = Environment.wait_free(3)
+        assert FailurePattern.crash(3, {0: 0, 1: 0}) in env
+
+    def test_failure_free(self):
+        env = Environment.failure_free(3)
+        assert FailurePattern.all_correct(3) in env
+        assert FailurePattern.crash(3, {0: 1}) not in env
+
+    def test_wrong_size_pattern_not_member(self):
+        env = Environment.at_most(4, 2)
+        assert FailurePattern.all_correct(3) not in env
+
+    def test_sample_patterns_respect_environment(self):
+        env = Environment.at_most(3, 1)
+        patterns = list(env.sample_patterns(crash_times=(0, 2)))
+        assert FailurePattern.all_correct(3) in patterns
+        assert all(pat in env for pat in patterns)
+        assert all(len(pat.faulty) <= 1 for pat in patterns)
+
+    def test_sample_patterns_cover_each_faulty_singleton(self):
+        env = Environment.wait_free(3)
+        patterns = list(env.sample_patterns(crash_times=(0,)))
+        faulty_sets = {pat.faulty for pat in patterns}
+        for i in range(3):
+            assert frozenset({i}) in faulty_sets

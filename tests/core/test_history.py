@@ -1,0 +1,77 @@
+"""Unit tests for history containers and the stabilizing history."""
+
+import random
+
+from repro.core.history import (
+    ConstantHistory,
+    FunctionHistory,
+    RecordedHistory,
+)
+from repro.detectors.base import StabilizingHistory, choose_correct
+from repro.core.failures import FailurePattern
+
+
+class TestContainers:
+    def test_constant(self):
+        h = ConstantHistory("x")
+        assert h.value(0, 0) == "x"
+        assert h.value(5, 99) == "x"
+
+    def test_function(self):
+        h = FunctionHistory(lambda q, t: (q, t))
+        assert h.value(2, 7) == (2, 7)
+
+    def test_recorded_with_default(self):
+        h = RecordedHistory({(0, 1): "a"}, default="d")
+        assert h.value(0, 1) == "a"
+        assert h.value(0, 2) == "d"
+
+    def test_recorded_mutation(self):
+        h = RecordedHistory({})
+        h.record(1, 3, "late")
+        assert h.value(1, 3) == "late"
+
+
+class TestStabilizingHistory:
+    def _history(self, stabilization):
+        return StabilizingHistory(
+            stable=lambda q: f"stable-{q}",
+            noise=lambda q, t, rng: rng.randrange(100),
+            stabilization_time=stabilization,
+            base_seed=42,
+        )
+
+    def test_stable_after_threshold(self):
+        h = self._history(10)
+        assert h.value(1, 10) == "stable-1"
+        assert h.value(1, 1000) == "stable-1"
+
+    def test_noise_before_threshold_is_deterministic(self):
+        a = self._history(10)
+        b = self._history(10)
+        values_a = [a.value(q, t) for q in range(3) for t in range(10)]
+        values_b = [b.value(q, t) for q in range(3) for t in range(10)]
+        assert values_a == values_b
+
+    def test_cache_consistency(self):
+        h = self._history(5)
+        first = h.value(0, 2)
+        assert h.value(0, 2) == first
+
+    def test_zero_stabilization_means_always_stable(self):
+        h = self._history(0)
+        assert h.value(2, 0) == "stable-2"
+
+
+class TestChooseCorrect:
+    def test_only_correct_chosen(self):
+        pattern = FailurePattern.crash(4, {0: 0, 2: 0})
+        for seed in range(10):
+            chosen = choose_correct(pattern, random.Random(seed))
+            assert chosen in pattern.correct
+
+    def test_deterministic_per_seed(self):
+        pattern = FailurePattern.all_correct(5)
+        a = choose_correct(pattern, random.Random(3))
+        b = choose_correct(pattern, random.Random(3))
+        assert a == b

@@ -1,0 +1,101 @@
+"""E-P3/P5: Propositions 3 and 5 — personified runs and the colorless
+coincidence."""
+
+import pytest
+
+from repro.algorithms.kset_vector import kset_factories
+from repro.core import System, c_process
+from repro.core.failures import FailurePattern
+from repro.detectors import VectorOmegaK
+from repro.runtime import (
+    SeededRandomScheduler,
+    execute,
+    personified,
+)
+from repro.tasks import SetAgreementTask
+
+
+def run_personified(n, k, inputs, pattern, seed=0):
+    c_factories, s_factories = kset_factories(n, k)
+    system = System(
+        inputs=inputs,
+        c_factories=c_factories,
+        s_factories=s_factories,
+        detector=VectorOmegaK(n, k, stabilization_time=10),
+        pattern=pattern,
+        seed=seed,
+    )
+    scheduler = personified(SeededRandomScheduler(seed), pattern)
+    correct = pattern.correct
+
+    def done(ex):
+        return correct & ex.system.participants <= ex.decided_c
+
+    return execute(system, scheduler, max_steps=400_000, stop_when=done)
+
+
+class TestPropositionThree:
+    """Personified runs are a subset of fair runs, so an EFD solution is
+    a classical solution: correct participants decide, crashed ones are
+    excused."""
+
+    @pytest.mark.parametrize("crashed", [0, 1, 2])
+    def test_correct_processes_decide_despite_companion_crashes(
+        self, crashed
+    ):
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        pattern = FailurePattern.crash(n, {crashed: 25})
+        result = run_personified(n, k, (0, 1, 2), pattern)
+        # Classical solvability: every *correct* participant decided.
+        for i in pattern.correct:
+            assert result.outputs[i] is not None
+        assert result.satisfies(task)
+
+    def test_crashed_c_process_takes_no_late_steps(self):
+        n, k = 3, 2
+        pattern = FailurePattern.crash(n, {1: 15})
+        c_factories, s_factories = kset_factories(n, k)
+        system = System(
+            inputs=(0, 1, 2),
+            c_factories=c_factories,
+            s_factories=s_factories,
+            detector=VectorOmegaK(n, k),
+            pattern=pattern,
+        )
+        scheduler = personified(SeededRandomScheduler(2), pattern)
+        result = execute(system, scheduler, max_steps=4_000, trace=True)
+        late = [
+            e
+            for e in result.trace
+            if e.pid == c_process(1) and e.time >= 15
+        ]
+        assert not late
+
+
+class TestPropositionFive:
+    """For a colorless task, fair-run (EFD) solvability and classical
+    solvability coincide — the same system solves the task in both run
+    classes."""
+
+    def test_colorless_task_solved_in_both_run_classes(self):
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        assert task.colorless
+        pattern = FailurePattern.crash(n, {2: 30})
+        # Personified (classical) runs:
+        personified_result = run_personified(n, k, (0, 1, 2), pattern)
+        assert personified_result.satisfies(task)
+        # Plain fair runs with the same pattern (C-processes all live):
+        c_factories, s_factories = kset_factories(n, k)
+        system = System(
+            inputs=(0, 1, 2),
+            c_factories=c_factories,
+            s_factories=s_factories,
+            detector=VectorOmegaK(n, k, stabilization_time=10),
+            pattern=pattern,
+        )
+        fair_result = execute(
+            system, SeededRandomScheduler(4), max_steps=400_000
+        )
+        fair_result.require_all_decided().require_satisfies(task)

@@ -1,0 +1,68 @@
+"""Unit tests for process identities and contexts."""
+
+import pytest
+
+from repro.core.process import (
+    ProcessContext,
+    ProcessId,
+    ProcessKind,
+    c_process,
+    c_processes,
+    s_process,
+    s_processes,
+)
+
+
+def test_names_follow_paper_convention():
+    assert c_process(0).name == "p1"
+    assert s_process(0).name == "q1"
+    assert c_process(4).name == "p5"
+    assert s_process(9).name == "q10"
+
+
+def test_kind_predicates():
+    assert c_process(0).is_computation
+    assert not c_process(0).is_synchronization
+    assert s_process(0).is_synchronization
+    assert not s_process(0).is_computation
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        ProcessId(ProcessKind.COMPUTATION, -1)
+
+
+def test_ordering_computation_before_synchronization():
+    assert c_process(5) < s_process(0)
+    assert s_process(0) > c_process(5)
+    assert sorted([s_process(1), c_process(2), c_process(0), s_process(0)]) == [
+        c_process(0),
+        c_process(2),
+        s_process(0),
+        s_process(1),
+    ]
+
+
+def test_ordering_by_index_within_kind():
+    assert c_process(0) < c_process(1)
+    assert s_process(2) <= s_process(2)
+    assert s_process(3) >= s_process(2)
+
+
+def test_equality_and_hash():
+    assert c_process(3) == c_process(3)
+    assert c_process(3) != s_process(3)
+    assert len({c_process(1), c_process(1), s_process(1)}) == 2
+
+
+def test_bulk_constructors():
+    assert [p.name for p in c_processes(3)] == ["p1", "p2", "p3"]
+    assert [q.name for q in s_processes(2)] == ["q1", "q2"]
+
+
+def test_context_carries_input():
+    ctx = ProcessContext(
+        pid=c_process(1), n_computation=3, n_synchronization=3, input_value=42
+    )
+    assert ctx.input_value == 42
+    assert ctx.pid.name == "p2"

@@ -1,0 +1,167 @@
+"""E-P2: Proposition 2 — with n >= m, a task is solvable with the
+trivial detector iff it is solvable by a restricted algorithm."""
+
+import pytest
+
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.algorithms.renaming_figure4 import figure4_factories
+from repro.core import System, null_automaton, s_process
+from repro.detectors import TrivialDetector
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent
+from repro.tasks import RenamingTask, SetAgreementTask
+
+
+class TestPropositionTwo:
+    """Both directions, on wait-free-solvable instances."""
+
+    def test_restricted_algorithm_runs_with_trivial_detector(self):
+        """Direction 1: a restricted solution stays a solution when the
+        S-processes exist and query the trivial detector."""
+        n, j = 4, 3
+        task = RenamingTask(n, j, 2 * j - 1)
+
+        def querying_null(ctx):
+            from repro.runtime import ops
+
+            while True:
+                value = yield ops.QueryFD()
+                assert value is None  # trivial detector outputs bottom
+                yield ops.Nop()
+
+        inputs = (1, 2, 3, None)
+        system = System(
+            inputs=inputs,
+            c_factories=figure4_factories(n),
+            s_factories=[querying_null] * n,
+            detector=TrivialDetector(),
+        )
+        result = execute(system, SeededRandomScheduler(1), max_steps=200_000)
+        result.require_all_decided().require_satisfies(task)
+
+    def test_trivial_detector_adds_nothing_traceable(self):
+        """Direction 2 (operational rendering): with null S-automata the
+        same runs arise — S-process steps never touch shared state, so
+        the C-side trace is reproducible without them."""
+        n = 3
+        task = SetAgreementTask(n, 2)
+        inputs = (0, 1, 2)
+
+        def run(with_s: bool):
+            system = System(
+                inputs=inputs,
+                c_factories=kset_concurrent_factories(n, 2),
+                s_factories=[null_automaton] * n if with_s else None,
+            )
+            scheduler = k_concurrent(SeededRandomScheduler(5), 2)
+            result = execute(system, scheduler, max_steps=100_000, trace=True)
+            result.require_all_decided().require_satisfies(task)
+            return [
+                (event.pid, repr(event.op))
+                for event in result.trace
+                if event.pid.is_computation
+            ]
+
+        assert run(True) == run(False)
+
+    def test_s_process_null_steps_leave_memory_untouched(self):
+        n = 2
+        system = System(
+            inputs=(0, 1),
+            c_factories=kset_concurrent_factories(n, 2),
+        )
+        result = execute(
+            system,
+            k_concurrent(SeededRandomScheduler(3), 2),
+            max_steps=50_000,
+            trace=True,
+        )
+        s_events = [e for e in result.trace if e.pid.is_synchronization]
+        assert s_events  # they do take steps (fairness)
+        from repro.runtime import ops
+
+        assert all(isinstance(e.op, ops.Nop) for e in s_events)
+
+
+class TestPropositionTwoEmulation:
+    """The proposition's constructive direction: fold each S-automaton
+    into its C-counterpart (alternating steps, detector queries answered
+    bottom) and the system becomes a restricted algorithm."""
+
+    def test_s_helper_folds_into_restricted_algorithm(self):
+        from repro.algorithms.s_helper import (
+            helper_c_factory,
+            helper_s_factory,
+        )
+        from repro.algorithms.self_synchronization import (
+            interleave_factories,
+        )
+
+        n = 4
+        merged = interleave_factories(helper_c_factory, helper_s_factory)
+        # No S-processes at all: a purely restricted system.
+        from repro.core import null_automaton
+
+        system = System(
+            inputs=tuple(range(n)),
+            c_factories=[merged] * n,
+            s_factories=[null_automaton],
+        )
+        result = execute(system, SeededRandomScheduler(3), max_steps=100_000)
+        result.require_all_decided()
+        assert len(set(result.outputs)) <= n
+        assert set(result.outputs) <= set(range(n))
+
+    def test_folded_detector_queries_cost_null_steps(self):
+        from repro.algorithms.self_synchronization import (
+            interleave_factories,
+        )
+        from repro.core import null_automaton
+        from repro.runtime import ops as _ops
+
+        observed = []
+
+        def c_part(ctx):
+            yield _ops.Nop()
+            yield _ops.Decide(0)
+
+        def s_part(ctx):
+            value = yield _ops.QueryFD()
+            observed.append(value)
+            while True:
+                yield _ops.Nop()
+
+        merged = interleave_factories(c_part, s_part)
+        system = System(
+            inputs=(1,),
+            c_factories=[merged],
+            s_factories=[null_automaton],
+        )
+        result = execute(
+            system, SeededRandomScheduler(0), max_steps=200, trace=True
+        )
+        assert result.all_participants_decided
+        assert observed == [None]  # the trivial detector's output
+        # And no QueryFD ever reached the executor from a C-process.
+        assert all(
+            not isinstance(e.op, _ops.QueryFD) for e in result.trace
+        )
+
+    def test_partial_participation_still_served(self):
+        from repro.algorithms.s_helper import (
+            helper_c_factory,
+            helper_s_factory,
+        )
+        from repro.algorithms.self_synchronization import (
+            interleave_factories,
+        )
+        from repro.core import null_automaton
+
+        merged = interleave_factories(helper_c_factory, helper_s_factory)
+        system = System(
+            inputs=(7, None, 9),
+            c_factories=[merged] * 3,
+            s_factories=[null_automaton],
+        )
+        result = execute(system, SeededRandomScheduler(5), max_steps=100_000)
+        result.require_all_decided()
+        assert set(v for v in result.outputs if v is not None) <= {7, 9}

@@ -1,0 +1,115 @@
+"""Unit tests for the task abstraction and EnumeratedTask validation."""
+
+import pytest
+
+from repro.core.task import (
+    EnumeratedTask,
+    is_prefix,
+    participants,
+    proper_prefixes,
+    restrict,
+)
+from repro.errors import SpecificationError
+
+
+class TestVectorHelpers:
+    def test_participants(self):
+        assert participants((None, 1, None, 0)) == frozenset({1, 3})
+        assert participants((None, None)) == frozenset()
+
+    def test_is_prefix_basic(self):
+        assert is_prefix((1, None), (1, 2))
+        assert is_prefix((None, 2), (1, 2))
+        assert not is_prefix((2, None), (1, 2))
+
+    def test_vector_is_prefix_of_itself(self):
+        assert is_prefix((1, 2), (1, 2))
+
+    def test_empty_vector_is_not_a_prefix(self):
+        assert not is_prefix((None, None), (1, 2))
+
+    def test_length_mismatch(self):
+        assert not is_prefix((1,), (1, 2))
+
+    def test_proper_prefixes(self):
+        prefs = set(proper_prefixes((1, 2, None)))
+        assert prefs == {(1, None, None), (None, 2, None)}
+
+    def test_restrict(self):
+        assert restrict((1, 2, 3), [0, 2]) == (1, None, 3)
+
+
+def _binary_consensus_2() -> EnumeratedTask:
+    delta = {}
+    for a in (0, 1):
+        for b in (0, 1):
+            outs = []
+            for v in {a, b}:
+                outs.append((v, v))
+            delta[(a, b)] = outs
+    return EnumeratedTask(2, delta, name="consensus2")
+
+
+class TestEnumeratedTask:
+    def test_prefix_closure_of_inputs(self):
+        task = _binary_consensus_2()
+        assert task.is_input((0, None))
+        assert task.is_input((None, 1))
+        assert task.is_input((0, 1))
+
+    def test_allows_complete_output(self):
+        task = _binary_consensus_2()
+        assert task.allows((0, 1), (0, 0))
+        assert task.allows((0, 1), (1, 1))
+        assert not task.allows((0, 1), (0, 1))
+
+    def test_allows_partial_output(self):
+        task = _binary_consensus_2()
+        assert task.allows((0, 1), (0, None))
+        assert task.allows((0, 1), (None, None))
+
+    def test_solo_induced_outputs(self):
+        task = _binary_consensus_2()
+        # In a solo run on input 0, p1 may decide 0 (restriction of (0,0)).
+        assert task.allows((0, None), (0, None))
+        # Deciding 1 solo on input 0 is pruned by condition (3): the
+        # extension to input (0, 0) has no output extending (1, None).
+        assert not task.allows((0, None), (1, None))
+
+    def test_output_for_non_participant_rejected(self):
+        with pytest.raises(SpecificationError):
+            EnumeratedTask(2, {(0, None): [(0, 0)]})
+
+    def test_empty_output_rejected_in_spec(self):
+        with pytest.raises(SpecificationError):
+            EnumeratedTask(2, {(0, 1): [(None, None)]})
+
+    def test_unextendable_output_rejected(self):
+        # Input (0, None) allows output 5 for p1, but the larger input
+        # (0, 1) has no output extending it: violates condition (3).
+        with pytest.raises(SpecificationError):
+            EnumeratedTask(
+                2,
+                {
+                    (0, None): [(5, None)],
+                    (0, 1): [(0, 0)],
+                },
+            )
+
+    def test_input_vectors_enumeration(self):
+        task = _binary_consensus_2()
+        vectors = set(task.input_vectors())
+        assert (0, 1) in vectors
+        assert (0, None) in vectors
+        assert len(vectors) == 8  # 4 complete + 4 solo
+
+    def test_maximal_input_vectors(self):
+        task = _binary_consensus_2()
+        maximal = set(task.maximal_input_vectors())
+        assert maximal == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_check_run(self):
+        task = _binary_consensus_2()
+        assert task.check_run((0, 1), (1, 1))
+        assert not task.check_run((0, 1), (0, 1))
+        assert not task.check_run((5, 1), (1, 1))

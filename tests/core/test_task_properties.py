@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for vector helpers and tasks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import (
+    is_prefix,
+    participants,
+    proper_prefixes,
+    restrict,
+)
+from repro.tasks import RenamingTask, SetAgreementTask
+
+values = st.one_of(st.none(), st.integers(min_value=0, max_value=3))
+vectors = st.lists(values, min_size=1, max_size=5).map(tuple)
+
+
+@given(vectors)
+def test_participants_matches_non_none_positions(vec):
+    assert participants(vec) == frozenset(
+        i for i, v in enumerate(vec) if v is not None
+    )
+
+
+@given(vectors)
+def test_is_prefix_reflexive_iff_nonempty(vec):
+    assert is_prefix(vec, vec) == bool(participants(vec))
+
+
+@given(vectors, vectors, vectors)
+def test_is_prefix_transitive(a, b, c):
+    if is_prefix(a, b) and is_prefix(b, c):
+        assert is_prefix(a, c)
+
+
+@given(vectors, vectors)
+def test_is_prefix_antisymmetric(a, b):
+    if is_prefix(a, b) and is_prefix(b, a):
+        assert a == b
+
+
+@given(vectors)
+def test_proper_prefixes_are_strict_prefixes(vec):
+    for prefix in proper_prefixes(vec):
+        assert is_prefix(prefix, vec)
+        assert prefix != vec
+        assert participants(prefix) < participants(vec)
+
+
+@given(vectors)
+def test_proper_prefix_count(vec):
+    p = len(participants(vec))
+    expected = 2**p - 2 if p >= 1 else 0
+    assert len(list(proper_prefixes(vec))) == max(expected, 0)
+
+
+@given(vectors, st.sets(st.integers(min_value=0, max_value=4)))
+def test_restrict_supported_on_intersection(vec, keep):
+    restricted = restrict(vec, keep)
+    assert participants(restricted) == participants(vec) & keep
+
+
+# ---- task relation properties ------------------------------------------
+
+set_agreement_inputs = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+    min_size=3,
+    max_size=3,
+).map(tuple)
+
+
+@given(set_agreement_inputs, set_agreement_inputs)
+@settings(max_examples=200)
+def test_set_agreement_allows_closed_under_output_restriction(inp, out):
+    """If (I, O) is allowed, every restriction of O stays allowed (the
+    paper's condition (2))."""
+    task = SetAgreementTask(3, 2)
+    if not task.allows(inp, out):
+        return
+    present = sorted(participants(out))
+    for drop in present:
+        smaller = tuple(
+            None if i == drop else v for i, v in enumerate(out)
+        )
+        assert task.allows(inp, smaller)
+
+
+@given(set_agreement_inputs)
+def test_set_agreement_validity_is_enforced(inp):
+    task = SetAgreementTask(3, 2)
+    if not task.is_input(inp):
+        return
+    present = sorted(participants(inp))
+    proposed = {inp[i] for i in present}
+    unproposed = next(
+        (v for v in task.domain if v not in proposed), None
+    )
+    if unproposed is None:
+        return
+    bad = tuple(
+        unproposed if i == present[0] else None for i in range(3)
+    )
+    assert not task.allows(inp, bad)
+
+
+@given(
+    st.permutations(list(range(1, 5))),
+    st.integers(min_value=0, max_value=3),
+)
+def test_renaming_rejects_duplicate_names(names, collide_at):
+    task = RenamingTask(4, 3, 4)
+    inp = (names[0], names[1], names[2], None)
+    out = [None, None, None, None]
+    out[collide_at % 3] = 2
+    out[(collide_at + 1) % 3] = 2
+    assert not task.allows(inp, tuple(out))

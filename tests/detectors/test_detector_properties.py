@@ -1,0 +1,119 @@
+"""Property-based tests: every built detector history satisfies its own
+specification, across random patterns, seeds, and stabilization times."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.failures import FailurePattern
+from repro.detectors import (
+    AntiOmegaK,
+    EventuallyPerfectDetector,
+    Omega,
+    PerfectDetector,
+    VectorOmegaK,
+)
+
+HORIZON = 50
+
+
+@st.composite
+def patterns(draw, n_min=2, n_max=5):
+    n = draw(st.integers(n_min, n_max))
+    crash_count = draw(st.integers(0, n - 1))
+    crashed = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=crash_count,
+            max_size=crash_count,
+            unique=True,
+        )
+    )
+    times = {
+        q: draw(st.integers(0, 30)) for q in crashed
+    }
+    return FailurePattern.crash(n, times)
+
+
+@given(patterns(), st.integers(0, 2**16), st.integers(0, 25))
+@settings(max_examples=60, deadline=None)
+def test_omega_self_valid(pattern, seed, stable):
+    detector = Omega(stabilization_time=stable)
+    history = detector.build_history(pattern, random.Random(seed))
+    assert detector.check_history(
+        pattern, history, horizon=HORIZON, stabilized_from=stable
+    )
+
+
+@given(patterns(n_min=3), st.integers(0, 2**16), st.integers(0, 25))
+@settings(max_examples=60, deadline=None)
+def test_anti_omega_self_valid(pattern, seed, stable):
+    for k in range(1, pattern.n):
+        detector = AntiOmegaK(pattern.n, k, stabilization_time=stable)
+        history = detector.build_history(pattern, random.Random(seed))
+        assert detector.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=stable
+        )
+
+
+@given(patterns(), st.integers(0, 2**16), st.integers(0, 25))
+@settings(max_examples=60, deadline=None)
+def test_vector_omega_self_valid(pattern, seed, stable):
+    for k in range(1, pattern.n + 1):
+        detector = VectorOmegaK(pattern.n, k, stabilization_time=stable)
+        history = detector.build_history(pattern, random.Random(seed))
+        assert detector.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=stable
+        )
+
+
+@given(patterns(), st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_perfect_self_valid(pattern, seed):
+    detector = PerfectDetector()
+    history = detector.build_history(pattern, random.Random(seed))
+    assert detector.check_history(
+        pattern,
+        history,
+        horizon=HORIZON,
+        stabilized_from=pattern.max_crash_time(),
+    )
+
+
+@given(patterns(), st.integers(0, 2**16), st.integers(0, 25))
+@settings(max_examples=40, deadline=None)
+def test_eventually_perfect_self_valid(pattern, seed, stable):
+    detector = EventuallyPerfectDetector(stabilization_time=stable)
+    history = detector.build_history(pattern, random.Random(seed))
+    assert detector.check_history(
+        pattern,
+        history,
+        horizon=HORIZON,
+        stabilized_from=max(stable, pattern.max_crash_time()),
+    )
+
+
+@given(patterns(n_min=3), st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_reductions_preserve_validity(pattern, seed):
+    from repro.detectors.reductions import (
+        anti_omega_1_from_omega,
+        anti_omega_k_from_vector,
+    )
+
+    omega = Omega(stabilization_time=5)
+    emulated = anti_omega_1_from_omega(
+        omega.build_history(pattern, random.Random(seed)), pattern.n
+    )
+    assert AntiOmegaK(pattern.n, 1).check_history(
+        pattern, emulated, horizon=HORIZON, stabilized_from=5
+    )
+    for k in range(1, pattern.n):
+        vec = VectorOmegaK(pattern.n, k, stabilization_time=5)
+        emulated_k = anti_omega_k_from_vector(
+            vec.build_history(pattern, random.Random(seed)), pattern.n, k
+        )
+        assert AntiOmegaK(pattern.n, k).check_history(
+            pattern, emulated_k, horizon=HORIZON, stabilized_from=5
+        )

@@ -1,0 +1,216 @@
+"""Unit tests for the failure detectors."""
+
+import random
+
+import pytest
+
+from repro.core.failures import FailurePattern
+from repro.detectors import (
+    AntiOmegaK,
+    EventuallyPerfectDetector,
+    Omega,
+    PerfectDetector,
+    TrivialDetector,
+    VectorOmegaK,
+)
+from repro.errors import SpecificationError
+
+HORIZON = 60
+STABLE = 20
+
+
+def build(detector, pattern, seed=0):
+    return detector.build_history(pattern, random.Random(seed))
+
+
+class TestTrivial:
+    def test_always_bottom(self):
+        pattern = FailurePattern.all_correct(3)
+        history = build(TrivialDetector(), pattern)
+        assert history.value(0, 0) is None
+        assert history.value(2, 99) is None
+        assert TrivialDetector().check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=0
+        )
+
+
+class TestOmega:
+    def test_valid_history(self):
+        pattern = FailurePattern.crash(4, {1: 3})
+        detector = Omega(stabilization_time=STABLE)
+        history = build(detector, pattern, seed=7)
+        assert detector.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=STABLE
+        )
+
+    def test_leader_is_correct(self):
+        pattern = FailurePattern.crash(3, {0: 0, 1: 0})
+        history = build(Omega(stabilization_time=0), pattern)
+        assert history.value(2, 10) == 2  # only correct process
+
+    def test_forced_leader(self):
+        pattern = FailurePattern.all_correct(3)
+        history = build(Omega(leader=1), pattern)
+        assert history.value(0, 0) == 1
+
+    def test_forced_faulty_leader_rejected(self):
+        pattern = FailurePattern.crash(3, {1: 0})
+        with pytest.raises(ValueError):
+            build(Omega(leader=1), pattern)
+
+    def test_pre_stabilization_noise_in_range(self):
+        pattern = FailurePattern.all_correct(5)
+        history = build(Omega(stabilization_time=STABLE), pattern, seed=3)
+        for q in range(5):
+            for t in range(STABLE):
+                assert 0 <= history.value(q, t) < 5
+
+    def test_history_deterministic_per_seed(self):
+        pattern = FailurePattern.all_correct(4)
+        h1 = build(Omega(stabilization_time=STABLE), pattern, seed=5)
+        h2 = build(Omega(stabilization_time=STABLE), pattern, seed=5)
+        assert [h1.value(q, t) for q in range(4) for t in range(30)] == [
+            h2.value(q, t) for q in range(4) for t in range(30)
+        ]
+
+    def test_check_rejects_unstable_history(self):
+        pattern = FailurePattern.all_correct(2)
+        detector = Omega(stabilization_time=50)
+        history = build(detector, pattern, seed=12)
+        # Demanding stability from time 0 should (generically) fail.
+        assert not detector.check_history(
+            pattern, history, horizon=40, stabilized_from=0
+        )
+
+
+class TestAntiOmegaK:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_valid_history(self, k):
+        pattern = FailurePattern.crash(4, {0: 5})
+        detector = AntiOmegaK(4, k, stabilization_time=STABLE)
+        history = build(detector, pattern, seed=2)
+        assert detector.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=STABLE
+        )
+
+    def test_output_size(self):
+        detector = AntiOmegaK(5, 2, stabilization_time=0)
+        pattern = FailurePattern.all_correct(5)
+        history = build(detector, pattern)
+        for q in range(5):
+            assert len(history.value(q, 30)) == 3
+
+    def test_safe_process_never_output_after_stabilization(self):
+        pattern = FailurePattern.all_correct(4)
+        detector = AntiOmegaK(4, 1, stabilization_time=0, safe=2)
+        history = build(detector, pattern)
+        for q in range(4):
+            for t in range(HORIZON):
+                assert 2 not in history.value(q, t)
+
+    def test_forced_faulty_safe_rejected(self):
+        pattern = FailurePattern.crash(3, {2: 0})
+        with pytest.raises(SpecificationError):
+            build(AntiOmegaK(3, 1, safe=2), pattern)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SpecificationError):
+            AntiOmegaK(3, 0)
+        with pytest.raises(SpecificationError):
+            AntiOmegaK(3, 3)
+
+    def test_pattern_size_mismatch(self):
+        with pytest.raises(SpecificationError):
+            build(AntiOmegaK(4, 2), FailurePattern.all_correct(3))
+
+    def test_check_rejects_bad_size(self):
+        pattern = FailurePattern.all_correct(3)
+        detector = AntiOmegaK(3, 1)
+
+        class Bad:
+            def value(self, q, t):
+                return frozenset({0})  # size 1, expected n-k = 2
+
+        assert not detector.check_history(
+            pattern, Bad(), horizon=10, stabilized_from=0
+        )
+
+    def test_check_rejects_covering_history(self):
+        pattern = FailurePattern.all_correct(3)
+        detector = AntiOmegaK(3, 1)
+
+        class Covering:
+            def value(self, q, t):
+                # Over time, every correct process gets output.
+                return frozenset({t % 3, (t + 1) % 3})
+
+        assert not detector.check_history(
+            pattern, Covering(), horizon=30, stabilized_from=0
+        )
+
+
+class TestVectorOmegaK:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_valid_history(self, k):
+        pattern = FailurePattern.crash(4, {3: 2})
+        detector = VectorOmegaK(4, k, stabilization_time=STABLE)
+        history = build(detector, pattern, seed=4)
+        assert detector.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=STABLE
+        )
+
+    def test_vector_length(self):
+        pattern = FailurePattern.all_correct(5)
+        history = build(VectorOmegaK(5, 3), pattern)
+        assert len(history.value(0, 40)) == 3
+
+    def test_forced_position_and_leader(self):
+        pattern = FailurePattern.all_correct(4)
+        detector = VectorOmegaK(
+            4, 2, stabilization_time=0, stable_position=1, leader=3
+        )
+        history = build(detector, pattern)
+        for q in range(4):
+            assert history.value(q, 10)[1] == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(SpecificationError):
+            VectorOmegaK(3, 0)
+        with pytest.raises(SpecificationError):
+            VectorOmegaK(3, 4)
+        pattern = FailurePattern.all_correct(3)
+        with pytest.raises(SpecificationError):
+            build(VectorOmegaK(3, 2, stable_position=5), pattern)
+
+    def test_check_rejects_unstable(self):
+        pattern = FailurePattern.all_correct(3)
+        detector = VectorOmegaK(3, 2)
+
+        class Rotating:
+            def value(self, q, t):
+                return ((t + q) % 3, (t + q + 1) % 3)
+
+        assert not detector.check_history(
+            pattern, Rotating(), horizon=30, stabilized_from=0
+        )
+
+
+class TestPerfect:
+    def test_perfect_tracks_crashes(self):
+        pattern = FailurePattern.crash(3, {1: 5})
+        detector = PerfectDetector()
+        history = build(detector, pattern)
+        assert history.value(0, 4) == frozenset()
+        assert history.value(0, 5) == frozenset({1})
+        assert detector.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=10
+        )
+
+    def test_eventually_perfect_converges(self):
+        pattern = FailurePattern.crash(3, {0: 1})
+        detector = EventuallyPerfectDetector(stabilization_time=STABLE)
+        history = build(detector, pattern, seed=6)
+        assert detector.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=STABLE
+        )
+        assert history.value(1, STABLE + 1) == frozenset({0})

@@ -1,0 +1,189 @@
+"""Tests for the executable failure-detector reductions."""
+
+import random
+
+import pytest
+
+from repro.core import System
+from repro.core.failures import FailurePattern
+from repro.core.history import RecordedHistory
+from repro.detectors import AntiOmegaK, Omega, VectorOmegaK
+from repro.detectors.reductions import (
+    EMULATED_OUTPUT_PREFIX,
+    anti_omega_1_from_omega,
+    anti_omega_k_from_vector,
+    omega_from_anti_omega_1,
+    omega_to_anti1_factory,
+    pad_vector,
+    vector_to_anti_factory,
+)
+from repro.errors import SpecificationError
+from repro.runtime import RoundRobinScheduler, execute, ops
+
+HORIZON = 60
+STABLE = 20
+
+
+def build(detector, pattern, seed=0):
+    return detector.build_history(pattern, random.Random(seed))
+
+
+class TestHistoryTransformers:
+    def test_omega_to_anti_omega_1(self):
+        pattern = FailurePattern.crash(4, {2: 3})
+        omega = Omega(stabilization_time=STABLE)
+        history = anti_omega_1_from_omega(build(omega, pattern, 5), 4)
+        checker = AntiOmegaK(4, 1)
+        assert checker.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=STABLE
+        )
+
+    def test_anti_omega_1_to_omega(self):
+        pattern = FailurePattern.all_correct(3)
+        anti = AntiOmegaK(3, 1, stabilization_time=STABLE)
+        history = omega_from_anti_omega_1(build(anti, pattern, 2), 3)
+        checker = Omega()
+        assert checker.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=STABLE
+        )
+
+    def test_round_trip_is_identity_on_leader(self):
+        pattern = FailurePattern.all_correct(3)
+        omega_history = build(Omega(leader=1), pattern)
+        back = omega_from_anti_omega_1(
+            anti_omega_1_from_omega(omega_history, 3), 3
+        )
+        assert back.value(0, 30) == 1
+
+    def test_malformed_anti_omega_1_rejected(self):
+        history = omega_from_anti_omega_1(
+            RecordedHistory({}, default=frozenset({0})), 3
+        )
+        with pytest.raises(SpecificationError):
+            history.value(0, 0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_vector_to_anti_omega_k(self, k):
+        pattern = FailurePattern.crash(4, {0: 2})
+        vec = VectorOmegaK(4, k, stabilization_time=STABLE)
+        history = anti_omega_k_from_vector(build(vec, pattern, 7), 4, k)
+        checker = AntiOmegaK(4, k)
+        assert checker.check_history(
+            pattern, history, horizon=HORIZON, stabilized_from=STABLE
+        )
+
+    def test_pad_vector_preserves_stability(self):
+        pattern = FailurePattern.all_correct(4)
+        vec = VectorOmegaK(4, 2, stabilization_time=STABLE)
+        for x in (2, 3, 4):
+            padded = pad_vector(build(vec, pattern, 9), x)
+            checker = VectorOmegaK(4, x)
+            assert checker.check_history(
+                pattern, padded, horizon=HORIZON, stabilized_from=STABLE
+            )
+
+    def test_pad_vector_rejects_shrinking(self):
+        pattern = FailurePattern.all_correct(3)
+        padded = pad_vector(build(VectorOmegaK(3, 2), pattern), 1)
+        with pytest.raises(SpecificationError):
+            padded.value(0, 0)
+
+    def test_pad_accepts_bare_omega_values(self):
+        pattern = FailurePattern.all_correct(3)
+        padded = pad_vector(build(Omega(leader=2), pattern), 3)
+        assert padded.value(0, 50) == (2, 2, 2)
+
+
+class TestReductionAutomata:
+    def _run_reduction(self, factory_builder, detector, n):
+        def null_c(ctx):
+            while True:
+                yield ops.Nop()
+
+        system = System(
+            inputs=(1,) * n,
+            c_factories=[null_c] * n,
+            s_factories=[factory_builder] * n,
+            detector=detector,
+        )
+        return execute(
+            system,
+            RoundRobinScheduler(),
+            max_steps=2_000,
+            stop_when=lambda ex: all(
+                ex.memory.read(f"{EMULATED_OUTPUT_PREFIX}{q}") is not None
+                for q in range(n)
+            ),
+        )
+
+    def test_omega_reduction_automaton(self):
+        n = 3
+        result = self._run_reduction(
+            omega_to_anti1_factory(n), Omega(leader=1), n
+        )
+        for q in range(n):
+            output = result.memory.read(f"{EMULATED_OUTPUT_PREFIX}{q}")
+            assert output == frozenset({0, 2})
+
+    def test_vector_reduction_automaton(self):
+        n, k = 4, 2
+        detector = VectorOmegaK(
+            n, k, stabilization_time=0, stable_position=0, leader=3
+        )
+        result = self._run_reduction(
+            vector_to_anti_factory(n, k), detector, n
+        )
+        for q in range(n):
+            output = result.memory.read(f"{EMULATED_OUTPUT_PREFIX}{q}")
+            assert len(output) == n - k
+            assert 3 not in output
+
+
+class TestDetectorLattice:
+    """The chain Omega = anti-Omega-1 > anti-Omega-2 > ... and the
+    classical P > Omega relation, all via executable reductions."""
+
+    def test_anti_omega_chain(self):
+        from repro.detectors.reductions import weaken_anti_omega
+
+        n = 5
+        pattern = FailurePattern.crash(n, {4: 3})
+        history = build(AntiOmegaK(n, 1, stabilization_time=STABLE), pattern)
+        for k in range(1, n - 1):
+            history = weaken_anti_omega(history, n, k)
+            checker = AntiOmegaK(n, k + 1)
+            assert checker.check_history(
+                pattern, history, horizon=HORIZON, stabilized_from=STABLE
+            ), f"chain broke at anti-Omega-{k + 1}"
+
+    def test_weaken_rejects_wrong_size(self):
+        from repro.detectors.reductions import weaken_anti_omega
+
+        bad = RecordedHistory({}, default=frozenset({0}))
+        with pytest.raises(SpecificationError):
+            weaken_anti_omega(bad, 5, 1).value(0, 0)
+
+    def test_omega_from_perfect(self):
+        from repro.detectors import PerfectDetector
+        from repro.detectors.reductions import omega_from_perfect
+
+        pattern = FailurePattern.crash(4, {0: 7, 2: 3})
+        history = omega_from_perfect(
+            build(PerfectDetector(), pattern), 4
+        )
+        checker = Omega()
+        assert checker.check_history(
+            pattern,
+            history,
+            horizon=HORIZON,
+            stabilized_from=pattern.max_crash_time(),
+        )
+        # The stabilized leader is the smallest correct process.
+        assert history.value(1, 30) == 1
+
+    def test_omega_from_perfect_rejects_total_suspicion(self):
+        from repro.detectors.reductions import omega_from_perfect
+
+        bad = RecordedHistory({}, default=frozenset({0, 1}))
+        with pytest.raises(SpecificationError):
+            omega_from_perfect(bad, 2).value(0, 0)

@@ -1,0 +1,55 @@
+"""The concluding remark, end to end: solving tasks 'in the presence of
+an adversary' through the full Theorem 9 machinery."""
+
+import pytest
+
+from repro.algorithms.kconcurrent_solver import theorem9_solver
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.core import System
+from repro.core.adversary import Adversary
+from repro.detectors import VectorOmegaK
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import SetAgreementTask
+
+
+class TestTheorem9UnderAdversaries:
+    @pytest.mark.parametrize(
+        "adversary",
+        [
+            Adversary.t_resilient(3, 1),
+            Adversary.superset_closure(3, [{1}], name="q2-lives"),
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_double_simulation_under_adversary(self, adversary):
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        solver = theorem9_solver(
+            n=n, k=k, algorithm_factories=kset_concurrent_factories(n, k)
+        )
+        for pattern in adversary.sample_patterns(crash_times=(5,)):
+            system = System(
+                inputs=tuple(range(n)),
+                c_factories=list(solver.c_factories),
+                s_factories=list(solver.s_factories),
+                detector=VectorOmegaK(n, k, stabilization_time=15),
+                pattern=pattern,
+                seed=2,
+            )
+            result = execute(
+                system, SeededRandomScheduler(2), max_steps=3_000_000
+            )
+            result.require_all_decided().require_satisfies(task)
+
+    def test_detector_must_respect_the_adversary(self):
+        """A forced leader outside an adversary's core is rejected when
+        the pattern crashes it — detectors are pattern-checked."""
+        from repro.errors import SpecificationError
+
+        adversary = Adversary.superset_closure(3, [{1}], name="q2-lives")
+        pattern = next(iter(adversary.sample_patterns(crash_times=(0,))))
+        # The minimal pattern leaves only q2 (index 1) alive.
+        if pattern.correct == frozenset({1}):
+            detector = VectorOmegaK(3, 2, leader=0)
+            with pytest.raises(SpecificationError):
+                detector.build_history(pattern, __import__("random").Random(0))

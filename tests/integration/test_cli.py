@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "consensus" in out
+        assert "weakest detector" in out
+
+    def test_solve_consensus(self, capsys):
+        assert main(["solve", "consensus", "--n", "3", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs" in out
+        assert "Omega" in out
+
+    def test_solve_set_agreement(self, capsys):
+        assert (
+            main(["solve", "set-agreement", "--n", "3", "--k", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "vecOmega-2" in out
+
+    def test_solve_strong_renaming(self, capsys):
+        assert main(["solve", "strong-renaming", "--n", "3"]) == 0
+
+    def test_check_renaming_crossover(self, capsys):
+        assert main(["check-renaming", "2"]) == 0
+        assert "SOLVABLE" in capsys.readouterr().out
+        assert main(["check-renaming", "4"]) == 1
+        assert "UNSOLVABLE" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])

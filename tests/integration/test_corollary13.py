@@ -1,0 +1,48 @@
+"""E-C13: Corollary 13 — Omega is the weakest failure detector for
+strong renaming (both halves, as far as each is executable)."""
+
+import pytest
+
+from repro import solve_task
+from repro.classify import classify_strong_renaming
+from repro.detectors import Omega
+from repro.tasks import StrongRenamingTask
+from repro.topology import decide_two_process_solvability
+
+
+class TestCorollary13:
+    @pytest.mark.parametrize("j,n", [(2, 3), (2, 4), (3, 4)])
+    def test_upper_half_omega_solves_strong_renaming(self, j, n):
+        """Sufficiency: Omega-strength advice solves strong j-renaming
+        through the generic Theorem 9 machinery."""
+        task = StrongRenamingTask(n, j)
+        for seed in range(2):
+            result = solve_task(task, detector=Omega(), seed=seed)
+            names = sorted(v for v in result.outputs if v is not None)
+            assert names == list(range(1, len(names) + 1))
+
+    def test_lower_half_class_is_exactly_one(self):
+        """Necessity: strong renaming is not 2-concurrently solvable
+        (machine-checked), so by Theorem 10 its weakest detector is
+        anti-Omega-1 = Omega."""
+        for j, n in [(2, 3), (2, 5)]:
+            verdict = decide_two_process_solvability(
+                StrongRenamingTask(n, 2)
+            )
+            assert not verdict.solvable
+        row = classify_strong_renaming(4, 3)
+        assert row.level == 1 and row.exact
+        assert "Omega" in row.weakest_detector
+
+    def test_equivalence_with_consensus(self):
+        """Strong renaming and consensus land in the same class, hence
+        require the same information about failures (the paper's
+        'strong renaming is equivalent to consensus')."""
+        from repro.classify import classify_consensus
+
+        renaming_row = classify_strong_renaming(4, 3)
+        consensus_row = classify_consensus(4)
+        assert renaming_row.level == consensus_row.level == 1
+        assert (
+            renaming_row.weakest_detector == consensus_row.weakest_detector
+        )

@@ -1,0 +1,324 @@
+"""E-F1 / E-T8: Figure 1 — extracting anti-Omega-k from a detector that
+solves a task not solvable (k+1)-concurrently."""
+
+import pytest
+
+from repro.algorithms.extraction import (
+    AsimRun,
+    ExtractionConfig,
+    ExtractionEngine,
+    extraction_s_factory,
+)
+from repro.algorithms.kset_vector import kset_c_factory, kset_s_factory
+from repro.core import System
+from repro.core.failures import FailurePattern
+from repro.detectors import AntiOmegaK, Omega, VectorOmegaK
+from repro.detectors.dag import SampleDAG
+from repro.runtime import RoundRobinScheduler, execute, ops
+
+
+def consensus_parts(n):
+    return [kset_c_factory(1)] * n, [kset_s_factory(1)] * n
+
+
+def build_engine(n, k, dag, inputs, *, config=None):
+    c_parts, s_parts = (
+        [kset_c_factory(k)] * n,
+        [kset_s_factory(k)] * n,
+    )
+    return ExtractionEngine(
+        n=n,
+        k=k,
+        c_factories=c_parts,
+        s_factories=s_parts,
+        dag=dag,
+        input_vectors=[inputs],
+        config=config
+        or ExtractionConfig(max_depth=400, max_calls=3_000),
+    )
+
+
+class TestAsimRun:
+    """The A_sim substrate: deterministic, DAG-fed, BG-style blocking."""
+
+    def _run(self, schedule, leader=0, rounds=2000):
+        n = 2
+        pattern = FailurePattern.all_correct(n)
+        dag = SampleDAG.sample(
+            Omega(leader=leader), pattern, rounds=rounds, seed=1
+        )
+        c_parts, s_parts = consensus_parts(n)
+        run = AsimRun(
+            inputs=(0, 1),
+            c_factories=c_parts,
+            s_factories=s_parts,
+            dag=dag,
+        )
+        for i in schedule:
+            run.step_c(i)
+        return run
+
+    def test_determinism(self):
+        schedule = [0, 1, 0, 0, 1, 1, 0] * 10
+        a = self._run(schedule)
+        b = self._run(schedule)
+        assert a.world.decisions == b.world.decisions
+        assert a.last_advanced == b.last_advanced
+
+    def test_fair_solo_run_decides(self):
+        run = self._run([0] * 400)
+        assert 0 in run.decided()
+
+    def test_abandoned_simulator_blocks_one_code(self):
+        # p2 takes one step (claiming S-code 0), then p1 runs alone:
+        # code 0 stays blocked, and with the leader being q1 consensus
+        # never decides for p1.
+        run = self._run([1] + [0] * 400, leader=0)
+        assert 0 in run.blocked
+        assert run.undecided_participants()
+        assert run.anti_omega_output(1) == frozenset({1})
+
+    def test_blocked_code_not_leader_still_decides(self):
+        # Same stall, but the leader is q2: code 1 keeps advancing and
+        # consensus still decides.
+        run = self._run([1] + [0] * 400, leader=1)
+        assert 0 in run.decided()
+
+
+class TestOfflineExtraction:
+    def test_consensus_with_omega_yields_anti_omega_1(self):
+        """The headline Theorem 8 experiment: T = consensus (class 1,
+        hence not 2-concurrently solvable), D = Omega.  The first
+        non-deciding 2-concurrent branch of the exploration permanently
+        excludes a correct S-process — anti-Omega-1 behaviour."""
+        n, k = 2, 1
+        pattern = FailurePattern.all_correct(n)
+        dag = SampleDAG.sample(Omega(leader=0), pattern, rounds=3000, seed=1)
+        engine = build_engine(n, k, dag, (0, 1))
+        branch = engine.run()
+        assert branch is not None, "no non-deciding branch found"
+        exclusions = branch.stable_exclusions(n)
+        assert exclusions, "no stable exclusion on the trapped branch"
+        assert exclusions & pattern.correct, (
+            "emulated anti-Omega-1 must eventually exclude a correct "
+            f"process, got {exclusions}"
+        )
+
+    @pytest.mark.parametrize("leader", [0, 1])
+    def test_excluded_process_is_the_leader(self, leader):
+        """Only starving the leader's S-code stops consensus, so the
+        non-deciding branch excludes exactly the (correct) leader."""
+        n, k = 2, 1
+        pattern = FailurePattern.all_correct(n)
+        dag = SampleDAG.sample(
+            Omega(leader=leader), pattern, rounds=3000, seed=1
+        )
+        engine = build_engine(n, k, dag, (0, 1))
+        branch = engine.run()
+        assert branch is not None
+        assert leader in branch.stable_exclusions(n)
+
+    def test_outputs_are_well_formed(self):
+        n, k = 2, 1
+        pattern = FailurePattern.all_correct(n)
+        dag = SampleDAG.sample(Omega(leader=0), pattern, rounds=2000, seed=3)
+        engine = build_engine(
+            n,
+            k,
+            dag,
+            (0, 1),
+            config=ExtractionConfig(max_depth=150, max_calls=600),
+        )
+        engine.run()
+        assert engine.emitted
+        for output in engine.emitted:
+            assert len(output) == n - k
+            assert all(0 <= q < n for q in output)
+
+    def test_deciding_branches_terminate(self):
+        """With generous depth, solo corridors decide and end; the
+        exploration must therefore visit more than one branch."""
+        n, k = 2, 1
+        pattern = FailurePattern.all_correct(n)
+        dag = SampleDAG.sample(Omega(leader=0), pattern, rounds=3000, seed=1)
+        engine = build_engine(n, k, dag, (0, 1))
+        engine.run()
+        schedules = {b.schedule for b in engine.nondeciding}
+        # Non-deciding branches were found, and not every explored call
+        # was on one branch (deciding branches returned early).
+        assert engine._calls > sum(b.depth for b in engine.nondeciding)
+        assert schedules
+
+
+class TestOnlineExtraction:
+    def test_online_reduction_emits_valid_anti_omega_1(self):
+        n, k = 2, 1
+        pattern = FailurePattern.all_correct(n)
+
+        def engine_builder(dag):
+            return build_engine(
+                n,
+                k,
+                dag,
+                (0, 1),
+                config=ExtractionConfig(max_depth=300, max_calls=1_500),
+            )
+
+        s_factories = [
+            extraction_s_factory(
+                n=n, k=k, engine_builder=engine_builder, sample_rounds=40
+            )
+            for _ in range(n)
+        ]
+
+        def null_c(ctx):
+            while True:
+                yield ops.Nop()
+
+        system = System(
+            inputs=(1, 1),
+            c_factories=[null_c] * n,
+            s_factories=s_factories,
+            detector=Omega(leader=0),
+            pattern=pattern,
+        )
+        result = execute(
+            system,
+            RoundRobinScheduler(),
+            max_steps=4_000,
+            stop_when=lambda ex: all(
+                ex.memory.read(f"xtr/out/{q}") is not None for q in range(n)
+            ),
+        )
+        outputs = [result.memory.read(f"xtr/out/{q}") for q in range(n)]
+        assert all(outputs), "both S-processes must publish"
+        # All correct processes converged on the same emulated output.
+        assert len(set(outputs)) == 1
+        output = outputs[0]
+        assert len(output) == n - k
+        # Some correct process is (from stabilization on) never output.
+        assert pattern.correct - set(output)
+        # And it is the leader, whose starvation is what blocks T.
+        assert 0 not in output
+
+
+class TestExtractionAtKTwo:
+    """Theorem 8 at k = 2: T = 2-set agreement (class 2, not
+    3-concurrently solvable), D = vector-Omega-2, n = 3.
+
+    The corridor DFS converges to the first never-deciding
+    3-concurrent branch only in the infinite limit (its narrow-corridor
+    prefixes are huge), so this test exhibits the witness branch
+    directly: p1 stalls holding S-code q1's step, p2 stalls holding
+    q3's, p3 runs alone forever — and q1/q3 are exactly the two
+    instance leaders, so nothing ever decides and the emulated
+    anti-Omega-2 output permanently excludes two correct processes.
+    """
+
+    def _witness_run(self, extra_p3_steps=300):
+        n, k = 3, 2
+        pattern = FailurePattern.all_correct(n)
+        detector = VectorOmegaK(
+            n, k, stabilization_time=0, stable_position=0, leader=0
+        )
+        # With stable_position=0 and leader=0, the stabilized vector is
+        # (0, 2): instance leaders are q1 and q3.
+        dag = SampleDAG.sample(detector, pattern, rounds=6000, seed=1)
+        run = AsimRun(
+            inputs=(0, 1, 2),
+            c_factories=[kset_c_factory(k)] * n,
+            s_factories=[kset_s_factory(k)] * n,
+            dag=dag,
+        )
+        # p1 claims S-code 0; p2 claims 1, commits 1, claims 2; p3 solo.
+        schedule = [0] + [1] * 3 + [2] * extra_p3_steps
+        for i in schedule:
+            run.step_c(i)
+        return run, pattern
+
+    def test_witness_branch_never_decides(self):
+        run, _ = self._witness_run()
+        assert run.blocked == {0, 2}  # both instance leaders blocked
+        assert 2 in run.undecided_participants()
+
+    def test_emulated_output_excludes_correct_processes(self):
+        run, pattern = self._witness_run()
+        output = run.anti_omega_output(2)
+        assert len(output) == 1  # n - k
+        excluded = set(range(3)) - set(output)
+        assert excluded == {0, 2}
+        assert excluded <= pattern.correct
+
+    def test_exclusions_are_stable_along_the_branch(self):
+        """Replay the witness branch and collect outputs at every step
+        of its tail: the excluded pair never reappears."""
+        run, _ = self._witness_run(extra_p3_steps=0)
+        outputs = []
+        for _ in range(200):
+            run.step_c(2)
+            outputs.append(run.anti_omega_output(2))
+        tail = outputs[50:]
+        for output in tail:
+            assert 0 not in output
+            assert 2 not in output
+
+    def test_unblocked_leader_lets_the_run_decide(self):
+        """Control: stall the same simulators but with the detector
+        leaders pointing at the *unblocked* code — the run decides,
+        confirming that leader starvation is the only stalling mode."""
+        n, k = 3, 2
+        pattern = FailurePattern.all_correct(n)
+        detector = VectorOmegaK(
+            n, k, stabilization_time=0, stable_position=0, leader=1
+        )
+        # Stabilized vector is (1, 2): position-0 leader is q2.
+        dag = SampleDAG.sample(detector, pattern, rounds=6000, seed=1)
+        run = AsimRun(
+            inputs=(0, 1, 2),
+            c_factories=[kset_c_factory(k)] * n,
+            s_factories=[kset_s_factory(k)] * n,
+            dag=dag,
+        )
+        # p1 claims code 0 (not a leader now), p3 runs alone.
+        schedule = [0] + [2] * 600
+        for i in schedule:
+            run.step_c(i)
+        assert 2 in run.decided()
+
+
+class TestExtractionWithCrashes:
+    """The reduction works in every environment: build the DAG under a
+    crash pattern (the crashed process stops contributing samples) and
+    the emulated exclusions still name a correct process."""
+
+    def test_dag_from_crashy_run_still_extracts(self):
+        n, k = 2, 1
+        pattern = FailurePattern.crash(n, {1: 50})  # q2 crashes early
+        dag = SampleDAG.sample(
+            Omega(leader=0), pattern, rounds=3000, seed=1
+        )
+        assert len(dag.samples_of(1)) < len(dag.samples_of(0))
+        engine = build_engine(n, k, dag, (0, 1))
+        branch = engine.run()
+        assert branch is not None
+        exclusions = branch.stable_exclusions(n)
+        assert exclusions & pattern.correct
+
+    def test_crashed_process_eventually_stuck_in_simulation(self):
+        """A_sim's simulated q2 runs out of DAG vertices once the real
+        q2 crashed: its S-code goes permanently stuck, mirroring the
+        crash inside the simulation."""
+        n = 2
+        pattern = FailurePattern.crash(n, {1: 6})
+        dag = SampleDAG.sample(Omega(leader=0), pattern, rounds=400, seed=2)
+        c_parts, s_parts = consensus_parts(n)
+        run = AsimRun(
+            inputs=(0, 1), c_factories=c_parts, s_factories=s_parts, dag=dag
+        )
+        for _ in range(800):
+            run.step_c(0)
+        from repro.core.process import s_process
+
+        # q1 (correct, the leader) kept advancing far beyond q2.
+        assert run.last_advanced.get(0, -1) > run.last_advanced.get(1, -1)
+        assert 0 in run.decided()

@@ -1,0 +1,46 @@
+"""Cross-cutting sweep: the standard scheduler battery against the main
+detector-based algorithms (safety must be schedule-universal)."""
+
+import pytest
+
+from repro.algorithms.kset_vector import kset_factories
+from repro.core import System
+from repro.detectors import VectorOmegaK
+from repro.runtime import execute, standard_scheduler_suite
+from repro.tasks import SetAgreementTask
+
+
+@pytest.mark.parametrize("n,k", [(3, 1), (4, 2)])
+def test_kset_under_the_standard_battery(n, k):
+    task = SetAgreementTask(n, k, domain=tuple(range(n)))
+    c_factories, s_factories = kset_factories(n, k)
+    # Build one system to enumerate pids for the adversarial members.
+    probe = System(
+        inputs=tuple(range(n)),
+        c_factories=c_factories,
+        s_factories=s_factories,
+        detector=VectorOmegaK(n, k),
+    )
+    for scheduler in standard_scheduler_suite(probe.all_pids()):
+        system = System(
+            inputs=tuple(range(n)),
+            c_factories=c_factories,
+            s_factories=s_factories,
+            detector=VectorOmegaK(n, k),
+            seed=3,
+        )
+        result = execute(system, scheduler, max_steps=600_000)
+        result.require_all_decided().require_satisfies(task)
+        assert len(set(result.outputs)) <= k
+
+
+def test_battery_composition_matches_pids():
+    probe = System(
+        inputs=(0, 1),
+        c_factories=kset_factories(2, 1)[0],
+        s_factories=kset_factories(2, 1)[1],
+        detector=VectorOmegaK(2, 1),
+    )
+    suite = standard_scheduler_suite(probe.all_pids(), seeds=(0,))
+    # 1 round-robin + 1 random + one adversary per process.
+    assert len(suite) == 2 + len(probe.all_pids())

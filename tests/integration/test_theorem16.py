@@ -1,0 +1,51 @@
+"""E-T16: Theorem 16 — (j, j+k-1)-renaming solvable with anti-Omega-k
+(vector form), via Figure 4 plugged into the Theorem 9 solver."""
+
+import pytest
+
+from repro.algorithms.kconcurrent_solver import theorem9_solver
+from repro.algorithms.renaming_figure4 import figure4_factories
+from repro.core import System
+from repro.core.failures import FailurePattern
+from repro.detectors import VectorOmegaK
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import RenamingTask
+
+
+def solve_renaming(n, j, k, inputs, *, seed=0, pattern=None,
+                   stabilization=0):
+    solver = theorem9_solver(
+        n=n, k=k, algorithm_factories=figure4_factories(n)
+    )
+    system = System(
+        inputs=inputs,
+        c_factories=list(solver.c_factories),
+        s_factories=list(solver.s_factories),
+        detector=VectorOmegaK(n, k, stabilization_time=stabilization),
+        pattern=pattern,
+        seed=seed,
+    )
+    return execute(
+        system, SeededRandomScheduler(seed), max_steps=2_000_000
+    )
+
+
+class TestTheorem16:
+    @pytest.mark.parametrize("j,k", [(2, 1), (2, 2), (3, 2)])
+    def test_renaming_with_vector_omega_k(self, j, k):
+        n = j + 1
+        task = RenamingTask(n, j, j + k - 1)
+        inputs = tuple(i + 1 if i < j else None for i in range(n))
+        result = solve_renaming(n, j, k, inputs)
+        result.require_all_decided().require_satisfies(task)
+        names = [v for v in result.outputs if v is not None]
+        assert max(names) <= j + k - 1
+
+    def test_with_failures(self):
+        n, j, k = 3, 2, 2
+        task = RenamingTask(n, j, j + k - 1)
+        pattern = FailurePattern.crash(n, {0: 20})
+        result = solve_renaming(
+            n, j, k, (1, 2, None), pattern=pattern, stabilization=30
+        )
+        result.require_all_decided().require_satisfies(task)

@@ -1,0 +1,93 @@
+"""E-T7: Theorem 7 — k-set agreement among one fixed (k+1)-set of
+C-processes extends to all n."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.algorithms.set_agreement_ext import ax_factories, theorem7_factories
+from repro.core import System
+from repro.detectors import VectorOmegaK
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent
+from repro.tasks import SetAgreementTask
+
+
+class TestAxConstruction:
+    """The proof's A_x: U runs the black box, the rest return their own
+    inputs — solving (U_x, x-1)-agreement."""
+
+    @pytest.mark.parametrize("x", [3, 4, 5])
+    def test_ax_solves_x_minus_1_agreement(self, x):
+        n, k = 5, 2
+        # Black box: the k-concurrent k-set algorithm among U (run
+        # k-concurrently so it is within its class).
+        u_factories = kset_concurrent_factories(k + 1, k)
+        factories = ax_factories(x, n, u_factories)
+        task = SetAgreementTask(n, x - 1, domain=tuple(range(n)))
+        inputs = tuple(i if i < x else None for i in range(n))
+        system = System(inputs=inputs, c_factories=factories)
+        scheduler = k_concurrent(SeededRandomScheduler(3), k)
+        result = execute(system, scheduler, max_steps=200_000)
+        result.require_all_decided()
+        decided = [v for v in result.outputs if v is not None]
+        assert len(set(decided)) <= x - 1
+        assert set(decided) <= set(range(x))
+
+    def test_parameter_validation(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            ax_factories(2, 5, kset_concurrent_factories(3, 2))  # x < |U|
+        with pytest.raises(SpecificationError):
+            ax_factories(6, 5, kset_concurrent_factories(3, 2))  # x > n
+
+
+class TestStatement:
+    """The theorem's statement: a (U, k)-capable detector solves
+    (Pi, k)-agreement — for every U of size k+1 and every participant
+    pattern, including patterns disjoint from U."""
+
+    @pytest.mark.parametrize(
+        "member_set", list(itertools.combinations(range(4), 3))
+    )
+    def test_every_u_extends(self, member_set):
+        n, k = 4, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        c_factories, s_factories = theorem7_factories(n, k, member_set)
+        system = System(
+            inputs=tuple(range(n)),
+            c_factories=c_factories,
+            s_factories=s_factories,
+            detector=VectorOmegaK(n, k),
+            seed=1,
+        )
+        result = execute(system, SeededRandomScheduler(1), max_steps=400_000)
+        result.require_all_decided().require_satisfies(task)
+
+    def test_participants_disjoint_from_u(self):
+        """Processes outside U decide even when no U-member participates
+        — the EFD separation at work (the S-part does the helping)."""
+        n, k = 5, 2
+        member_set = (0, 1, 2)
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        c_factories, s_factories = theorem7_factories(n, k, member_set)
+        inputs = (None, None, None, 3, 4)
+        system = System(
+            inputs=inputs,
+            c_factories=c_factories,
+            s_factories=s_factories,
+            detector=VectorOmegaK(n, k),
+            seed=2,
+        )
+        result = execute(system, SeededRandomScheduler(2), max_steps=400_000)
+        result.require_all_decided().require_satisfies(task)
+        assert set(v for v in result.outputs if v is not None) <= {3, 4}
+
+    def test_u_size_validation(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            theorem7_factories(4, 2, (0, 1))  # |U| != k+1
+        with pytest.raises(SpecificationError):
+            theorem7_factories(4, 2, (0, 1, 9))  # out of range

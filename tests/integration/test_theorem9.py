@@ -1,0 +1,103 @@
+"""E-T9: the Theorem 9 double simulation — anti-Omega-k (via its vector
+form) solves any k-concurrently solvable task."""
+
+import pytest
+
+from repro.algorithms.kconcurrent_solver import theorem9_solver
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.algorithms.one_concurrent import one_concurrent_factories
+from repro.core import System
+from repro.detectors import VectorOmegaK
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import ConsensusTask, SetAgreementTask
+
+
+def solve(task, k, inputs, algorithm_factories, *, seed=0, n=None,
+          max_steps=2_000_000, stabilization=0):
+    n = n or task.n
+    solver = theorem9_solver(
+        n=n, k=k, algorithm_factories=list(algorithm_factories)
+    )
+    system = System(
+        inputs=inputs,
+        c_factories=list(solver.c_factories),
+        s_factories=list(solver.s_factories),
+        detector=VectorOmegaK(n, k, stabilization_time=stabilization),
+        seed=seed,
+    )
+    return execute(system, SeededRandomScheduler(seed), max_steps=max_steps)
+
+
+class TestConsensusViaClassOne:
+    """k = 1: the Proposition 1 universal algorithm is 1-concurrent, so
+    Theorem 9 turns vector-Omega-1 (== Omega) into a solver for any
+    task — here consensus."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_consensus(self, seed):
+        task = ConsensusTask(3)
+        result = solve(
+            task, 1, (0, 1, 1), one_concurrent_factories(task), seed=seed
+        )
+        result.require_all_decided().require_satisfies(task)
+
+    def test_partial_participation(self):
+        task = ConsensusTask(3)
+        result = solve(task, 1, (None, 1, 0), one_concurrent_factories(task))
+        result.require_all_decided().require_satisfies(task)
+        assert result.outputs[0] is None
+
+    def test_late_stabilization(self):
+        task = ConsensusTask(3)
+        result = solve(
+            task,
+            1,
+            (1, 0, 1),
+            one_concurrent_factories(task),
+            stabilization=60,
+        )
+        result.require_all_decided().require_satisfies(task)
+
+
+class TestKSetViaClassK:
+    @pytest.mark.parametrize("n,k", [(3, 2), (4, 2), (4, 3)])
+    def test_kset_agreement(self, n, k):
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        result = solve(
+            task, k, tuple(range(n)), kset_concurrent_factories(n, k)
+        )
+        result.require_all_decided().require_satisfies(task)
+        assert len(set(result.outputs)) <= k
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_seed_sweep(self, seed):
+        n, k = 3, 2
+        task = SetAgreementTask(n, k, domain=tuple(range(n)))
+        result = solve(
+            task,
+            k,
+            (2, 0, 1),
+            kset_concurrent_factories(n, k),
+            seed=seed,
+        )
+        result.require_all_decided().require_satisfies(task)
+
+
+class TestWSBViaClassJMinusOne:
+    """A third task family through the full machinery: (n, j)-WSB at its
+    class level j - 1."""
+
+    def test_wsb_pair_quorum(self):
+        from repro.algorithms.wsb_concurrent import wsb_concurrent_factories
+        from repro.tasks import WeakSymmetryBreakingTask
+
+        n, j = 3, 3
+        task = WeakSymmetryBreakingTask(n, j)
+        result = solve(
+            task,
+            j - 1,
+            (1, 2, 3),
+            wsb_concurrent_factories(n, j),
+        )
+        result.require_all_decided().require_satisfies(task)
+        assert set(result.outputs) == {0, 1}

@@ -1,0 +1,71 @@
+"""Tests for collect subroutines."""
+
+from repro.core import System
+from repro.memory.collect import (
+    collect_array,
+    collect_registers,
+    write_array_entry,
+)
+from repro.runtime import RoundRobinScheduler, execute, ops
+
+
+def run_solo(factory):
+    system = System(inputs=(1,), c_factories=[factory])
+    return execute(system, RoundRobinScheduler(), max_steps=5_000)
+
+
+class TestCollect:
+    def test_collect_registers(self):
+        got = {}
+
+        def factory(ctx):
+            yield ops.Write("a", 1)
+            yield ops.Write("b", 2)
+            view = yield from collect_registers(["a", "b", "missing"])
+            got.update(view)
+            yield ops.Decide(0)
+
+        run_solo(factory)
+        assert got == {"a": 1, "b": 2, "missing": None}
+
+    def test_collect_array(self):
+        got = []
+
+        def factory(ctx):
+            yield from write_array_entry("arr/", 0, "x")
+            yield from write_array_entry("arr/", 2, "z")
+            view = yield from collect_array("arr/", 3)
+            got.extend(view)
+            yield ops.Decide(0)
+
+        run_solo(factory)
+        assert got == ["x", None, "z"]
+
+    def test_collect_is_not_atomic(self):
+        """A collect interleaved with a writer can see a mixed state —
+        the very reason the snapshot algorithm exists."""
+        from repro.core import c_process
+        from repro.runtime import ExplicitScheduler
+
+        observed = []
+
+        def collector(ctx):
+            view = yield from collect_array("arr/", 2)
+            observed.append(tuple(view))
+            yield ops.Decide(0)
+
+        def writer(ctx):
+            yield ops.Write("arr/0", "new0")
+            yield ops.Write("arr/1", "new1")
+            yield ops.Decide(0)
+
+        # Collector reads arr/0 (None), writer writes both, collector
+        # reads arr/1 (new1): a view no atomic snapshot could return
+        # given arr/0 was written before arr/1.
+        p0, p1 = c_process(0), c_process(1)
+        schedule = [p0, p0, p1, p1, p1, p0, p0]
+        system = System(inputs=(1, 1), c_factories=[collector, writer])
+        execute(
+            system, ExplicitScheduler(schedule, strict=False), max_steps=100
+        )
+        assert observed == [(None, "new1")]

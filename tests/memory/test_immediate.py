@@ -1,0 +1,145 @@
+"""Tests for the one-shot immediate snapshot, including the link to the
+chromatic subdivision."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import System, c_process
+from repro.errors import SpecificationError
+from repro.memory.immediate import (
+    ImmediateSnapshot,
+    check_immediate_snapshot_views,
+)
+from repro.runtime import (
+    ExplicitScheduler,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    ops,
+)
+
+
+def participant(obj, index, views_out):
+    def factory(ctx):
+        view = yield from obj.participate(index, f"v{index}")
+        views_out[index] = view
+        yield ops.Decide(0)
+
+    return factory
+
+
+def run_is(n, scheduler, max_steps=100_000):
+    obj = ImmediateSnapshot("is", n)
+    views: dict[int, dict] = {}
+    system = System(
+        inputs=(1,) * n,
+        c_factories=[participant(obj, i, views) for i in range(n)],
+    )
+    result = execute(system, scheduler, max_steps=max_steps)
+    assert result.all_participants_decided
+    return views
+
+
+class TestProperties:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_three_properties_random_schedules(self, n, seed):
+        views = run_is(n, SeededRandomScheduler(seed))
+        check_immediate_snapshot_views(views)
+
+    def test_sequential_runs_see_prefixes(self):
+        from repro.runtime import k_concurrent
+
+        n = 3
+        views = run_is(n, k_concurrent(RoundRobinScheduler(), 1))
+        check_immediate_snapshot_views(views)
+        sizes = sorted(len(v) for v in views.values())
+        assert sizes == [1, 2, 3]  # strictly growing prefixes
+
+    def test_simultaneous_runs_see_everything(self):
+        """A perfectly synchronous interleaving gives everyone the full
+        view."""
+        n = 3
+        p = [c_process(i) for i in range(n)]
+        # input writes, then all level-n publishes, then all snapshots.
+        schedule = p * 20
+        obj = ImmediateSnapshot("is", n)
+        views: dict[int, dict] = {}
+        system = System(
+            inputs=(1,) * n,
+            c_factories=[participant(obj, i, views) for i in range(n)],
+        )
+        execute(
+            system,
+            ExplicitScheduler(schedule, strict=False),
+            max_steps=2_000,
+        )
+        check_immediate_snapshot_views(views)
+        assert any(len(v) == n for v in views.values())
+
+    def test_exhaustive_two_process_interleavings(self):
+        """All 2-process interleavings to depth 12 satisfy the three
+        properties, and the reachable view patterns are exactly the
+        three facets of the one-round chromatic subdivision."""
+        patterns = set()
+        for bits in itertools.product([0, 1], repeat=12):
+            obj = ImmediateSnapshot("is", 2)
+            views: dict[int, dict] = {}
+            system = System(
+                inputs=(1, 1),
+                c_factories=[participant(obj, i, views) for i in range(2)],
+            )
+            schedule = [c_process(b) for b in bits]
+            result = execute(
+                system,
+                ExplicitScheduler(schedule, strict=False),
+                max_steps=2_000,
+            )
+            if not result.all_participants_decided:
+                continue
+            check_immediate_snapshot_views(views)
+            patterns.add((len(views[0]), len(views[1])))
+        # The chromatic subdivision of an edge has exactly three facets:
+        # p first (1,2), q first (2,1), together (2,2).
+        assert patterns == {(1, 2), (2, 1), (2, 2)}
+
+    def test_index_validation(self):
+        obj = ImmediateSnapshot("is", 2)
+        with pytest.raises(SpecificationError):
+            next(obj.participate(5, "x"))
+
+    def test_size_validation(self):
+        with pytest.raises(SpecificationError):
+            ImmediateSnapshot("is", 0)
+
+
+class TestChecker:
+    def test_detects_missing_self(self):
+        with pytest.raises(SpecificationError):
+            check_immediate_snapshot_views({0: {1: "v"}, 1: {1: "v"}})
+
+    def test_detects_incomparable_views(self):
+        with pytest.raises(SpecificationError):
+            check_immediate_snapshot_views(
+                {0: {0: "a"}, 1: {1: "b"}}
+            )
+
+    def test_detects_immediacy_violation(self):
+        with pytest.raises(SpecificationError):
+            check_immediate_snapshot_views(
+                {
+                    0: {0: "a", 1: "b"},
+                    1: {0: "a", 1: "b", 2: "c"},
+                    2: {0: "a", 1: "b", 2: "c"},
+                }
+            )
+
+
+@given(st.integers(0, 2**16), st.integers(2, 4))
+@settings(max_examples=30, deadline=None)
+def test_properties_hold_for_any_seed(seed, n):
+    views = run_is(n, SeededRandomScheduler(seed))
+    check_immediate_snapshot_views(views)

@@ -1,0 +1,79 @@
+"""Unit tests for the register file."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memory import RegisterFile, apply_operation
+from repro.runtime import ops
+
+
+class TestRegisterFile:
+    def test_unwritten_reads_none(self):
+        assert RegisterFile().read("anything") is None
+
+    def test_write_then_read(self):
+        mem = RegisterFile()
+        mem.write("r", 5)
+        assert mem.read("r") == 5
+
+    def test_overwrite(self):
+        mem = RegisterFile()
+        mem.write("r", 1)
+        mem.write("r", 2)
+        assert mem.read("r") == 2
+
+    def test_snapshot_prefix(self):
+        mem = RegisterFile()
+        mem.write("a/0", 1)
+        mem.write("a/1", 2)
+        mem.write("b/0", 3)
+        assert mem.snapshot("a/") == {"a/0": 1, "a/1": 2}
+        assert mem.snapshot("zzz") == {}
+
+    def test_cas_success_and_failure(self):
+        mem = RegisterFile()
+        assert mem.compare_and_swap("r", None, "x") is None
+        assert mem.read("r") == "x"
+        assert mem.compare_and_swap("r", None, "y") == "x"
+        assert mem.read("r") == "x"
+
+    def test_copy_is_independent(self):
+        mem = RegisterFile()
+        mem.write("r", 1)
+        clone = mem.copy()
+        clone.write("r", 2)
+        assert mem.read("r") == 1
+        assert clone.read("r") == 2
+
+    def test_len_and_names(self):
+        mem = RegisterFile()
+        mem.write("a", 1)
+        mem.write("b", 2)
+        assert len(mem) == 2
+        assert set(mem.names()) == {"a", "b"}
+
+
+class TestApplyOperation:
+    def test_read_write(self):
+        mem = RegisterFile()
+        assert apply_operation(mem, ops.Write("r", 9)) is None
+        assert apply_operation(mem, ops.Read("r")) == 9
+
+    def test_snapshot(self):
+        mem = RegisterFile()
+        mem.write("x/0", 1)
+        assert apply_operation(mem, ops.Snapshot("x/")) == {"x/0": 1}
+
+    def test_nop(self):
+        assert apply_operation(RegisterFile(), ops.Nop()) is None
+
+    def test_cas(self):
+        mem = RegisterFile()
+        assert apply_operation(mem, ops.CompareAndSwap("r", None, 1)) is None
+        assert apply_operation(mem, ops.CompareAndSwap("r", None, 2)) == 1
+
+    def test_non_memory_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            apply_operation(RegisterFile(), ops.QueryFD())
+        with pytest.raises(ProtocolError):
+            apply_operation(RegisterFile(), ops.Decide(1))

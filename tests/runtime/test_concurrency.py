@@ -1,0 +1,151 @@
+"""Unit tests for k-concurrency gating and personified runs."""
+
+import pytest
+
+from repro.core import System, c_process, input_register, s_process
+from repro.core.failures import FailurePattern
+from repro.errors import SchedulingError
+from repro.runtime import (
+    Executor,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    k_concurrent,
+    ops,
+    personified,
+)
+from repro.runtime.concurrency import (
+    FilteredScheduler,
+    KConcurrencyFilter,
+    PersonifiedFilter,
+)
+from repro.runtime.scheduler import SchedulerView
+
+
+def deliberate(steps):
+    """A C-process that works for `steps` operations before deciding."""
+
+    def factory(ctx):
+        for _ in range(steps):
+            yield ops.Nop()
+        yield ops.Decide(ctx.input_value)
+
+    return factory
+
+
+def max_concurrent_undecided(result):
+    """Largest number of started-but-undecided C-processes at any time."""
+    started: set[int] = set()
+    decided: set[int] = set()
+    peak = 0
+    for event in result.trace:
+        if event.pid.is_computation:
+            started.add(event.pid.index)
+            if isinstance(event.op, ops.Decide):
+                decided.add(event.pid.index)
+        peak = max(peak, len(started - decided))
+    return peak
+
+
+class TestKConcurrency:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_concurrency_bound_respected(self, k):
+        n = 4
+        system = System(
+            inputs=tuple(range(n)), c_factories=[deliberate(6)] * n
+        )
+        sched = k_concurrent(RoundRobinScheduler(), k)
+        result = execute(system, sched, trace=True)
+        assert result.all_participants_decided
+        assert max_concurrent_undecided(result) <= k
+
+    def test_one_concurrent_is_sequential(self):
+        n = 3
+        system = System(
+            inputs=tuple(range(n)), c_factories=[deliberate(4)] * n
+        )
+        sched = k_concurrent(SeededRandomScheduler(7), 1)
+        result = execute(system, sched, trace=True)
+        assert max_concurrent_undecided(result) == 1
+
+    def test_arrival_order_respected(self):
+        n = 3
+        system = System(
+            inputs=tuple(range(n)), c_factories=[deliberate(2)] * n
+        )
+        sched = k_concurrent(RoundRobinScheduler(), 1, arrival_order=[2, 0, 1])
+        result = execute(system, sched, trace=True)
+        first_steps = {}
+        for event in result.trace:
+            if event.pid.is_computation and event.pid.index not in first_steps:
+                first_steps[event.pid.index] = event.time
+        assert first_steps[2] < first_steps[0] < first_steps[1]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SchedulingError):
+            KConcurrencyFilter(0)
+
+    def test_s_processes_never_gated(self):
+        view = SchedulerView(
+            time=0,
+            candidates=(c_process(0), c_process(1), s_process(0)),
+            started=frozenset({0}),
+            decided=frozenset(),
+            participants=frozenset({0, 1}),
+        )
+        kept = KConcurrencyFilter(1)(view)
+        assert s_process(0) in kept
+        assert c_process(1) not in kept  # gate is full
+        assert c_process(0) in kept  # already admitted
+
+
+class TestPersonified:
+    def test_c_process_dies_with_its_s_counterpart(self):
+        pattern = FailurePattern.crash(2, {0: 8})
+
+        def forever(ctx):
+            while True:
+                yield ops.Nop()
+
+        system = System(
+            inputs=(1, 2),
+            c_factories=[forever, forever],
+            s_factories=[forever, forever],
+            pattern=pattern,
+        )
+        sched = personified(RoundRobinScheduler(), pattern)
+        result = execute(system, sched, max_steps=60, trace=True)
+        p1_steps = [e for e in result.trace if e.pid == c_process(0)]
+        assert p1_steps
+        assert all(e.time < 8 for e in p1_steps)
+
+    def test_filter_drops_only_crashed_counterparts(self):
+        pattern = FailurePattern.crash(2, {1: 0})
+        view = SchedulerView(
+            time=5,
+            candidates=(c_process(0), c_process(1), s_process(0)),
+            started=frozenset(),
+            decided=frozenset(),
+            participants=frozenset({0, 1}),
+        )
+        kept = PersonifiedFilter(pattern)(view)
+        assert c_process(0) in kept
+        assert c_process(1) not in kept
+        assert s_process(0) in kept
+
+
+class TestFilteredScheduler:
+    def test_all_filtered_out_raises(self):
+        pattern = FailurePattern.crash(2, {0: 0})
+        sched = FilteredScheduler(
+            RoundRobinScheduler(), PersonifiedFilter(pattern)
+        )
+        view = SchedulerView(
+            time=1,
+            candidates=(c_process(0),),
+            started=frozenset(),
+            decided=frozenset(),
+            participants=frozenset({0}),
+        )
+        with pytest.raises(SchedulingError):
+            sched.next(view)

@@ -1,0 +1,241 @@
+"""Unit tests for the run loop."""
+
+import pytest
+
+from repro.core import System, c_process, input_register, s_process
+from repro.core.failures import FailurePattern
+from repro.detectors import Omega
+from repro.errors import ProtocolError, SchedulingError
+from repro.runtime import (
+    Executor,
+    RoundRobinScheduler,
+    SeededRandomScheduler,
+    execute,
+    ops,
+)
+
+
+def echo(ctx):
+    value = yield ops.Read(input_register(ctx.pid.index))
+    yield ops.Decide(value)
+
+
+def spin(ctx):
+    while True:
+        yield ops.Nop()
+
+
+def writer(register, value):
+    def factory(ctx):
+        yield ops.Write(register, value)
+        while True:
+            yield ops.Nop()
+
+    return factory
+
+
+class TestBasicExecution:
+    def test_all_decide_their_inputs(self):
+        system = System(inputs=(1, 2, 3), c_factories=[echo] * 3)
+        result = execute(system, RoundRobinScheduler())
+        assert result.outputs == (1, 2, 3)
+        assert result.reason == "all_decided"
+        assert result.all_participants_decided
+
+    def test_first_step_writes_input(self):
+        system = System(inputs=(7,), c_factories=[spin])
+        ex = Executor(system, RoundRobinScheduler(), max_steps=5)
+        result = ex.run()
+        assert result.memory.read(input_register(0)) == 7
+        assert result.reason == "budget"
+
+    def test_non_participant_never_scheduled(self):
+        system = System(inputs=(1, None), c_factories=[echo, echo])
+        result = execute(system, RoundRobinScheduler(), trace=True)
+        assert result.outputs == (1, None)
+        assert all(e.pid != c_process(1) for e in result.trace)
+        assert result.participants == frozenset({0})
+
+    def test_decided_process_stops_taking_steps(self):
+        system = System(inputs=(1, 2), c_factories=[echo, spin])
+        ex = Executor(system, RoundRobinScheduler(), max_steps=50, trace=True)
+        result = ex.run()
+        p1_steps = [e for e in result.trace if e.pid == c_process(0)]
+        # input write + read + decide = 3 steps, nothing after.
+        assert len(p1_steps) == 3
+
+    def test_step_counts_recorded(self):
+        system = System(inputs=(1,), c_factories=[echo])
+        result = execute(system, RoundRobinScheduler())
+        assert result.step_counts[c_process(0)] == 3
+
+
+class TestFailuresAndDetectors:
+    def test_crashed_s_process_not_scheduled(self):
+        pattern = FailurePattern.crash(2, {0: 0})
+        system = System(
+            inputs=(1,),
+            c_factories=[spin],
+            s_factories=[spin, spin],
+            pattern=pattern,
+        )
+        ex = Executor(system, RoundRobinScheduler(), max_steps=30, trace=True)
+        result = ex.run()
+        assert all(e.pid != s_process(0) for e in result.trace)
+
+    def test_s_process_crash_mid_run(self):
+        pattern = FailurePattern.crash(2, {0: 10})
+        system = System(
+            inputs=(1,),
+            c_factories=[spin],
+            s_factories=[spin, spin],
+            pattern=pattern,
+        )
+        ex = Executor(system, RoundRobinScheduler(), max_steps=60, trace=True)
+        result = ex.run()
+        q0_steps = [e for e in result.trace if e.pid == s_process(0)]
+        assert q0_steps  # took steps before the crash
+        assert all(e.time < 10 for e in q0_steps)
+
+    def test_query_fd_returns_history_value(self):
+        collected = []
+
+        def querier(ctx):
+            value = yield ops.QueryFD()
+            collected.append(value)
+            while True:
+                yield ops.Nop()
+
+        system = System(
+            inputs=(1,),
+            c_factories=[spin],
+            s_factories=[querier],
+            detector=Omega(leader=0),
+            seed=3,
+        )
+        Executor(system, RoundRobinScheduler(), max_steps=20).run()
+        assert collected == [0]
+
+    def test_c_process_cannot_query_fd(self):
+        def bad(ctx):
+            yield ops.QueryFD()
+
+        system = System(inputs=(1,), c_factories=[bad])
+        with pytest.raises(ProtocolError):
+            Executor(system, RoundRobinScheduler(), max_steps=20).run()
+
+    def test_s_process_cannot_decide(self):
+        def bad(ctx):
+            yield ops.Decide(1)
+
+        system = System(inputs=(1,), c_factories=[spin], s_factories=[bad])
+        with pytest.raises(ProtocolError):
+            Executor(system, RoundRobinScheduler(), max_steps=20).run()
+
+
+class TestMemorySemantics:
+    def test_registers_shared_between_processes(self):
+        reads = []
+
+        def reader(ctx):
+            while True:
+                value = yield ops.Read("flag")
+                if value is not None:
+                    reads.append(value)
+                    yield ops.Decide(value)
+
+        system = System(
+            inputs=(1,),
+            c_factories=[reader],
+            s_factories=[writer("flag", 99)],
+        )
+        result = execute(system, RoundRobinScheduler())
+        assert result.outputs == (99,)
+
+    def test_snapshot_by_prefix(self):
+        got = {}
+
+        def snapper(ctx):
+            yield ops.Write("arr/0", "a")
+            yield ops.Write("arr/1", "b")
+            yield ops.Write("other", "x")
+            snap = yield ops.Snapshot("arr/")
+            got.update(snap)
+            yield ops.Decide(0)
+
+        system = System(inputs=((0, 0),), c_factories=[snapper])
+        execute(system, RoundRobinScheduler())
+        assert got == {"arr/0": "a", "arr/1": "b"}
+
+    def test_compare_and_swap(self):
+        outcomes = []
+
+        def contender(winner_value):
+            def factory(ctx):
+                prior = yield ops.CompareAndSwap("lock", None, winner_value)
+                outcomes.append((winner_value, prior))
+                yield ops.Decide(prior)
+
+            return factory
+
+        system = System(
+            inputs=(1, 2), c_factories=[contender("A"), contender("B")]
+        )
+        result = execute(system, RoundRobinScheduler())
+        # Exactly one contender saw None (and thus won).
+        assert sorted(v is None for v in result.outputs) == [False, True]
+
+
+class TestStopConditions:
+    def test_stop_when_predicate(self):
+        system = System(inputs=(1,), c_factories=[spin])
+        result = execute(
+            system,
+            RoundRobinScheduler(),
+            max_steps=1000,
+            stop_when=lambda ex: ex.time >= 7,
+        )
+        assert result.reason == "predicate"
+        assert result.steps == 7
+
+    def test_budget_exhaustion(self):
+        system = System(inputs=(1,), c_factories=[spin])
+        result = execute(system, RoundRobinScheduler(), max_steps=9)
+        assert result.reason == "budget"
+        assert result.steps == 9
+
+    def test_require_all_decided_raises_on_budget(self):
+        from repro.errors import LivenessViolation
+
+        system = System(inputs=(1,), c_factories=[spin])
+        result = execute(system, RoundRobinScheduler(), max_steps=9)
+        with pytest.raises(LivenessViolation):
+            result.require_all_decided()
+
+    def test_halted_when_automata_exhaust(self):
+        def short(ctx):
+            yield ops.Nop()
+
+        system = System(
+            inputs=(1,), c_factories=[short], s_factories=[short]
+        )
+        result = execute(system, RoundRobinScheduler(), max_steps=100)
+        assert result.reason == "halted"
+
+    def test_stepping_unschedulable_process_raises(self):
+        system = System(inputs=(1, None), c_factories=[echo, echo])
+        ex = Executor(system, RoundRobinScheduler())
+        with pytest.raises(SchedulingError):
+            ex.step(c_process(1))
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        def run_once():
+            system = System(inputs=(1, 2, 3), c_factories=[echo] * 3, seed=5)
+            result = execute(
+                system, SeededRandomScheduler(11), trace=True
+            )
+            return [(e.time, e.pid, repr(e.op)) for e in result.trace]
+
+        assert run_once() == run_once()

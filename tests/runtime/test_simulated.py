@@ -1,0 +1,139 @@
+"""Unit tests for the deterministic local simulation engine."""
+
+import pytest
+
+from repro.core.process import c_process, s_process
+from repro.core.system import input_register
+from repro.errors import ProtocolError
+from repro.runtime import ops
+from repro.runtime.simulated import STUCK, SimulatedWorld
+
+
+def echo(ctx):
+    value = yield ops.Read(input_register(ctx.pid.index))
+    yield ops.Decide(value)
+
+
+def writer(ctx):
+    yield ops.Write("shared", f"from-{ctx.pid.name}")
+    while True:
+        yield ops.Nop()
+
+
+def querier(ctx):
+    while True:
+        value = yield ops.QueryFD()
+        yield ops.Write(f"fd/{ctx.pid.index}", value)
+
+
+class TestStepping:
+    def test_first_step_writes_input(self):
+        world = SimulatedWorld(inputs=(42,), c_factories=[echo])
+        assert world.step(c_process(0))
+        assert world.memory.read(input_register(0)) == 42
+
+    def test_decide_recorded_and_halts(self):
+        world = SimulatedWorld(inputs=(7,), c_factories=[echo])
+        for _ in range(3):
+            world.step(c_process(0))
+        assert world.decisions == {0: 7}
+        assert world.is_halted(c_process(0))
+        assert not world.step(c_process(0))
+
+    def test_non_participant_never_steps(self):
+        world = SimulatedWorld(inputs=(None,), c_factories=[echo])
+        assert not world.can_step(c_process(0))
+        assert not world.step(c_process(0))
+        assert world.steps_taken == 0
+
+    def test_s_processes_share_memory_with_c(self):
+        world = SimulatedWorld(
+            inputs=(1,), c_factories=[echo], s_factories=[writer]
+        )
+        world.step(s_process(0))
+        assert world.memory.read("shared") == "from-q1"
+
+    def test_outputs_tuple(self):
+        world = SimulatedWorld(inputs=(5, None), c_factories=[echo, echo])
+        world.run_schedule([c_process(0)] * 3)
+        assert world.outputs() == (5, None)
+
+    def test_run_schedule_counts_effective_steps(self):
+        world = SimulatedWorld(inputs=(5,), c_factories=[echo])
+        done = world.run_schedule([c_process(0)] * 10)
+        assert done == 3  # input write + read + decide; rest skipped
+
+
+class TestDeterminism:
+    def test_same_schedule_same_state(self):
+        def build():
+            return SimulatedWorld(
+                inputs=(3, 4),
+                c_factories=[echo, echo],
+                s_factories=[writer],
+            )
+
+        schedule = [c_process(0), s_process(0), c_process(1)] * 4
+        a, b = build(), build()
+        a.run_schedule(schedule)
+        b.run_schedule(schedule)
+        assert a.decisions == b.decisions
+        assert dict(a.memory.snapshot("")) == dict(b.memory.snapshot(""))
+        assert a.step_counts == b.step_counts
+
+
+class TestFDSource:
+    def test_queries_served_in_order(self):
+        served = []
+
+        def source(s_index, count):
+            served.append((s_index, count))
+            return f"sample-{count}"
+
+        world = SimulatedWorld(
+            inputs=(1,),
+            c_factories=[echo],
+            s_factories=[querier],
+            fd_source=source,
+        )
+        world.step(s_process(0))  # query
+        world.step(s_process(0))  # publish
+        assert world.memory.read("fd/0") == "sample-0"
+        world.step(s_process(0))  # next query
+        world.step(s_process(0))  # publish
+        assert world.memory.read("fd/0") == "sample-1"
+        assert served[:2] == [(0, 0), (0, 1)]
+
+    def test_stuck_blocks_without_consuming(self):
+        calls = []
+
+        def source(s_index, count):
+            calls.append(count)
+            return STUCK
+
+        world = SimulatedWorld(
+            inputs=(1,),
+            c_factories=[echo],
+            s_factories=[querier],
+            fd_source=source,
+        )
+        assert not world.can_step(s_process(0))
+        assert not world.step(s_process(0))
+        assert world.step_counts[s_process(0)] == 0
+
+    def test_no_source_means_stuck(self):
+        world = SimulatedWorld(
+            inputs=(1,), c_factories=[echo], s_factories=[querier]
+        )
+        assert not world.can_step(s_process(0))
+
+    def test_c_process_query_rejected(self):
+        def bad(ctx):
+            yield ops.QueryFD()
+
+        world = SimulatedWorld(
+            inputs=(1,), c_factories=[bad], fd_source=lambda q, c: 0
+        )
+        world.step(c_process(0))  # input write
+        with pytest.raises(ProtocolError):
+            world.step(c_process(0))

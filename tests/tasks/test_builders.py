@@ -1,0 +1,64 @@
+"""Unit tests for task enumeration and participant restriction."""
+
+import pytest
+
+from repro.core.task import EnumeratedTask, participants
+from repro.errors import SpecificationError
+from repro.tasks import (
+    ConsensusTask,
+    SetAgreementTask,
+    enumerate_task,
+    restrict_to_participants,
+)
+
+
+class TestEnumerateTask:
+    def test_consensus_round_trip(self):
+        predicate = ConsensusTask(2)
+        tabulated = enumerate_task(predicate)
+        assert isinstance(tabulated, EnumeratedTask)
+        for inputs in predicate.input_vectors():
+            assert tabulated.is_input(inputs)
+            # Full agreement vectors must survive tabulation.
+            present = sorted(participants(inputs))
+            value = inputs[present[0]]
+            full = tuple(
+                value if i in present else None for i in range(2)
+            )
+            assert tabulated.allows(inputs, full)
+
+    def test_tabulation_preserves_rejections(self):
+        predicate = ConsensusTask(2)
+        tabulated = enumerate_task(predicate)
+        assert not tabulated.allows((0, 1), (0, 1))
+
+    def test_max_inputs_guard(self):
+        with pytest.raises(SpecificationError):
+            enumerate_task(SetAgreementTask(4, 2), max_inputs=3)
+
+    def test_explicit_output_values(self):
+        predicate = ConsensusTask(2)
+        tabulated = enumerate_task(predicate, output_values=(0, 1))
+        assert tabulated.allows((1, 1), (1, 1))
+
+
+class TestRestrictToParticipants:
+    def test_restriction_filters_inputs(self):
+        task = restrict_to_participants(SetAgreementTask(3, 1), {0, 1})
+        assert task.is_input((0, 1, None))
+        assert not task.is_input((0, None, 1))
+
+    def test_restriction_filters_input_vectors(self):
+        task = restrict_to_participants(SetAgreementTask(3, 1), {0})
+        assert all(
+            participants(vec) <= {0} for vec in task.input_vectors()
+        )
+
+    def test_allows_delegates(self):
+        task = restrict_to_participants(SetAgreementTask(3, 1), {0, 1})
+        assert task.allows((0, 1, None), (0, 0, None))
+        assert not task.allows((0, 1, None), (0, 1, None))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SpecificationError):
+            restrict_to_participants(SetAgreementTask(3, 1), {5})

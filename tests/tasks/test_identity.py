@@ -1,0 +1,52 @@
+"""Tests for the identity task (the class-n anchor)."""
+
+import pytest
+
+from repro.classify import classify_identity
+from repro.core import System
+from repro.errors import SpecificationError
+from repro.runtime import SeededRandomScheduler, execute
+from repro.tasks import IdentityTask, identity_factories
+
+
+class TestTask:
+    def test_is_input(self):
+        task = IdentityTask(3)
+        assert task.is_input((0, 1, None))
+        assert not task.is_input((None, None, None))
+        assert not task.is_input((5, 0, 1))  # out of domain
+
+    def test_allows_only_own_input(self):
+        task = IdentityTask(2)
+        assert task.allows((0, 1), (0, 1))
+        assert task.allows((0, 1), (0, None))
+        assert not task.allows((0, 1), (1, 1))
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            IdentityTask(0)
+        with pytest.raises(SpecificationError):
+            IdentityTask(2, domain=())
+
+    def test_input_enumeration(self):
+        task = IdentityTask(2, domain=(0,))
+        assert len(list(task.input_vectors())) == 3
+
+
+class TestSolverAndClass:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wait_free_solution(self, seed):
+        n = 4
+        task = IdentityTask(n)
+        inputs = (0, 1, 1, 0)
+        system = System(inputs=inputs, c_factories=identity_factories(n))
+        result = execute(system, SeededRandomScheduler(seed), max_steps=1_000)
+        result.require_all_decided().require_satisfies(task)
+        assert result.outputs == inputs
+
+    def test_classified_as_class_n(self):
+        row = classify_identity(3)
+        assert row.level == 3
+        assert row.exact
+        assert row.lower.kind == "maximum"
+        assert "trivial" in row.weakest_detector

@@ -1,0 +1,67 @@
+"""Unit tests for (j, l)-renaming tasks."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.tasks import RenamingTask, StrongRenamingTask
+
+
+class TestRenaming:
+    def test_names(self):
+        assert RenamingTask(4, 2, 3).name == "(2,3)-renaming"
+        assert RenamingTask(4, 2, 2).name == "strong-2-renaming"
+        assert StrongRenamingTask(4, 3).name == "strong-3-renaming"
+
+    def test_is_input_participation_bound(self):
+        task = RenamingTask(4, 2, 3)
+        assert task.is_input((1, 2, None, None))
+        assert not task.is_input((1, 2, 3, None))  # 3 > j participants
+
+    def test_is_input_distinct_original_names(self):
+        task = RenamingTask(4, 2, 3)
+        assert not task.is_input((1, 1, None, None))
+
+    def test_is_input_namespace_membership(self):
+        task = RenamingTask(4, 2, 3, namespace=(10, 20, 30, 40))
+        assert task.is_input((10, 20, None, None))
+        assert not task.is_input((1, 20, None, None))
+
+    def test_allows_distinct_new_names_in_range(self):
+        task = RenamingTask(4, 2, 3)
+        assert task.allows((1, 2, None, None), (3, 1, None, None))
+        assert not task.allows((1, 2, None, None), (3, 3, None, None))
+        assert not task.allows((1, 2, None, None), (4, 1, None, None))
+        assert not task.allows((1, 2, None, None), (0, 1, None, None))
+
+    def test_allows_partial(self):
+        task = RenamingTask(4, 2, 2)
+        assert task.allows((1, 2, None, None), (2, None, None, None))
+        assert task.allows((1, 2, None, None), (None, None, None, None))
+
+    def test_non_participant_cannot_decide(self):
+        task = RenamingTask(4, 2, 3)
+        assert not task.allows((1, 2, None, None), (1, 2, 3, None))
+
+    def test_strong_renaming_is_tight(self):
+        task = StrongRenamingTask(4, 2)
+        assert task.l == task.j == 2
+        assert task.allows((1, 2, None, None), (1, 2, None, None))
+        assert not task.allows((1, 2, None, None), (1, 3, None, None))
+
+    def test_input_vector_enumeration(self):
+        task = RenamingTask(3, 2, 3, namespace=(1, 2))
+        vectors = list(task.input_vectors())
+        # solo: 3 positions x 2 names = 6; pairs: 3 position pairs x 2
+        # orderings = 6
+        assert len(vectors) == 12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecificationError):
+            RenamingTask(3, 3, 3)  # j must be < n
+        with pytest.raises(SpecificationError):
+            RenamingTask(4, 2, 1)  # l < j
+        with pytest.raises(SpecificationError):
+            RenamingTask(4, 2, 2, namespace=(1,))
+
+    def test_colored(self):
+        assert not RenamingTask(4, 2, 3).colorless

@@ -1,0 +1,88 @@
+"""Unit tests for (U, k)-agreement tasks."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.tasks import ConsensusTask, SetAgreementTask
+
+
+class TestSetAgreement:
+    def test_names(self):
+        assert SetAgreementTask(4, 1).name == "consensus"
+        assert SetAgreementTask(4, 2).name == "2-set-agreement"
+        assert "p1" in SetAgreementTask(4, 2, member_set={0, 1, 2}).name
+
+    def test_default_domain_matches_paper(self):
+        task = SetAgreementTask(3, 2)
+        assert task.output_values() == (0, 1, 2)
+
+    def test_is_input(self):
+        task = SetAgreementTask(3, 2)
+        assert task.is_input((0, 1, 2))
+        assert task.is_input((None, 1, None))
+        assert not task.is_input((None, None, None))
+        assert not task.is_input((5, 1, 2))  # out of domain
+
+    def test_member_set_restricts_participation(self):
+        task = SetAgreementTask(3, 1, member_set={0, 1})
+        assert task.is_input((0, 1, None))
+        assert not task.is_input((0, None, 1))
+
+    def test_allows_respects_k(self):
+        task = SetAgreementTask(3, 2)
+        assert task.allows((0, 1, 2), (0, 1, 1))
+        assert not task.allows((0, 1, 2), (0, 1, 2))  # 3 distinct > k
+
+    def test_allows_validity(self):
+        task = SetAgreementTask(3, 2)
+        assert not task.allows((0, 1, None), (2, 1, None))  # 2 not proposed
+
+    def test_allows_non_participant_decision_rejected(self):
+        task = SetAgreementTask(3, 2)
+        assert not task.allows((0, 1, None), (0, 1, 0))
+
+    def test_allows_partial_outputs(self):
+        task = SetAgreementTask(3, 1)
+        assert task.allows((0, 1, 0), (None, None, None))
+        assert task.allows((0, 1, 0), (1, None, None))
+        assert not task.allows((0, 1, 0), (1, None, 0))
+
+    def test_colorless(self):
+        assert SetAgreementTask(3, 2).colorless
+
+    def test_input_vector_enumeration_counts(self):
+        task = SetAgreementTask(2, 1, domain=(0, 1))
+        vectors = list(task.input_vectors())
+        # 2 solo sets x 2 values + 1 full set x 4 assignments = 8
+        assert len(vectors) == 8
+        assert len(set(vectors)) == 8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecificationError):
+            SetAgreementTask(3, 0)
+        with pytest.raises(SpecificationError):
+            SetAgreementTask(0, 1)
+        with pytest.raises(SpecificationError):
+            SetAgreementTask(3, 1, member_set={7})
+        with pytest.raises(SpecificationError):
+            SetAgreementTask(3, 1, member_set=set())
+        with pytest.raises(SpecificationError):
+            SetAgreementTask(3, 1, domain=())
+
+
+class TestConsensus:
+    def test_binary_domain_default(self):
+        task = ConsensusTask(3)
+        assert task.k == 1
+        assert task.output_values() == (0, 1)
+
+    def test_agreement_enforced(self):
+        task = ConsensusTask(2)
+        assert task.allows((0, 1), (0, 0))
+        assert task.allows((0, 1), (1, 1))
+        assert not task.allows((0, 1), (0, 1))
+
+    def test_solo_must_decide_own_value(self):
+        task = ConsensusTask(2)
+        assert task.allows((0, None), (0, None))
+        assert not task.allows((0, None), (1, None))

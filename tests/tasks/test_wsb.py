@@ -1,0 +1,66 @@
+"""Unit tests for weak symmetry breaking."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.tasks import WeakSymmetryBreakingTask
+
+
+class TestWSB:
+    def test_inputs_are_identities(self):
+        task = WeakSymmetryBreakingTask(3, 2)
+        assert task.is_input((1, 2, None))
+        assert task.is_input((1, None, None))
+        assert not task.is_input((2, 2, None))
+        assert not task.is_input((None, None, None))
+
+    def test_participation_bound(self):
+        task = WeakSymmetryBreakingTask(3, 2)
+        assert not task.is_input((1, 2, 3))  # 3 > j participants
+
+    def test_default_j(self):
+        task = WeakSymmetryBreakingTask(4)
+        assert task.j == 3
+        assert task.name == "wsb-3of4"
+
+    def test_full_quorum_requires_both_bits(self):
+        task = WeakSymmetryBreakingTask(3, 3)
+        assert task.allows((1, 2, 3), (0, 1, 0))
+        assert not task.allows((1, 2, 3), (0, 0, 0))
+        assert not task.allows((1, 2, 3), (1, 1, 1))
+
+    def test_constraint_binds_at_exactly_j(self):
+        task = WeakSymmetryBreakingTask(4, 2)
+        assert not task.allows((1, 2, None, None), (0, 0, None, None))
+        assert task.allows((1, 2, None, None), (0, 1, None, None))
+        # A single participant is unconstrained.
+        assert task.allows((1, None, None, None), (1, None, None, None))
+
+    def test_partial_outputs_allowed_when_completable(self):
+        task = WeakSymmetryBreakingTask(3, 3)
+        assert task.allows((1, 2, 3), (0, 0, None))
+        assert task.allows((1, 2, 3), (None, None, None))
+
+    def test_output_range(self):
+        task = WeakSymmetryBreakingTask(2, 2)
+        assert not task.allows((1, 2), (0, 2))
+
+    def test_non_participant_cannot_decide(self):
+        task = WeakSymmetryBreakingTask(3, 2)
+        assert not task.allows((1, 2, None), (0, 1, 0))
+
+    def test_parameter_validation(self):
+        with pytest.raises(SpecificationError):
+            WeakSymmetryBreakingTask(1)
+        with pytest.raises(SpecificationError):
+            WeakSymmetryBreakingTask(3, 1)
+        with pytest.raises(SpecificationError):
+            WeakSymmetryBreakingTask(3, 4)
+
+    def test_colored(self):
+        assert not WeakSymmetryBreakingTask(3, 2).colorless
+
+    def test_input_enumeration(self):
+        task = WeakSymmetryBreakingTask(3, 2)
+        vectors = list(task.input_vectors())
+        assert len(vectors) == 3 + 3  # singletons + pairs

@@ -1,0 +1,96 @@
+"""Unit tests for chromatic complexes and subdivision."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.topology import (
+    Complex,
+    Vertex,
+    iterated_subdivision,
+    path_complex,
+    protocol_complex,
+    subdivide_edge_path,
+)
+
+
+def v(color, view):
+    return Vertex(color, view)
+
+
+class TestComplex:
+    def test_face_closure(self):
+        c = Complex([{v(0, "a"), v(1, "b")}])
+        assert {v(0, "a")} in c
+        assert {v(1, "b")} in c
+        assert {v(0, "a"), v(1, "b")} in c
+
+    def test_chromatic_constraint(self):
+        with pytest.raises(SpecificationError):
+            Complex([{v(0, "a"), v(0, "b")}])
+
+    def test_dimension(self):
+        assert Complex().dimension == -1
+        assert Complex([{v(0, "a")}]).dimension == 0
+        assert Complex([{v(0, "a"), v(1, "b")}]).dimension == 1
+
+    def test_facets(self):
+        c = Complex([{v(0, "a"), v(1, "b")}, {v(2, "c")}])
+        facets = set(c.facets())
+        assert frozenset({v(0, "a"), v(1, "b")}) in facets
+        assert frozenset({v(2, "c")}) in facets
+        assert frozenset({v(0, "a")}) not in facets
+
+    def test_connected_components(self):
+        c = Complex(
+            [
+                {v(0, "a"), v(1, "b")},
+                {v(0, "c"), v(1, "d")},
+            ]
+        )
+        components = c.connected_components()
+        assert len(components) == 2
+
+    def test_same_component(self):
+        c = Complex([{v(0, "a"), v(1, "b")}, {v(1, "b"), v(0, "c")}])
+        assert c.same_component(v(0, "a"), v(0, "c"))
+        c.add({v(0, "x"), v(1, "y")})
+        assert not c.same_component(v(0, "a"), v(0, "x"))
+
+    def test_path_distance(self):
+        path = [v(0, 0), v(1, 1), v(0, 2), v(1, 3)]
+        c = path_complex(path)
+        assert c.path_distance(path[0], path[3]) == 3
+        assert c.path_distance(path[0], path[0]) == 0
+        assert c.path_distance(path[0], v(5, "nowhere")) is None
+
+
+class TestSubdivision:
+    def test_single_subdivision_shape(self):
+        path = [v(0, "u"), v(1, "w")]
+        subdivided = subdivide_edge_path(path)
+        assert len(subdivided) == 4
+        colors = [x.color for x in subdivided]
+        assert colors == [0, 1, 0, 1]
+        # Endpoints keep the solo views.
+        assert subdivided[0] == path[0]
+        assert subdivided[-1] == path[-1]
+
+    @pytest.mark.parametrize("rounds", [0, 1, 2, 3])
+    def test_iterated_growth(self, rounds):
+        path = iterated_subdivision(0, 1, "u", "w", rounds)
+        assert len(path) == 3**rounds + 1
+        # Alternating colors throughout.
+        for a, b in zip(path, path[1:]):
+            assert a.color != b.color
+
+    def test_protocol_complex_edge_count(self):
+        c = protocol_complex(0, 1, "u", "w", 2)
+        assert len(list(c.edges())) == 9
+
+    def test_non_alternating_rejected(self):
+        with pytest.raises(SpecificationError):
+            subdivide_edge_path([v(0, "a"), v(0, "b")])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SpecificationError):
+            subdivide_edge_path([v(0, "a")])

@@ -1,0 +1,89 @@
+"""Property-based tests for the 2-process solvability decision, over
+randomly generated (well-formed) 2-participant tasks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import EnumeratedTask
+from repro.errors import SpecificationError
+from repro.tasks import ConsensusTask, enumerate_task
+from repro.topology import (
+    decide_two_process_solvability,
+    solvable_in_rounds,
+)
+
+
+@st.composite
+def random_two_process_tasks(draw):
+    """A random task for 2 processes over a binary input/output domain:
+    for each complete input pair, a non-empty set of allowed complete
+    output pairs.  Construction may still violate the closure
+    conditions, in which case the example is discarded."""
+    delta = {}
+    pairs = [(a, b) for a in (0, 1) for b in (0, 1)]
+    for inp in pairs:
+        outs = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, 1), st.integers(0, 1)
+                ),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        delta[inp] = outs
+    return delta
+
+
+@given(random_two_process_tasks())
+@settings(max_examples=120, deadline=None)
+def test_decision_consistent_with_round_search(delta):
+    try:
+        task = EnumeratedTask(2, delta, name="random")
+    except SpecificationError:
+        return  # the random relation violated closure; not a valid task
+    # Give the checker an explicit output alphabet.
+    result = decide_two_process_solvability(task, output_values=(0, 1))
+    if result.solvable:
+        assert solvable_in_rounds(
+            task, result.rounds, output_values=(0, 1)
+        ), f"claimed solvable in {result.rounds} rounds but search fails"
+    else:
+        for rounds in range(3):
+            assert not solvable_in_rounds(
+                task, rounds, output_values=(0, 1)
+            ), "claimed unsolvable but a bounded protocol exists"
+
+
+@given(random_two_process_tasks())
+@settings(max_examples=60, deadline=None)
+def test_adding_outputs_never_breaks_solvability(delta):
+    """Monotonicity: enlarging Delta (more allowed outputs) keeps a
+    solvable task solvable."""
+    try:
+        task = EnumeratedTask(2, delta, name="random")
+    except SpecificationError:
+        return
+    if not decide_two_process_solvability(
+        task, output_values=(0, 1)
+    ).solvable:
+        return
+    enlarged = {
+        inp: list({*outs, (inp[0], inp[1])}) for inp, outs in delta.items()
+    }
+    try:
+        bigger = EnumeratedTask(2, enlarged, name="enlarged")
+    except SpecificationError:
+        return
+    assert decide_two_process_solvability(
+        bigger, output_values=(0, 1)
+    ).solvable
+
+
+def test_enumerated_consensus_matches_predicate_form():
+    predicate = ConsensusTask(2)
+    tabulated = enumerate_task(predicate)
+    a = decide_two_process_solvability(predicate)
+    b = decide_two_process_solvability(tabulated, output_values=(0, 1))
+    assert a.solvable == b.solvable == False  # noqa: E712

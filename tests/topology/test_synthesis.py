@@ -1,0 +1,144 @@
+"""Tests for protocol synthesis from solvability certificates."""
+
+import itertools
+
+import pytest
+
+from repro.core import System, c_process
+from repro.core.task import EnumeratedTask, participants
+from repro.errors import SpecificationError
+from repro.runtime import (
+    ExplicitScheduler,
+    SeededRandomScheduler,
+    execute,
+)
+from repro.tasks import ConsensusTask, RenamingTask, SetAgreementTask
+from repro.topology.synthesis import (
+    path_index,
+    shortest_walk,
+    synthesize_protocol,
+)
+from repro.topology import Complex, Vertex, path_complex
+
+
+class TestShortestWalk:
+    def test_direct_edge(self):
+        g = Complex([{Vertex(0, "a"), Vertex(1, "b")}])
+        walk = shortest_walk(g, Vertex(0, "a"), Vertex(1, "b"))
+        assert walk == [Vertex(0, "a"), Vertex(1, "b")]
+
+    def test_longer_walk(self):
+        path = [Vertex(0, 0), Vertex(1, 1), Vertex(0, 2), Vertex(1, 3)]
+        g = path_complex(path)
+        walk = shortest_walk(g, path[0], path[3])
+        assert walk == path
+
+    def test_disconnected(self):
+        g = Complex(
+            [{Vertex(0, "a"), Vertex(1, "b")},
+             {Vertex(0, "x"), Vertex(1, "y")}]
+        )
+        assert shortest_walk(g, Vertex(0, "a"), Vertex(1, "y")) is None
+
+    def test_trivial(self):
+        g = Complex([{Vertex(0, "a"), Vertex(1, "b")}])
+        assert shortest_walk(g, Vertex(0, "a"), Vertex(0, "a")) == [
+            Vertex(0, "a")
+        ]
+
+
+class TestPathIndex:
+    def test_all_solo_stays_at_endpoint(self):
+        assert path_index(True, [None, None]) == 0
+        assert path_index(False, [None, None]) == 9
+
+    def test_single_round_both(self):
+        # Round 1, both see each other: left moves to 2, right to 1.
+        assert path_index(True, [(1, "v", [])]) == 2
+        assert path_index(False, [(0, "u", [])]) == 1
+
+    def test_mixed_round(self):
+        # Left solo in round 1 (index 0), right saw left (index 1).
+        # Round 2: left sees right-at-1 -> edge (0,1) -> left goes to 2.
+        history_left = [None, (1, "v", [(0, "u", [])])]
+        assert path_index(True, history_left) == 2
+
+    def test_incompatible_positions_rejected(self):
+        with pytest.raises(SpecificationError):
+            path_index(True, [(5, "v", [])])
+
+
+def run_synthesized(task, protocol, inputs, scheduler):
+    system = System(
+        inputs=inputs, c_factories=list(protocol.factories)
+    )
+    return execute(system, scheduler, max_steps=100_000)
+
+
+class TestSynthesis:
+    def test_unsolvable_task_rejected(self):
+        with pytest.raises(SpecificationError, match="not 2-process"):
+            synthesize_protocol(ConsensusTask(2))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_loose_renaming_protocol(self, seed):
+        """Synthesize (2, 3)-renaming from its certificate and run it."""
+        task = RenamingTask(3, 2, 3)
+        protocol = synthesize_protocol(task)
+        for inputs in [(1, 2, None), (3, None, 2), (None, 1, 3)]:
+            result = run_synthesized(
+                task, protocol, inputs, SeededRandomScheduler(seed)
+            )
+            result.require_all_decided().require_satisfies(task)
+
+    def test_two_process_two_set_agreement(self):
+        """k = 2 with two participants is solvable in zero rounds; the
+        synthesized protocol just decides the solo assignment."""
+        task = SetAgreementTask(2, 2)
+        protocol = synthesize_protocol(task)
+        assert protocol.rounds == 0
+        result = run_synthesized(
+            task, protocol, (0, 1), SeededRandomScheduler(1)
+        )
+        result.require_all_decided().require_satisfies(task)
+
+    def test_exhaustive_interleavings(self):
+        """Every interleaving of the synthesized renaming protocol
+        satisfies the task — the certificate really is a protocol.
+        (The protocol object is stateless between runs: its immediate
+        snapshots live in each run's own memory, so one synthesis serves
+        every replay.)"""
+        task = RenamingTask(3, 2, 3)
+        protocol = synthesize_protocol(task)
+        for inputs in [(1, 2, None), (2, 1, None)]:
+            present = sorted(participants(inputs))
+            for bits in itertools.product(present, repeat=11):
+                schedule = [c_process(b) for b in bits]
+                system = System(
+                    inputs=inputs, c_factories=list(protocol.factories)
+                )
+                result = execute(
+                    system,
+                    ExplicitScheduler(schedule, strict=False),
+                    max_steps=3_000,
+                )
+                assert result.satisfies(task), (
+                    f"schedule {bits} broke the synthesized protocol: "
+                    f"{result.outputs}"
+                )
+
+    def test_custom_task_round_trip(self):
+        """An ad-hoc enumerated task: check + synthesize + run."""
+        # Two processes; on joint input they may output equal bits or
+        # (0, 1) -- a connected output graph, solvable.
+        delta = {}
+        for a in (0, 1):
+            for b in (0, 1):
+                delta[(a, b)] = [(0, 0), (1, 1), (0, 1)]
+        task = EnumeratedTask(2, delta, name="connected-pairs")
+        protocol = synthesize_protocol(task, output_values=(0, 1))
+        for seed in range(4):
+            result = run_synthesized(
+                task, protocol, (0, 1), SeededRandomScheduler(seed)
+            )
+            result.require_all_decided().require_satisfies(task)
