@@ -10,7 +10,7 @@ import pytest
 
 from repro.core import System
 from repro.memory.snapshot import SnapshotObject
-from repro.runtime import RoundRobinScheduler, SeededRandomScheduler, execute, ops
+from repro.runtime import SeededRandomScheduler, execute, ops
 
 
 def register_only_worker(obj, index, updates):

@@ -6,6 +6,9 @@ Commands:
     check-renaming J NAMES  decide 2-process solvability of strong
                             2-renaming with the given namespace size
     extract                 run the Figure 1 extraction demo
+    lint [--strict]         check every algorithm against the EFD step
+                            model (static rules; --strict adds traced
+                            race detection)
 """
 
 from __future__ import annotations
@@ -76,6 +79,14 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import lint_algorithms
+
+    report = lint_algorithms(strict=args.strict)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -102,6 +113,16 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("extract", help="Figure 1 extraction demo")
     p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser(
+        "lint", help="check algorithms against the EFD step model"
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also run the traced race-detection battery",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -5,30 +5,69 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..core.run import RunResult
+from ..core.system import INPUT_REGISTER_PREFIX
 from ..core.task import Task
-from ..errors import SafetyViolation
+from ..errors import SafetyViolation, SpecificationError, TraceHazard
 from ..runtime import ops
 from ..runtime.trace import Trace
 
 
-def verify_run(result: RunResult, task: Task) -> RunResult:
+def verify_run(
+    result: RunResult, task: Task, *, strict: bool = False
+) -> RunResult:
     """Wait-freedom obligation + task relation; returns the result for
-    chaining."""
-    return result.require_all_decided().require_satisfies(task)
+    chaining.
+
+    With ``strict=True`` the run must carry a trace, and the lint trace
+    analyzer additionally requires it to be free of lost-update and
+    snapshot-linearizability hazards (:mod:`repro.lint.trace_rules`) —
+    raising :class:`~repro.errors.TraceHazard` otherwise.  Hazards are
+    expected in runs *outside* an algorithm's concurrency envelope, so
+    strict mode is opt-in.
+    """
+    result.require_all_decided().require_satisfies(task)
+    if strict:
+        if result.trace is None:
+            raise SpecificationError(
+                "strict verification needs a traced run; execute with "
+                "trace=True"
+            )
+        from ..lint.trace_rules import analyze_trace
+
+        findings = analyze_trace(result.trace)
+        if findings:
+            rendered = "; ".join(f.render() for f in findings)
+            raise TraceHazard(
+                f"{len(findings)} trace hazard(s): {rendered}",
+                findings=tuple(findings),
+            )
+    return result
 
 
 def max_concurrent_undecided(trace: Trace) -> int:
-    """Largest number of started-but-undecided C-processes at any point
-    of a traced run — the quantity k-concurrency bounds."""
-    started: set[int] = set()
+    """Largest number of participating-but-undecided C-processes at any
+    point of a traced run — the quantity k-concurrency bounds.
+
+    A C-process *participates* from the moment it writes its input
+    register (its mandated first step).  C-processes appearing in the
+    trace without an input write — reduction drivers running on behalf
+    of others, or processes of a synthetic trace — never count, matching
+    the paper's definition of k-concurrency over participants.
+    """
+    participating: set[int] = set()
     decided: set[int] = set()
     peak = 0
     for event in trace:
         if event.pid.is_computation:
-            started.add(event.pid.index)
+            if (
+                isinstance(event.op, ops.Write)
+                and event.op.register
+                == f"{INPUT_REGISTER_PREFIX}{event.pid.index}"
+            ):
+                participating.add(event.pid.index)
             if isinstance(event.op, ops.Decide):
                 decided.add(event.pid.index)
-        peak = max(peak, len(started - decided))
+        peak = max(peak, len(participating - decided))
     return peak
 
 

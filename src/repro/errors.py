@@ -48,3 +48,16 @@ class LivenessViolation(ReproError):
 
 class SafetyViolation(ReproError):
     """A run produced an input/output pair outside the task relation."""
+
+
+class TraceHazard(ReproError):
+    """Strict verification found race/atomicity hazards in a trace.
+
+    Raised by :func:`repro.analysis.verify.verify_run` in strict mode
+    when the lint trace analyzer flags lost-update or snapshot-
+    linearizability hazards; carries the findings for inspection.
+    """
+
+    def __init__(self, message: str, *, findings: tuple = ()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)

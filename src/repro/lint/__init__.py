@@ -1,0 +1,61 @@
+"""Static protocol linter + dynamic trace race detector.
+
+The EFD model's well-formedness rules (paper Section 2.1) — C-processes
+never query the detector, every C-process decides exactly once and then
+takes only null steps, paper-faithful algorithms never use
+compare-and-swap — are *preconditions* for every theorem this package
+reproduces.  This subpackage enforces them mechanically:
+
+* the **static layer** (:mod:`.protocol`, :mod:`.static_rules`) checks
+  every declared automaton in :mod:`repro.algorithms` at the AST level,
+  against per-module :class:`~repro.lint.schema.ModuleSchema`
+  declarations registered in ``repro.algorithms.LINT_SCHEMAS``;
+* the **dynamic layer** (:mod:`.trace_rules`) analyzes recorded
+  :class:`~repro.runtime.trace.Trace` objects with vector clocks and
+  flags lost-update and snapshot-linearizability hazards.
+
+Entry points: ``python -m repro lint [--strict]`` on the command line,
+:func:`lint_algorithms` programmatically, and the ``strict=`` flag of
+:func:`repro.analysis.verify.verify_run` for per-run checking.  See
+``docs/static_analysis.md`` for the rule catalogue and paper citations.
+"""
+
+from .findings import Finding, LintReport
+from .protocol import AutomatonView, extract_automata
+from .runner import (
+    DYNAMIC_RULE_IDS,
+    STATIC_RULE_IDS,
+    lint_algorithms,
+    lint_module,
+)
+from .schema import ModuleSchema, RegisterSchema
+from .static_rules import (
+    ALL_RULES,
+    BoundedLoops,
+    CNoQuery,
+    DecideOnce,
+    NoCASInFaithful,
+    RegisterNaming,
+)
+from .trace_rules import TraceAnalyzer, analyze_trace
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "AutomatonView",
+    "extract_automata",
+    "lint_algorithms",
+    "lint_module",
+    "STATIC_RULE_IDS",
+    "DYNAMIC_RULE_IDS",
+    "ModuleSchema",
+    "RegisterSchema",
+    "ALL_RULES",
+    "CNoQuery",
+    "DecideOnce",
+    "NoCASInFaithful",
+    "BoundedLoops",
+    "RegisterNaming",
+    "TraceAnalyzer",
+    "analyze_trace",
+]

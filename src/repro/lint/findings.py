@@ -1,0 +1,75 @@
+"""Structured lint findings.
+
+Both lint layers — the static protocol linter and the dynamic trace
+analyzer — report :class:`Finding` records: one rule violation (or
+hazard) each, carrying enough location information to act on.  The
+static layer fills ``file``/``line`` with source coordinates; the
+dynamic layer reports the trace it analyzed as the "file" and the step
+index of the hazardous event as the "line".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: rule identifier (``CNoQuery``, ``DecideOnce``,
+            ``NoCASInFaithful``, ``BoundedLoops``, ``RegisterNaming``,
+            ``LostUpdate``, ``SnapshotRace``).
+        file: source file of the offending code, or ``"<trace>"`` for
+            dynamic findings.
+        line: 1-based source line, or the trace time of the hazardous
+            step for dynamic findings.
+        process_kind: ``"C"``, ``"S"``, or ``"-"`` when the kind is not
+            attributable (e.g. a kind-neutral subroutine).
+        message: human-readable description of the violation.
+    """
+
+    rule: str
+    file: str
+    line: int
+    process_kind: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    def render(self) -> str:
+        return (
+            f"{self.location}: [{self.rule}] ({self.process_kind}) "
+            f"{self.message}"
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    modules_checked: tuple[str, ...] = ()
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def render(self) -> str:
+        lines = [
+            f"checked {len(self.modules_checked)} module(s), "
+            f"rules: {', '.join(self.rules_run)}"
+        ]
+        if self.ok:
+            lines.append("no violations")
+        else:
+            lines.extend(f.render() for f in self.findings)
+            lines.append(f"{len(self.findings)} violation(s)")
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Lint orchestration: run every rule over every algorithm module.
+
+The static pass walks :data:`repro.algorithms.__all__`, pairs each
+module with its declared :class:`~repro.lint.schema.ModuleSchema` from
+:data:`repro.algorithms.LINT_SCHEMAS`, and applies the five protocol
+rules.  A module without a schema (or a schema without a module) is
+itself a finding — the registry must stay complete for the lint gate to
+mean anything.
+
+The strict pass additionally executes a small battery of traced runs
+*inside their declared concurrency envelopes* and requires them to be
+race-free under :func:`~repro.lint.trace_rules.analyze_trace`.  (Outside
+the envelope the same algorithms do exhibit hazards; the test suite
+demonstrates the detector firing on exactly those runs.)
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from pathlib import Path
+
+from .findings import Finding, LintReport
+from .protocol import extract_automata
+from .static_rules import ALL_RULES
+from .trace_rules import analyze_trace
+
+#: Rule ids of the static pass, in reporting order.
+STATIC_RULE_IDS = tuple(rule.rule_id for rule in ALL_RULES)
+#: Rule ids of the dynamic (strict) pass.
+DYNAMIC_RULE_IDS = ("LostUpdate", "SnapshotRace")
+
+
+def lint_module(module, schema) -> list[Finding]:
+    """Apply the five static rules to one imported algorithm module."""
+    file = getattr(module, "__file__", None) or "<module>"
+    source = Path(file).read_text()
+    tree = ast.parse(source)
+    views = extract_automata(
+        tree,
+        schema,
+        module=module,
+        file=file,
+        module_name=module.__name__,
+    )
+    findings: list[Finding] = []
+    for rule_class in ALL_RULES:
+        rule = rule_class()
+        for view in views:
+            findings.extend(rule.check(view, schema))
+    return findings
+
+
+def lint_algorithms(*, strict: bool = False) -> LintReport:
+    """Lint every module of :mod:`repro.algorithms`; optionally run the
+    strict dynamic battery."""
+    from .. import algorithms
+
+    schemas = dict(algorithms.LINT_SCHEMAS)
+    report = LintReport(
+        modules_checked=tuple(algorithms.__all__),
+        rules_run=STATIC_RULE_IDS
+        + (DYNAMIC_RULE_IDS if strict else ()),
+    )
+    for name in algorithms.__all__:
+        schema = schemas.pop(name, None)
+        module = importlib.import_module(f"repro.algorithms.{name}")
+        if schema is None:
+            report.findings.append(
+                Finding(
+                    rule="Schema",
+                    file=getattr(module, "__file__", "<module>"),
+                    line=1,
+                    process_kind="-",
+                    message=f"module {name!r} has no entry in "
+                    "repro.algorithms.LINT_SCHEMAS",
+                )
+            )
+            continue
+        report.extend(lint_module(module, schema))
+    for name in schemas:
+        report.findings.append(
+            Finding(
+                rule="Schema",
+                file="<registry>",
+                line=1,
+                process_kind="-",
+                message=f"LINT_SCHEMAS names unknown module {name!r}",
+            )
+        )
+    if strict:
+        for label, trace in _strict_battery():
+            for finding in analyze_trace(trace):
+                report.findings.append(
+                    Finding(
+                        rule=finding.rule,
+                        file=f"<trace:{label}>",
+                        line=finding.line,
+                        process_kind=finding.process_kind,
+                        message=finding.message,
+                    )
+                )
+    return report
+
+
+def _strict_battery():
+    """Traced reference runs that must be hazard-free: each algorithm is
+    executed inside the concurrency envelope it is specified for."""
+    from ..algorithms.kset_concurrent import kset_concurrent_factories
+    from ..algorithms.one_concurrent import one_concurrent_factories
+    from ..algorithms.s_helper import helper_c_factory, helper_s_factory
+    from ..core.system import System
+    from ..runtime import SeededRandomScheduler, execute, k_concurrent
+    from ..tasks import ConsensusTask
+
+    task = ConsensusTask(3)
+    system = System(
+        inputs=(0, 1, 1), c_factories=one_concurrent_factories(task)
+    )
+    result = execute(
+        system,
+        k_concurrent(SeededRandomScheduler(7), 1),
+        trace=True,
+        max_steps=50_000,
+    )
+    yield "one_concurrent@1", result.trace
+
+    system = System(
+        inputs=(3, 4, 5),
+        c_factories=kset_concurrent_factories(3, 2),
+    )
+    result = execute(
+        system,
+        k_concurrent(SeededRandomScheduler(11), 1),
+        trace=True,
+        max_steps=50_000,
+    )
+    yield "kset_concurrent@1", result.trace
+
+    system = System(
+        inputs=(6, 7, 8),
+        c_factories=[helper_c_factory] * 3,
+        s_factories=[helper_s_factory] * 3,
+    )
+    result = execute(
+        system,
+        SeededRandomScheduler(13),
+        trace=True,
+        max_steps=50_000,
+    )
+    yield "s_helper", result.trace

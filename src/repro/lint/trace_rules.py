@@ -1,0 +1,216 @@
+"""Dynamic trace analysis: race/atomicity hazards in recorded runs.
+
+The static linter checks the *shape* of an automaton; this module
+checks what actually happened in a traced run.  It maintains a vector
+clock per process, advanced on every step and joined along reads-from
+edges (a read or snapshot joins the clock of the write it observed), so
+"process ``p`` knows about write ``w``" is the happens-before test
+``vc(w) <= vc(p)`` — not mere trace order, which would misreport writes
+``p`` learned about through another register.
+
+Two hazard patterns are reported as findings:
+
+* **LostUpdate** — an interleaved read-modify-write: ``p`` reads
+  register ``r``, some ``q`` writes ``r``, and ``p`` then writes ``r``
+  without having observed ``q``'s write (directly or transitively).
+  ``p``'s write destroys data it never saw.  Writes with no prior read
+  (blind writes) and ``CompareAndSwap`` steps (atomic RMW — the fix for
+  this hazard) are exempt.
+* **SnapshotRace** — non-linearizable snapshot usage: ``p`` writes into
+  a register family it last observed via an atomic ``Snapshot``, but
+  another process changed the family after that snapshot and ``p``
+  never re-observed it.  The snapshot+write pair is not linearizable as
+  one atomic action; algorithms are only safe against this within their
+  declared concurrency envelope (this is precisely the hazard
+  k-concurrency gating bounds — see ``docs/static_analysis.md``).
+
+Findings are hazards, not proofs of incorrectness: a correct algorithm
+may tolerate them by design (Paxos re-validates after its collects).
+They are therefore surfaced through *opt-in* strict modes
+(:func:`repro.analysis.verify.verify_run` and ``repro lint --strict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.process import ProcessId
+from ..runtime import ops
+from ..runtime.trace import Trace
+from .findings import Finding
+
+TRACE_FILE = "<trace>"
+
+
+@dataclass
+class _WriteRecord:
+    time: int
+    pid: ProcessId
+    value: Any
+    clock: dict[ProcessId, int]
+
+
+def _leq(a: dict[ProcessId, int], b: dict[ProcessId, int]) -> bool:
+    return all(b.get(pid, 0) >= ticks for pid, ticks in a.items())
+
+
+def _join(into: dict[ProcessId, int], other: dict[ProcessId, int]) -> None:
+    for pid, ticks in other.items():
+        if into.get(pid, 0) < ticks:
+            into[pid] = ticks
+
+
+@dataclass
+class _ProcessState:
+    clock: dict[ProcessId, int] = field(default_factory=dict)
+    #: register -> time of this process's last direct observation of it
+    last_read: dict[str, int] = field(default_factory=dict)
+    #: snapshot prefix -> time of this process's last snapshot of it
+    last_snapshot: dict[str, int] = field(default_factory=dict)
+
+
+class TraceAnalyzer:
+    """Single-pass vector-clock analysis of one :class:`Trace`."""
+
+    def __init__(self) -> None:
+        self._writes: dict[str, list[_WriteRecord]] = {}
+        self._processes: dict[ProcessId, _ProcessState] = {}
+        self.findings: list[Finding] = []
+
+    def _state(self, pid: ProcessId) -> _ProcessState:
+        state = self._processes.get(pid)
+        if state is None:
+            state = self._processes[pid] = _ProcessState()
+        return state
+
+    def _observe(self, state: _ProcessState, register: str, time: int) -> None:
+        state.last_read[register] = time
+        records = self._writes.get(register)
+        if records:
+            _join(state.clock, records[-1].clock)
+
+    def _record_write(
+        self, pid: ProcessId, state: _ProcessState, register: str,
+        value: Any, time: int,
+    ) -> None:
+        self._writes.setdefault(register, []).append(
+            _WriteRecord(time, pid, value, dict(state.clock))
+        )
+
+    def _hazard(
+        self, rule: str, time: int, pid: ProcessId, message: str
+    ) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                file=TRACE_FILE,
+                line=time,
+                process_kind=pid.kind.value,
+                message=message,
+            )
+        )
+
+    # -- hazard checks (run before the write is recorded) ---------------
+
+    def _check_lost_update(
+        self, pid: ProcessId, state: _ProcessState, register: str,
+        value: Any, time: int,
+    ) -> None:
+        read_time = state.last_read.get(register)
+        if read_time is None:
+            return  # blind write, not a read-modify-write
+        for record in self._writes.get(register, ()):
+            if record.time <= read_time or record.pid == pid:
+                continue
+            if _leq(record.clock, state.clock):
+                continue  # p learned of it transitively
+            if record.value == value:
+                continue  # idempotent overwrite (e.g. agreed decisions)
+            self._hazard(
+                "LostUpdate",
+                time,
+                pid,
+                f"{pid.name} writes {register!r} (read at t={read_time}) "
+                f"over {record.pid.name}'s unobserved t={record.time} "
+                "write — interleaved read-modify-write loses an update",
+            )
+            return
+
+    def _check_snapshot_race(
+        self, pid: ProcessId, state: _ProcessState, register: str, time: int
+    ) -> None:
+        snap_times = [
+            t
+            for prefix, t in state.last_snapshot.items()
+            if register.startswith(prefix)
+        ]
+        if not snap_times:
+            return
+        snap_time = max(snap_times)
+        prefix = max(
+            (
+                p
+                for p, t in state.last_snapshot.items()
+                if register.startswith(p) and t == snap_time
+            ),
+            key=len,
+        )
+        for other, records in self._writes.items():
+            if not other.startswith(prefix) or other == register:
+                continue
+            for record in records:
+                if record.time <= snap_time or record.pid == pid:
+                    continue
+                if _leq(record.clock, state.clock):
+                    continue
+                self._hazard(
+                    "SnapshotRace",
+                    time,
+                    pid,
+                    f"{pid.name} writes {register!r} based on its "
+                    f"t={snap_time} snapshot of {prefix!r}*, but "
+                    f"{record.pid.name} changed {other!r} at "
+                    f"t={record.time} unobserved — the snapshot+write "
+                    "pair is not linearizable",
+                )
+                return
+
+    # -- event dispatch --------------------------------------------------
+
+    def feed(self, event) -> None:
+        pid = event.pid
+        state = self._state(pid)
+        state.clock[pid] = state.clock.get(pid, 0) + 1
+        op = event.op
+        if isinstance(op, ops.Read):
+            self._observe(state, op.register, event.time)
+        elif isinstance(op, ops.Snapshot):
+            result = event.result if isinstance(event.result, dict) else {}
+            for register in result:
+                self._observe(state, register, event.time)
+            state.last_snapshot[op.prefix] = event.time
+        elif isinstance(op, ops.Write):
+            self._check_lost_update(
+                pid, state, op.register, op.value, event.time
+            )
+            self._check_snapshot_race(pid, state, op.register, event.time)
+            self._record_write(pid, state, op.register, op.value, event.time)
+        elif isinstance(op, ops.CompareAndSwap):
+            # Atomic read-modify-write: an observation plus (on success)
+            # a write, with no hazard window by construction.
+            self._observe(state, op.register, event.time)
+            if event.result == op.expected:
+                self._record_write(
+                    pid, state, op.register, op.new, event.time
+                )
+
+    def run(self, trace: Trace) -> list[Finding]:
+        for event in trace:
+            self.feed(event)
+        return self.findings
+
+
+def analyze_trace(trace: Trace) -> list[Finding]:
+    """Run the race/atomicity analysis over a recorded trace."""
+    return TraceAnalyzer().run(trace)

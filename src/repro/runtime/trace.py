@@ -37,6 +37,47 @@ class Trace:
     def steps_of(self, pid: ProcessId) -> list[TraceEvent]:
         return [e for e in self.events if e.pid == pid]
 
+    def writes_to(self, register: str) -> list[TraceEvent]:
+        """Events that wrote ``register`` (plain writes and successful
+        compare-and-swaps), in trace order."""
+        from . import ops
+
+        out = []
+        for event in self.events:
+            if isinstance(event.op, ops.Write) and (
+                event.op.register == register
+            ):
+                out.append(event)
+            elif isinstance(event.op, ops.CompareAndSwap) and (
+                event.op.register == register
+                and event.result == event.op.expected
+            ):
+                out.append(event)
+        return out
+
+    def participating_c(self) -> frozenset[int]:
+        """Indices of C-processes that *participated* in the traced run.
+
+        Participation is the paper's notion: a C-process participates
+        once it has written its input register (its mandated first
+        step).  A C-process appearing in the trace with other steps but
+        no input write — a reduction driver, or a synthetic trace — is
+        not a participant.
+        """
+        from . import ops
+        from ..core.system import INPUT_REGISTER_PREFIX
+
+        participants = set()
+        for event in self.events:
+            if (
+                event.pid.is_computation
+                and isinstance(event.op, ops.Write)
+                and event.op.register
+                == f"{INPUT_REGISTER_PREFIX}{event.pid.index}"
+            ):
+                participants.add(event.pid.index)
+        return frozenset(participants)
+
     def __len__(self) -> int:
         return len(self.events)
 

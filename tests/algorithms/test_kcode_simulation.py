@@ -11,7 +11,6 @@ from repro.algorithms.kcode_simulation import (
 from repro.core import System, c_process
 from repro.detectors import VectorOmegaK
 from repro.runtime import (
-    RoundRobinScheduler,
     SeededRandomScheduler,
     execute,
     ops,

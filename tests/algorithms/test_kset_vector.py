@@ -9,7 +9,6 @@ from repro.core.failures import Environment, FailurePattern
 from repro.detectors import Omega, VectorOmegaK
 from repro.runtime import (
     AdversarialScheduler,
-    RoundRobinScheduler,
     SeededRandomScheduler,
     execute,
 )

@@ -9,7 +9,6 @@ from repro.algorithms.one_concurrent import (
 from repro.core import System
 from repro.errors import SpecificationError
 from repro.runtime import (
-    RoundRobinScheduler,
     SeededRandomScheduler,
     execute,
     k_concurrent,

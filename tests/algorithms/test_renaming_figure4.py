@@ -11,7 +11,6 @@ from repro.algorithms.renaming_figure4 import (
 from repro.core import System
 from repro.runtime import (
     ExplicitScheduler,
-    RoundRobinScheduler,
     SeededRandomScheduler,
     execute,
     k_concurrent,

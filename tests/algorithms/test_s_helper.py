@@ -4,9 +4,8 @@ import pytest
 
 from repro.algorithms.s_helper import helper_c_factory, helper_s_factory
 from repro.core import System
-from repro.core.failures import Environment, FailurePattern
+from repro.core.failures import Environment
 from repro.runtime import (
-    RoundRobinScheduler,
     SeededRandomScheduler,
     execute,
 )

@@ -13,8 +13,11 @@ from repro.analysis import (
     verify_run,
 )
 from repro.core import System
+from repro.core.process import c_process
+from repro.core.system import input_register
 from repro.errors import SafetyViolation
-from repro.runtime import SeededRandomScheduler, execute, k_concurrent
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent, ops
+from repro.runtime.trace import Trace, TraceEvent
 from repro.tasks import SetAgreementTask
 
 
@@ -42,6 +45,49 @@ class TestVerify:
         assert 1 <= max_concurrent_undecided(result.trace) <= 2
         sequential = make_result(k=1, trace=True)
         assert max_concurrent_undecided(sequential.trace) == 1
+
+    def test_max_concurrent_ignores_non_participants(self):
+        # A C-process that steps without ever writing its input register
+        # is not a participant (paper Section 2.2) and must not inflate
+        # the concurrency measure: here p3 only reads on p1's behalf.
+        trace = Trace()
+        steps = [
+            (c_process(0), ops.Write(input_register(0), 4)),
+            (c_process(2), ops.Read(input_register(0))),
+            (c_process(1), ops.Write(input_register(1), 5)),
+            (c_process(2), ops.Nop()),
+            (c_process(0), ops.Decide(4)),
+            (c_process(1), ops.Decide(4)),
+        ]
+        for time, (pid, op) in enumerate(steps, start=1):
+            trace.record(
+                TraceEvent(time=time, pid=pid, op=op, result=None)
+            )
+        assert max_concurrent_undecided(trace) == 2
+        assert trace.participating_c() == frozenset({0, 1})
+
+    def test_non_input_writes_do_not_participate(self):
+        # Writing some other register — even another process's input
+        # register — is not participation.
+        trace = Trace()
+        trace.record(
+            TraceEvent(
+                time=1,
+                pid=c_process(2),
+                op=ops.Write(input_register(0), 9),
+                result=None,
+            )
+        )
+        trace.record(
+            TraceEvent(
+                time=2,
+                pid=c_process(2),
+                op=ops.Write("scratch", 9),
+                result=None,
+            )
+        )
+        assert max_concurrent_undecided(trace) == 0
+        assert trace.participating_c() == frozenset()
 
     def test_renaming_summary(self):
         result = make_result()

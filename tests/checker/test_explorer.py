@@ -1,6 +1,5 @@
 """Tests for the exhaustive schedule explorer and valency analysis."""
 
-import pytest
 
 from repro.algorithms.kset_concurrent import kset_concurrent_factories
 from repro.algorithms.one_concurrent import one_concurrent_factories

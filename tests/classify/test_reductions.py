@@ -1,7 +1,6 @@
 """E-L11: the Lemma 11 reduction — strong-2-renaming gives 2-process
 consensus."""
 
-import itertools
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.checker import (
     task_safety_verdict,
 )
 from repro.classify import consensus_from_strong_2_renaming
-from repro.core import System, c_process
+from repro.core import System
 from repro.runtime import SeededRandomScheduler, execute
 from repro.tasks import ConsensusTask
 

@@ -1,11 +1,10 @@
 """E-P2: Proposition 2 — with n >= m, a task is solvable with the
 trivial detector iff it is solvable by a restricted algorithm."""
 
-import pytest
 
 from repro.algorithms.kset_concurrent import kset_concurrent_factories
 from repro.algorithms.renaming_figure4 import figure4_factories
-from repro.core import System, null_automaton, s_process
+from repro.core import System, null_automaton
 from repro.detectors import TrivialDetector
 from repro.runtime import SeededRandomScheduler, execute, k_concurrent
 from repro.tasks import RenamingTask, SetAgreementTask

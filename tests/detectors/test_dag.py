@@ -1,6 +1,5 @@
 """Unit tests for failure-detector sample DAGs."""
 
-import pytest
 
 from repro.core.failures import FailurePattern
 from repro.detectors import Omega

@@ -12,7 +12,7 @@ from repro.algorithms.extraction import (
 from repro.algorithms.kset_vector import kset_c_factory, kset_s_factory
 from repro.core import System
 from repro.core.failures import FailurePattern
-from repro.detectors import AntiOmegaK, Omega, VectorOmegaK
+from repro.detectors import Omega, VectorOmegaK
 from repro.detectors.dag import SampleDAG
 from repro.runtime import RoundRobinScheduler, execute, ops
 
@@ -317,7 +317,6 @@ class TestExtractionWithCrashes:
         )
         for _ in range(800):
             run.step_c(0)
-        from repro.core.process import s_process
 
         # q1 (correct, the leader) kept advancing far beyond q2.
         assert run.last_advanced.get(0, -1) > run.last_advanced.get(1, -1)

@@ -1,0 +1,206 @@
+"""The dynamic race/atomicity detector: synthetic hazard traces, the
+suppression cases that keep it quiet on correct protocols, and real runs
+inside/outside their concurrency envelopes."""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.kset_concurrent import kset_concurrent_factories
+from repro.algorithms.one_concurrent import one_concurrent_factories
+from repro.analysis import verify_run
+from repro.core import System
+from repro.core.process import c_process
+from repro.errors import SpecificationError, TraceHazard
+from repro.lint import analyze_trace
+from repro.runtime import SeededRandomScheduler, execute, k_concurrent, ops
+from repro.runtime.trace import Trace, TraceEvent
+from repro.tasks import ConsensusTask
+
+
+def trace_of(*steps):
+    trace = Trace()
+    for time, (pid, op, result) in enumerate(steps, start=1):
+        trace.record(TraceEvent(time=time, pid=pid, op=op, result=result))
+    return trace
+
+
+P1, P2, P3 = c_process(0), c_process(1), c_process(2)
+
+
+class TestLostUpdate:
+    def test_interleaved_rmw_fires(self):
+        trace = trace_of(
+            (P1, ops.Read("r"), None),
+            (P2, ops.Write("r", 5), None),
+            (P1, ops.Write("r", 7), None),
+        )
+        findings = analyze_trace(trace)
+        assert [f.rule for f in findings] == ["LostUpdate"]
+        assert findings[0].line == 3
+        assert "p1" in findings[0].message
+        assert "p2" in findings[0].message
+
+    def test_blind_write_is_exempt(self):
+        trace = trace_of(
+            (P2, ops.Write("r", 5), None),
+            (P1, ops.Write("r", 7), None),
+        )
+        assert analyze_trace(trace) == []
+
+    def test_idempotent_overwrite_is_exempt(self):
+        trace = trace_of(
+            (P1, ops.Read("r"), None),
+            (P2, ops.Write("r", 5), None),
+            (P1, ops.Write("r", 5), None),
+        )
+        assert analyze_trace(trace) == []
+
+    def test_transitive_observation_is_exempt(self):
+        # p2 writes r then raises a flag; p1 reads the flag, which joins
+        # p2's clock, so p1's later write to r does know about p2's.
+        trace = trace_of(
+            (P1, ops.Read("r"), None),
+            (P2, ops.Write("r", 5), None),
+            (P2, ops.Write("flag", True), None),
+            (P1, ops.Read("flag"), True),
+            (P1, ops.Write("r", 7), None),
+        )
+        assert analyze_trace(trace) == []
+
+    def test_reread_is_exempt(self):
+        trace = trace_of(
+            (P1, ops.Read("r"), None),
+            (P2, ops.Write("r", 5), None),
+            (P1, ops.Read("r"), 5),
+            (P1, ops.Write("r", 7), None),
+        )
+        assert analyze_trace(trace) == []
+
+    def test_cas_is_exempt(self):
+        trace = trace_of(
+            (P1, ops.Read("r"), None),
+            (P2, ops.Write("r", 5), None),
+            (P1, ops.CompareAndSwap("r", 5, 7), 5),
+        )
+        assert analyze_trace(trace) == []
+
+
+class TestSnapshotRace:
+    def test_stale_family_snapshot_fires(self):
+        trace = trace_of(
+            (P1, ops.Snapshot("fam/"), {"fam/0": 0}),
+            (P2, ops.Write("fam/1", 9), None),
+            (P1, ops.Write("fam/0", 1), None),
+        )
+        findings = analyze_trace(trace)
+        assert [f.rule for f in findings] == ["SnapshotRace"]
+        assert "'fam/1'" in findings[0].message
+
+    def test_fresh_snapshot_is_exempt(self):
+        trace = trace_of(
+            (P1, ops.Snapshot("fam/"), {"fam/0": 0}),
+            (P2, ops.Write("fam/1", 9), None),
+            (P1, ops.Snapshot("fam/"), {"fam/0": 0, "fam/1": 9}),
+            (P1, ops.Write("fam/0", 1), None),
+        )
+        assert analyze_trace(trace) == []
+
+    def test_same_register_left_to_lost_update(self):
+        # Overwriting the register you yourself change is the LostUpdate
+        # pattern (and here a blind-read-free one); SnapshotRace only
+        # covers *other* members of the family.
+        trace = trace_of(
+            (P1, ops.Snapshot("fam/"), {"fam/0": 0}),
+            (P2, ops.Write("fam/0", 9), None),
+            (P1, ops.Write("fam/0", 1), None),
+        )
+        findings = analyze_trace(trace)
+        assert [f.rule for f in findings] == ["LostUpdate"]
+
+    def test_unrelated_family_is_exempt(self):
+        trace = trace_of(
+            (P1, ops.Snapshot("fam/"), {"fam/0": 0}),
+            (P2, ops.Write("other/1", 9), None),
+            (P1, ops.Write("fam/0", 1), None),
+        )
+        assert analyze_trace(trace) == []
+
+
+def kset_run(k, seed):
+    system = System(
+        inputs=(3, 4, 5), c_factories=kset_concurrent_factories(3, 2)
+    )
+    return execute(
+        system,
+        k_concurrent(SeededRandomScheduler(seed), k),
+        trace=True,
+        max_steps=50_000,
+    )
+
+
+class TestRealRuns:
+    def test_in_envelope_run_is_clean(self):
+        result = kset_run(k=1, seed=7)
+        assert analyze_trace(result.trace) == []
+
+    def test_out_of_envelope_run_shows_snapshot_race(self):
+        # The 2-obstruction-free announce/snapshot protocol, driven at
+        # full concurrency, must exhibit the exact hazard k-concurrency
+        # gating prevents.
+        found = []
+        for seed in range(10):
+            found = [
+                f
+                for f in analyze_trace(kset_run(k=3, seed=seed).trace)
+                if f.rule == "SnapshotRace"
+            ]
+            if found:
+                break
+        assert found, "no seed in 0..9 exhibited the expected race"
+        assert found[0].file == "<trace>"
+        assert found[0].process_kind == "C"
+
+
+class TestVerifyRunStrict:
+    def consensus_result(self, trace=True):
+        task = ConsensusTask(3)
+        system = System(
+            inputs=(0, 1, 1), c_factories=one_concurrent_factories(task)
+        )
+        return execute(
+            system,
+            k_concurrent(SeededRandomScheduler(3), 1),
+            trace=trace,
+            max_steps=50_000,
+        )
+
+    def test_strict_accepts_clean_run(self):
+        result = self.consensus_result()
+        assert verify_run(result, ConsensusTask(3), strict=True) is result
+
+    def test_strict_requires_a_trace(self):
+        result = self.consensus_result(trace=False)
+        with pytest.raises(SpecificationError):
+            verify_run(result, ConsensusTask(3), strict=True)
+
+    def doctored_result(self):
+        hazardous = trace_of(
+            (P1, ops.Read("r"), None),
+            (P2, ops.Write("r", 5), None),
+            (P1, ops.Write("r", 7), None),
+        )
+        return dataclasses.replace(
+            self.consensus_result(), trace=hazardous
+        )
+
+    def test_strict_raises_trace_hazard(self):
+        doctored = self.doctored_result()
+        with pytest.raises(TraceHazard) as exc:
+            verify_run(doctored, ConsensusTask(3), strict=True)
+        assert exc.value.findings
+        assert exc.value.findings[0].rule == "LostUpdate"
+
+    def test_non_strict_ignores_hazards(self):
+        doctored = self.doctored_result()
+        assert verify_run(doctored, ConsensusTask(3)) is doctored

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core import System, c_process, input_register, s_process
+from repro.core import System, c_process, s_process
 from repro.core.failures import FailurePattern
 from repro.errors import SchedulingError
 from repro.runtime import (
-    Executor,
     RoundRobinScheduler,
     SeededRandomScheduler,
     execute,

@@ -1,0 +1,96 @@
+"""Invariants of the operation alphabet (paper Section 2.1).
+
+Ops are value objects: every class is a frozen dataclass, hashable and
+comparable, so traces, lint findings, and checker states can key on
+them.  The executor is the run-time half of the step model: an op
+yielded by the wrong process kind is a protocol violation, not a no-op.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import System
+from repro.errors import ProtocolError
+from repro.runtime import RoundRobinScheduler, execute, ops
+
+SAMPLE_OPS = (
+    ops.Read("r"),
+    ops.Write("r", 1),
+    ops.Snapshot("fam/"),
+    ops.QueryFD(),
+    ops.Decide(1),
+    ops.Nop(),
+    ops.CompareAndSwap("r", None, 1),
+)
+
+
+class TestOpValueObjects:
+    def test_alphabet_is_complete(self):
+        classes = {type(op) for op in SAMPLE_OPS}
+        assert classes == set(
+            ops.COMPUTATION_OPS + ops.SYNCHRONIZATION_OPS
+        )
+
+    @pytest.mark.parametrize(
+        "op", SAMPLE_OPS, ids=lambda op: type(op).__name__
+    )
+    def test_frozen(self, op):
+        field = dataclasses.fields(op)[0].name if dataclasses.fields(op) else None
+        if field is None:
+            return  # no fields to mutate (QueryFD, Nop)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(op, field, "tampered")
+
+    @pytest.mark.parametrize(
+        "op", SAMPLE_OPS, ids=lambda op: type(op).__name__
+    )
+    def test_hashable_and_equal_by_value(self, op):
+        clone = type(op)(
+            **{
+                f.name: getattr(op, f.name)
+                for f in dataclasses.fields(op)
+            }
+        )
+        assert op == clone
+        assert hash(op) == hash(clone)
+        assert len({op, clone}) == 1
+
+    def test_kind_permissions_split_on_query_and_decide(self):
+        computation = set(ops.COMPUTATION_OPS)
+        synchronization = set(ops.SYNCHRONIZATION_OPS)
+        assert computation - synchronization == {ops.Decide}
+        assert synchronization - computation == {ops.QueryFD}
+
+
+def spin(ctx):
+    while True:
+        yield ops.Nop()
+
+
+class TestExecutorRejectsWrongKind:
+    def test_c_process_query_is_a_protocol_error(self):
+        def bad_c(ctx):
+            yield ops.QueryFD()
+
+        system = System(inputs=(1,), c_factories=[bad_c])
+        with pytest.raises(ProtocolError, match="C-processes"):
+            execute(system, RoundRobinScheduler(), max_steps=10)
+
+    def test_s_process_decide_is_a_protocol_error(self):
+        def bad_s(ctx):
+            yield ops.Decide(0)
+
+        system = System(
+            inputs=(1,), c_factories=[spin], s_factories=[bad_s]
+        )
+        with pytest.raises(ProtocolError, match="S-processes"):
+            execute(system, RoundRobinScheduler(), max_steps=10)
+
+    def test_non_operation_yield_is_a_protocol_error(self):
+        def confused(ctx):
+            yield "not an op"
+
+        system = System(inputs=(1,), c_factories=[confused])
+        with pytest.raises(ProtocolError, match="non-operation"):
+            execute(system, RoundRobinScheduler(), max_steps=10)
