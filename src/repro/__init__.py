@@ -9,7 +9,10 @@ Theorem 9 constructions) and the substrates those algorithms rely on
 (BG simulation, safe agreement, leader-based shared-memory consensus,
 atomic snapshots), plus an exact 2-process solvability checker for the
 paper's impossibility results and a classifier that regenerates the
-Theorem 10 task hierarchy.
+Theorem 10 task hierarchy.  :mod:`repro.chaos` turns the reproduction
+into an adversarial testbed: fault-injection campaigns over failure
+patterns, perturbed detector histories, and mutated schedules, with
+counterexample shrinking and replayable failure bundles.
 
 Quickstart::
 

@@ -9,6 +9,11 @@ Commands:
     lint [--strict]         check every algorithm against the EFD step
                             model (static rules; --strict adds traced
                             race detection)
+    chaos run               sweep a fault-injection campaign (crash
+                            storms, perturbed detector histories,
+                            mutated schedules) and triage every cell
+    chaos replay BUNDLE     deterministically re-execute a shrunk
+                            failure bundle and compare outcomes
 """
 
 from __future__ import annotations
@@ -87,6 +92,59 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from .chaos import (
+        bundle_from_shrink,
+        run_campaign,
+        save_bundle,
+        shrink_cell,
+        smoke_campaign,
+        specimen_campaign,
+        standard_campaign,
+    )
+
+    if args.specimen:
+        spec = specimen_campaign(seed=args.seed)
+    elif args.smoke:
+        spec = smoke_campaign(seed=args.seed)
+    else:
+        spec = standard_campaign(seed=args.seed)
+
+    def progress(record) -> None:
+        if args.verbose:
+            print(record.format_row())
+
+    report = run_campaign(spec, limit=args.cells, on_cell=progress)
+    print(report.render())
+
+    if args.specimen:
+        # A specimen campaign is *supposed* to fail: shrink the first
+        # violation to a repro bundle and succeed iff one was found.
+        if not report.violations:
+            print("specimen campaign found no violation — engine bug?")
+            return 1
+        shrunk = shrink_cell(report.violations[0].cell)
+        print(shrunk.summary())
+        if args.bundle:
+            bundle = bundle_from_shrink(
+                shrunk,
+                campaign=spec.name,
+                note="planted decide-before-stabilization bug",
+            )
+            path = save_bundle(args.bundle, bundle)
+            print(f"repro bundle written to {path}")
+        return 0
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from .chaos import replay_bundle
+
+    replay = replay_bundle(args.bundle)
+    print(replay.summary())
+    return 0 if replay.reproduced else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -123,6 +181,47 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the traced race-detection battery",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "chaos", help="fault-injection campaigns, shrinking, replay"
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+
+    p = chaos_sub.add_parser("run", help="sweep a chaos campaign")
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixed-seed campaign (CI gate: zero violations)",
+    )
+    p.add_argument(
+        "--specimen",
+        action="store_true",
+        help="hunt the planted decide-before-stabilization bug and "
+        "shrink its witness",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        help="run at most this many cells of the campaign",
+    )
+    p.add_argument(
+        "--bundle",
+        metavar="PATH",
+        default=None,
+        help="with --specimen: write the shrunk repro bundle here",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="print each cell as it runs"
+    )
+    p.set_defaults(func=_cmd_chaos_run)
+
+    p = chaos_sub.add_parser(
+        "replay", help="re-execute a repro bundle deterministically"
+    )
+    p.add_argument("bundle", help="path to a bundle JSON file")
+    p.set_defaults(func=_cmd_chaos_replay)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -113,18 +113,19 @@ def default_inputs(task: Task) -> Vector:
     return next(iter(task.input_vectors()))
 
 
-def solve_with_detector(
+def build_solver_system(
     task: Task,
     *,
     detector: Any,
     inputs: Vector | None = None,
     pattern: FailurePattern | None = None,
-    scheduler: Any = None,
     seed: int = 0,
-    max_steps: int = 400_000,
-    check: bool = True,
-) -> RunResult:
-    """Solve ``task`` via the Theorem 9 double simulation."""
+) -> System:
+    """Assemble the Theorem 9 double-simulation system for ``task``.
+
+    Shared by :func:`solve_with_detector` and the chaos engine, which
+    runs the same systems under injected faults and explicit schedules.
+    """
     k = detector_level(detector)
     limit = task_concurrency_class(task)
     level = min(k, limit)  # stronger advice than needed is fine
@@ -141,7 +142,7 @@ def solve_with_detector(
             level,
             stabilization_time=detector.stabilization_time,
         )
-    system = System(
+    return System(
         inputs=inputs,
         c_factories=list(solver.c_factories),
         s_factories=list(solver.s_factories),
@@ -149,10 +150,29 @@ def solve_with_detector(
         pattern=pattern,
         seed=seed,
     )
+
+
+def solve_with_detector(
+    task: Task,
+    *,
+    detector: Any,
+    inputs: Vector | None = None,
+    pattern: FailurePattern | None = None,
+    scheduler: Any = None,
+    seed: int = 0,
+    max_steps: int = 400_000,
+    trace: bool = False,
+    check: bool = True,
+) -> RunResult:
+    """Solve ``task`` via the Theorem 9 double simulation."""
+    system = build_solver_system(
+        task, detector=detector, inputs=inputs, pattern=pattern, seed=seed
+    )
     result = execute(
         system,
         scheduler or SeededRandomScheduler(seed),
         max_steps=max_steps,
+        trace=trace,
     )
     if check:
         result.require_all_decided().require_satisfies(task)

@@ -33,3 +33,31 @@ def format_report(records: Sequence[ExperimentRecord]) -> str:
     lines = [header, "-" * len(header)]
     lines.extend(record.format_row() for record in records)
     return "\n".join(lines)
+
+
+def format_campaign(report: Any) -> str:
+    """Render a chaos :class:`~repro.chaos.campaign.CampaignReport`.
+
+    Duck-typed (``name``/``records``/``counts``/``violations``/``ok``) so
+    the analysis layer stays import-independent of the chaos engine.
+    """
+    total = len(report.records)
+    lines = [
+        f"chaos campaign '{report.name}': {total} cells",
+        "-" * 60,
+    ]
+    for outcome, count in sorted(report.counts.items()):
+        lines.append(f"  {outcome:20} {count:>6}")
+    lines.append("-" * 60)
+    problem_outcomes = ("safety_violation", "invalid_history", "error")
+    problems = [
+        r for r in report.records if r.outcome in problem_outcomes
+    ]
+    if problems:
+        lines.append("problem cells:")
+        for record in problems:
+            lines.append(f"  {record.format_row()}")
+            if record.detail:
+                lines.append(f"      {record.detail}")
+    lines.append(f"verdict: {'OK' if report.ok else 'FAILED'}")
+    return "\n".join(lines)

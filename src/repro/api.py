@@ -24,6 +24,7 @@ def solve_task(
     scheduler: Any = None,
     seed: int = 0,
     max_steps: int = 400_000,
+    trace: bool = False,
     check: bool = True,
 ) -> RunResult:
     """Solve ``task`` in the EFD model using ``detector`` as advice.
@@ -44,6 +45,7 @@ def solve_task(
         scheduler: defaults to a seeded-random scheduler.
         seed: seed for the scheduler and detector history.
         max_steps: liveness budget.
+        trace: record a full execution trace on the result.
         check: verify safety and wait-freedom before returning.
 
     Returns:
@@ -59,6 +61,7 @@ def solve_task(
         scheduler=scheduler,
         seed=seed,
         max_steps=max_steps,
+        trace=trace,
         check=check,
     )
 

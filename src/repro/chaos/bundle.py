@@ -1,0 +1,105 @@
+"""Replayable failure bundles: a violation you can hand to someone.
+
+A bundle is a single JSON document holding everything that determined a
+failing run — task, algorithm, inputs, crash times, detector spec and
+seed, and the explicit schedule — plus the outcome it is expected to
+reproduce.  ``python -m repro chaos replay <bundle.json>`` rebuilds the
+cell through the spec registry and re-executes it; because the schedule
+is explicit and every other ingredient is seeded, the replay is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import ChaosError
+from .campaign import CellRecord, CellSpec, run_cell
+from .shrink import ShrinkResult
+
+BUNDLE_FORMAT = "repro-chaos-bundle"
+BUNDLE_VERSION = 1
+
+
+def bundle_from_shrink(
+    shrunk: ShrinkResult, *, campaign: str = "", note: str = ""
+) -> dict[str, Any]:
+    """Assemble the JSON document for a shrunk witness."""
+    return {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "campaign": campaign,
+        "note": note,
+        "cell": shrunk.cell.to_json(),
+        "expected": {
+            "outcome": shrunk.outcome,
+            "detail": shrunk.detail,
+        },
+        "shrink": {
+            "trials": shrunk.trials,
+            "original_schedule_len": shrunk.original_schedule_len,
+            "final_schedule_len": shrunk.final_schedule_len,
+        },
+    }
+
+
+def save_bundle(path: str | Path, bundle: Mapping[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(bundle, indent=2) + "\n")
+    return path
+
+
+def load_bundle(path: str | Path) -> dict[str, Any]:
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != BUNDLE_FORMAT:
+        raise ChaosError(f"{path}: not a {BUNDLE_FORMAT} document")
+    if data.get("version") != BUNDLE_VERSION:
+        raise ChaosError(
+            f"{path}: unsupported bundle version {data.get('version')!r}"
+        )
+    return data
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-executing a bundle."""
+
+    record: CellRecord
+    expected_outcome: str
+    expected_detail: str
+
+    @property
+    def reproduced(self) -> bool:
+        return self.record.outcome == self.expected_outcome
+
+    def summary(self) -> str:
+        verdict = "REPRODUCED" if self.reproduced else "DIVERGED"
+        lines = [
+            f"replay: {verdict}",
+            f"  expected: {self.expected_outcome}",
+            f"  observed: {self.record.outcome} "
+            f"({self.record.steps} steps)",
+        ]
+        if self.record.detail:
+            lines.append(f"  detail  : {self.record.detail}")
+        return "\n".join(lines)
+
+
+def replay_bundle(source: str | Path | Mapping[str, Any]) -> ReplayResult:
+    """Re-execute a bundle deterministically and compare outcomes."""
+    bundle = (
+        dict(source)
+        if isinstance(source, Mapping)
+        else load_bundle(source)
+    )
+    cell = CellSpec.from_json(bundle["cell"])
+    expected = bundle.get("expected", {})
+    record = run_cell(cell)
+    return ReplayResult(
+        record=record,
+        expected_outcome=expected.get("outcome", ""),
+        expected_detail=expected.get("detail", ""),
+    )

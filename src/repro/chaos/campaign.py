@@ -1,0 +1,417 @@
+"""Campaign runner: sweep the fault cross-product, triage every cell.
+
+A :class:`CampaignSpec` declares axes — workloads (task + detector +
+algorithm), failure patterns (explicit or injector-derived), schedulers,
+detector seeds, and stabilization times — and :func:`run_campaign`
+executes their cross-product.  Each cell runs traced, its detector
+history is validated against the ``check_history`` oracle *before* the
+run, and the outcome is classified; a failing cell is recorded and the
+campaign continues, so one bad interleaving never hides the rest of the
+space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from ..analysis.verify import verify_run
+from ..core.run import RunResult
+from ..errors import (
+    LivenessViolation,
+    SafetyViolation,
+    TraceHazard,
+)
+from ..runtime import execute
+from ..runtime.scheduler import Scheduler
+from .injectors import storm_suite
+from .registry import (
+    build_detector,
+    build_pattern,
+    build_scheduler,
+    build_system,
+    build_task,
+)
+
+OUTCOME_OK = "ok"
+OUTCOME_SAFETY = "safety_violation"
+OUTCOME_HAZARD = "trace_hazard"
+OUTCOME_BUDGET = "budget_exhausted"
+OUTCOME_DEADLOCK = "deadlock"
+OUTCOME_SCHEDULE = "schedule_exhausted"
+OUTCOME_INVALID_HISTORY = "invalid_history"
+OUTCOME_ERROR = "error"
+
+#: Extra times past stabilization over which histories are validated.
+HISTORY_VALIDATION_SLACK = 16
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully-determined point of a campaign: a replayable run.
+
+    Every field is JSON-serializable (see :meth:`to_json`), which is
+    what makes shrunk cells portable as repro bundles.
+    """
+
+    task: Mapping[str, Any]
+    detector: Mapping[str, Any]
+    algorithm: str = "auto"
+    pattern: tuple = ()
+    scheduler: Mapping[str, Any] = field(
+        default_factory=lambda: {"kind": "seeded", "seed": 0}
+    )
+    seed: int = 0
+    inputs: tuple | None = None
+    max_steps: int = 120_000
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "task": dict(self.task),
+            "detector": dict(self.detector),
+            "algorithm": self.algorithm,
+            "pattern": list(self.pattern),
+            "scheduler": dict(self.scheduler),
+            "seed": self.seed,
+            "inputs": None if self.inputs is None else list(self.inputs),
+            "max_steps": self.max_steps,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "CellSpec":
+        return cls(
+            task=dict(data["task"]),
+            detector=dict(data["detector"]),
+            algorithm=data.get("algorithm", "auto"),
+            pattern=tuple(data.get("pattern") or ()),
+            scheduler=dict(
+                data.get("scheduler") or {"kind": "seeded", "seed": 0}
+            ),
+            seed=int(data.get("seed", 0)),
+            inputs=(
+                None
+                if data.get("inputs") is None
+                else tuple(data["inputs"])
+            ),
+            max_steps=int(data.get("max_steps", 120_000)),
+        )
+
+    def label(self) -> str:
+        det = self.detector.get("family", "none")
+        stab = self.detector.get("stabilization_time", 0)
+        crashes = sum(1 for t in self.pattern if t is not None)
+        return (
+            f"{self.task.get('family')}(n={self.task.get('n')})"
+            f"/{self.algorithm}/{det}@{stab}"
+            f"/crashes={crashes}/{self.scheduler.get('kind')}"
+            f"/seed={self.seed}"
+        )
+
+
+@dataclass
+class CellRecord:
+    """Triage result of one executed cell."""
+
+    cell: CellSpec
+    outcome: str
+    detail: str = ""
+    steps: int = 0
+    result: RunResult | None = None
+
+    def format_row(self) -> str:
+        return f"{self.outcome:18} {self.steps:>7}  {self.cell.label()}"
+
+
+@dataclass
+class CampaignReport:
+    """Structured outcome of a whole campaign."""
+
+    name: str
+    records: list[CellRecord]
+
+    @property
+    def counts(self) -> Counter:
+        return Counter(record.outcome for record in self.records)
+
+    @property
+    def violations(self) -> list[CellRecord]:
+        return [r for r in self.records if r.outcome == OUTCOME_SAFETY]
+
+    @property
+    def ok(self) -> bool:
+        """No safety violations, no engine errors, no invalid histories."""
+        bad = {OUTCOME_SAFETY, OUTCOME_ERROR, OUTCOME_INVALID_HISTORY}
+        return not any(r.outcome in bad for r in self.records)
+
+    def render(self) -> str:
+        from ..analysis.reporting import format_campaign
+
+        return format_campaign(self)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A (task, detector family, algorithm) triple to sweep."""
+
+    task: Mapping[str, Any]
+    detector: Mapping[str, Any]
+    algorithm: str = "auto"
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative cross-product of fault axes.
+
+    Attributes:
+        name: campaign identifier (shows up in reports and bundles).
+        workloads: the (task, detector, algorithm) triples to stress.
+        patterns: either explicit crash-time tuples or an int, in which
+            case that many patterns are derived per workload via
+            :func:`~repro.chaos.injectors.storm_suite`.
+        schedulers: scheduler specs (see the registry's kinds).
+        seeds: detector-history seeds.
+        stabilization_times: swept onto each workload's detector spec.
+        max_steps: per-cell liveness budget.
+        pattern_seed: determinism seed for derived patterns.
+        strict_traces: also classify trace hazards (lint trace rules).
+    """
+
+    name: str
+    workloads: Sequence[Workload]
+    patterns: Sequence[Sequence[int | None]] | int = 4
+    schedulers: Sequence[Mapping[str, Any]] = (
+        {"kind": "round-robin"},
+        {"kind": "seeded", "seed": 1},
+    )
+    seeds: Sequence[int] = (0, 1)
+    stabilization_times: Sequence[int] = (0, 10)
+    max_steps: int = 120_000
+    pattern_seed: int = 0
+    strict_traces: bool = False
+
+    def _patterns_for(self, n: int) -> list[tuple]:
+        if isinstance(self.patterns, int):
+            return [
+                tuple(p.crash_times)
+                for p in storm_suite(
+                    n, count=self.patterns, seed=self.pattern_seed
+                )
+            ]
+        return [tuple(p) for p in self.patterns]
+
+    def cells(self) -> Iterator[CellSpec]:
+        for workload in self.workloads:
+            n = int(workload.task.get("n", 3))
+            for pattern, scheduler, seed, stab in itertools.product(
+                self._patterns_for(n),
+                self.schedulers,
+                self.seeds,
+                self.stabilization_times,
+            ):
+                detector = dict(workload.detector)
+                if detector.get("family") not in (None, "none", "trivial",
+                                                  "perfect"):
+                    detector["stabilization_time"] = stab
+                elif stab != self.stabilization_times[0]:
+                    continue  # nothing to sweep for this detector
+                yield CellSpec(
+                    task=dict(workload.task),
+                    detector=detector,
+                    algorithm=workload.algorithm,
+                    pattern=pattern,
+                    scheduler=dict(scheduler),
+                    seed=seed,
+                    max_steps=self.max_steps,
+                )
+
+
+def classify_result(
+    result: RunResult, task, *, strict_traces: bool = False
+) -> tuple[str, str]:
+    """Map a finished run to (outcome, human detail)."""
+    try:
+        verify_run(result, task, strict=strict_traces)
+        return OUTCOME_OK, ""
+    except LivenessViolation as exc:
+        by_reason = {
+            "budget": OUTCOME_BUDGET,
+            "halted": OUTCOME_DEADLOCK,
+            "schedule_exhausted": OUTCOME_SCHEDULE,
+        }
+        return by_reason.get(result.reason, OUTCOME_DEADLOCK), str(exc)
+    except SafetyViolation as exc:
+        return OUTCOME_SAFETY, str(exc)
+    except TraceHazard as exc:
+        return OUTCOME_HAZARD, str(exc)
+
+
+def run_cell(
+    cell: CellSpec,
+    *,
+    scheduler: Scheduler | None = None,
+    strict_traces: bool = False,
+) -> CellRecord:
+    """Execute one cell: build, validate the history, run, classify.
+
+    ``scheduler`` overrides the cell's declared scheduler (the shrinker
+    uses this to substitute recording and explicit schedulers).
+    """
+    task = build_task(cell.task)
+    pattern = build_pattern(cell.pattern, task.n)
+    system = build_system(
+        task=task,
+        algorithm=cell.algorithm,
+        detector=build_detector(cell.detector, task.n),
+        inputs=cell.inputs,
+        pattern=pattern,
+        seed=cell.seed,
+    )
+    # Validate the history the run will actually see (the solver may
+    # substitute an equivalent-strength detector form).
+    detector = system.detector
+    if detector is not None:
+        stab = getattr(detector, "stabilization_time", 0)
+        if not detector.check_history(
+            system.pattern,
+            system.history,
+            horizon=stab + HISTORY_VALIDATION_SLACK,
+            stabilized_from=stab,
+        ):
+            return CellRecord(
+                cell,
+                OUTCOME_INVALID_HISTORY,
+                detail=(
+                    f"{detector.name} rejected its own (perturbed) "
+                    f"history at stabilization {stab}"
+                ),
+            )
+    result = execute(
+        system,
+        scheduler if scheduler is not None
+        else build_scheduler(cell.scheduler),
+        max_steps=cell.max_steps,
+        trace=True,
+    )
+    outcome, detail = classify_result(
+        result, task, strict_traces=strict_traces
+    )
+    if outcome == OUTCOME_BUDGET and result.budget_digest:
+        detail = result.budget_digest
+    return CellRecord(
+        cell, outcome, detail=detail, steps=result.steps, result=result
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    limit: int | None = None,
+    on_cell: Callable[[CellRecord], None] | None = None,
+) -> CampaignReport:
+    """Run (up to ``limit`` cells of) a campaign to a structured report.
+
+    Degrades gracefully: a cell that raises is recorded with outcome
+    ``"error"`` and the sweep continues.
+    """
+    records: list[CellRecord] = []
+    cells = spec.cells()
+    if limit is not None:
+        cells = itertools.islice(cells, limit)
+    for cell in cells:
+        try:
+            record = run_cell(cell, strict_traces=spec.strict_traces)
+        except Exception as exc:  # noqa: BLE001 - triage, don't abort
+            record = CellRecord(
+                cell, OUTCOME_ERROR, detail=f"{type(exc).__name__}: {exc}"
+            )
+        records.append(record)
+        if on_cell is not None:
+            on_cell(record)
+    return CampaignReport(spec.name, records)
+
+
+# -- stock campaigns ----------------------------------------------------
+
+
+def smoke_campaign(*, seed: int = 0) -> CampaignSpec:
+    """Small fixed-seed campaign for CI: must report zero violations."""
+    return CampaignSpec(
+        name="smoke",
+        workloads=[
+            Workload(
+                task={"family": "consensus", "n": 3},
+                detector={"family": "omega"},
+            ),
+            Workload(
+                task={"family": "set-agreement", "n": 3, "k": 2},
+                detector={"family": "vector-omega", "k": 2},
+            ),
+        ],
+        patterns=2,
+        schedulers=(
+            {"kind": "round-robin"},
+            {"kind": "seeded", "seed": seed + 1},
+            {"kind": "burst", "period": 30, "burst": 10, "seed": seed},
+        ),
+        seeds=(seed, seed + 1),
+        stabilization_times=(8,),
+        max_steps=80_000,
+        pattern_seed=seed,
+    )
+
+
+def standard_campaign(*, seed: int = 0) -> CampaignSpec:
+    """The acceptance campaign: consensus+Omega and k-set-agreement+
+    vecOmega-k swept over derived patterns, mutated schedulers, seeds,
+    and stabilization times — 200 cells."""
+    return CampaignSpec(
+        name="standard",
+        workloads=[
+            Workload(
+                task={"family": "consensus", "n": 3},
+                detector={"family": "omega"},
+            ),
+            Workload(
+                task={"family": "set-agreement", "n": 3, "k": 2},
+                detector={"family": "vector-omega", "k": 2},
+            ),
+        ],
+        patterns=5,
+        schedulers=(
+            {"kind": "round-robin"},
+            {"kind": "seeded", "seed": seed + 1},
+            {"kind": "burst", "period": 40, "burst": 15, "seed": seed},
+            {"kind": "shadow", "shadow": 12},
+            {"kind": "inversion", "relief": 7},
+        ),
+        seeds=(seed, seed + 1),
+        stabilization_times=(0, 12),
+        max_steps=150_000,
+        pattern_seed=seed,
+    )
+
+
+def specimen_campaign(*, seed: int = 0) -> CampaignSpec:
+    """Campaign over the decide-before-stabilization specimen: expected
+    to *produce* safety violations (that is the point)."""
+    return CampaignSpec(
+        name="specimen:eager-consensus",
+        workloads=[
+            Workload(
+                task={"family": "consensus", "n": 3},
+                detector={"family": "omega"},
+                algorithm="eager-consensus",
+            ),
+        ],
+        patterns=3,
+        schedulers=(
+            {"kind": "round-robin"},
+            {"kind": "seeded", "seed": seed + 1},
+        ),
+        seeds=tuple(range(seed, seed + 6)),
+        stabilization_times=(0, 24),
+        max_steps=5_000,
+        pattern_seed=seed,
+    )

@@ -1,0 +1,188 @@
+"""Spec registry: JSON-able descriptions of every campaign ingredient.
+
+Campaign cells and repro bundles must survive a round-trip through JSON
+and rebuild *exactly* the same run, so tasks, detectors, schedulers, and
+algorithms are named by small declarative dicts rather than held as live
+objects.  This module is the single decoding point for those dicts; the
+chaos CLI, the campaign runner, and bundle replay all go through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..core.failures import FailurePattern
+from ..core.process import ProcessId, c_process, s_process
+from ..core.system import System
+from ..core.task import Task
+from ..detectors import (
+    AntiOmegaK,
+    EventuallyPerfectDetector,
+    Omega,
+    PerfectDetector,
+    TrivialDetector,
+    VectorOmegaK,
+)
+from ..errors import SpecificationError
+from ..runtime.scheduler import (
+    AdversarialScheduler,
+    ExplicitScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SeededRandomScheduler,
+)
+from ..tasks import ConsensusTask, SetAgreementTask, StrongRenamingTask
+from .injectors import (
+    BurstStarvationScheduler,
+    DecidedShadowScheduler,
+    PerturbedDetector,
+    PriorityInversionScheduler,
+)
+from .specimens import eager_consensus_factories
+
+
+def parse_pid(name: str) -> ProcessId:
+    """Decode the paper's 1-based ``p<i>``/``q<i>`` names."""
+    if len(name) < 2 or name[0] not in "pq" or not name[1:].isdigit():
+        raise SpecificationError(f"not a process name: {name!r}")
+    index = int(name[1:]) - 1
+    return c_process(index) if name[0] == "p" else s_process(index)
+
+
+def build_task(spec: Mapping[str, Any]) -> Task:
+    family = spec.get("family")
+    n = int(spec.get("n", 3))
+    if family == "consensus":
+        return ConsensusTask(n)
+    if family == "set-agreement":
+        return SetAgreementTask(n, int(spec["k"]))
+    if family == "strong-renaming":
+        return StrongRenamingTask(n, int(spec.get("j", n - 1)))
+    raise SpecificationError(f"unknown task family: {family!r}")
+
+
+def build_detector(spec: Mapping[str, Any], n: int):
+    """Decode a detector spec; ``n`` is the system's S-process count."""
+    family = spec.get("family")
+    stab = int(spec.get("stabilization_time", 0))
+    if family in (None, "none"):
+        return None
+    if family == "trivial":
+        return TrivialDetector()
+    if family == "perfect":
+        return PerfectDetector()
+    if family == "eventually-perfect":
+        return EventuallyPerfectDetector(stabilization_time=stab)
+    if family == "omega":
+        return Omega(stabilization_time=stab, leader=spec.get("leader"))
+    if family == "vector-omega":
+        return VectorOmegaK(n, int(spec["k"]), stabilization_time=stab)
+    if family == "anti-omega":
+        return AntiOmegaK(n, int(spec["k"]), stabilization_time=stab)
+    if family == "perturbed":
+        base = build_detector(spec["base"], n)
+        return PerturbedDetector(
+            base,
+            stabilization_time=spec.get("stabilization_time"),
+            noise_until=spec.get("noise_until"),
+        )
+    raise SpecificationError(f"unknown detector family: {family!r}")
+
+
+def build_scheduler(spec: Mapping[str, Any]) -> Scheduler:
+    kind = spec.get("kind", "seeded")
+    if kind == "round-robin":
+        return RoundRobinScheduler()
+    if kind == "seeded":
+        return SeededRandomScheduler(int(spec.get("seed", 0)))
+    if kind == "adversarial":
+        return AdversarialScheduler(
+            [parse_pid(name) for name in spec["victims"]],
+            period=int(spec.get("period", 17)),
+        )
+    if kind == "burst":
+        return BurstStarvationScheduler(
+            period=int(spec.get("period", 40)),
+            burst=int(spec.get("burst", 15)),
+            seed=int(spec.get("seed", 0)),
+        )
+    if kind == "shadow":
+        return DecidedShadowScheduler(shadow=int(spec.get("shadow", 12)))
+    if kind == "inversion":
+        return PriorityInversionScheduler(
+            relief=int(spec.get("relief", 7))
+        )
+    if kind == "explicit":
+        return ExplicitScheduler(
+            [parse_pid(name) for name in spec["sequence"]],
+            strict=bool(spec.get("strict", True)),
+        )
+    raise SpecificationError(f"unknown scheduler kind: {kind!r}")
+
+
+def build_pattern(
+    crash_times: Sequence[int | None] | None, n: int
+) -> FailurePattern:
+    if not crash_times:
+        return FailurePattern.all_correct(n)
+    if len(crash_times) != n:
+        raise SpecificationError(
+            f"pattern over {len(crash_times)} S-processes, system has {n}"
+        )
+    return FailurePattern(
+        n, tuple(None if t is None else int(t) for t in crash_times)
+    )
+
+
+def build_system(
+    *,
+    task: Task,
+    algorithm: str,
+    detector: Any,
+    inputs: Sequence[Any] | None,
+    pattern: FailurePattern,
+    seed: int,
+) -> System:
+    """Assemble the executable system for one campaign cell."""
+    from ..algorithms.dispatch import (
+        build_solver_system,
+        default_inputs,
+    )
+    from ..algorithms.one_concurrent import one_concurrent_factories
+
+    inputs = (
+        default_inputs(task) if inputs is None else tuple(inputs)
+    )
+    if algorithm == "auto":
+        if detector is None:
+            raise SpecificationError(
+                "algorithm 'auto' needs a detector (Theorem 9 solver)"
+            )
+        return build_solver_system(
+            task,
+            detector=detector,
+            inputs=inputs,
+            pattern=pattern,
+            seed=seed,
+        )
+    if algorithm == "one-concurrent":
+        # Restricted Proposition 1 solver, deliberately run *without* a
+        # concurrency gate: correct 1-concurrently, a natural violation
+        # source beyond that — a realistic chaos workload.
+        return System(
+            inputs=inputs,
+            c_factories=list(one_concurrent_factories(task)),
+            pattern=pattern,
+            seed=seed,
+        )
+    if algorithm == "eager-consensus":
+        c_factories, s_factories = eager_consensus_factories(task.n)
+        return System(
+            inputs=inputs,
+            c_factories=c_factories,
+            s_factories=s_factories,
+            detector=detector,
+            pattern=pattern,
+            seed=seed,
+        )
+    raise SpecificationError(f"unknown algorithm key: {algorithm!r}")

@@ -1,0 +1,185 @@
+"""Counterexample shrinking: delta-debug a violating cell to a local
+minimum.
+
+Given a cell whose run fails (typically a safety violation), the
+shrinker first pins the interleaving down: it re-runs the cell with a
+:class:`~repro.runtime.scheduler.RecordingScheduler` and converts the
+choices into an explicit schedule, which makes the witness fully
+deterministic.  It then applies three reduction moves to a fixpoint,
+keeping a candidate only if the *same outcome class* reproduces:
+
+1. **Schedule shortening** — classic ddmin over the explicit schedule
+   (the non-strict :class:`~repro.runtime.scheduler.ExplicitScheduler`
+   falls back to round-robin past the shortened prefix, so candidates
+   always run to completion deterministically).
+2. **Un-crashing** — remove injected crashes one S-process at a time; a
+   crash that survives shrinking is load-bearing for the failure.
+3. **Stabilization raising** — double the detector's stabilization time
+   while the failure persists.  A witness that still fails with a much
+   later stabilization point does not depend on the detector converging
+   early, which separates genuine algorithm bugs from artifacts of a
+   tight noise window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from ..errors import ChaosError
+from ..runtime.scheduler import RecordingScheduler
+from .campaign import OUTCOME_OK, CellRecord, CellSpec, run_cell
+from .registry import build_scheduler
+
+#: Stabilization times are doubled up to this cap during move 3.
+MAX_STABILIZATION = 256
+
+
+@dataclass
+class ShrinkResult:
+    """A locally-minimal failing cell plus shrink statistics."""
+
+    cell: CellSpec
+    outcome: str
+    detail: str
+    trials: int
+    original_schedule_len: int
+    final_schedule_len: int
+
+    def summary(self) -> str:
+        return (
+            f"shrunk to {self.final_schedule_len} scheduled steps "
+            f"(from {self.original_schedule_len}) in {self.trials} "
+            f"trial runs; outcome {self.outcome}"
+        )
+
+
+class _Shrinker:
+    def __init__(self, target_outcome: str, max_trials: int) -> None:
+        self.target = target_outcome
+        self.max_trials = max_trials
+        self.trials = 0
+        self.last_detail = ""
+
+    def fails(self, cell: CellSpec) -> bool:
+        if self.trials >= self.max_trials:
+            return False  # out of budget: reject further candidates
+        self.trials += 1
+        record = run_cell(cell)
+        if record.outcome == self.target:
+            self.last_detail = record.detail
+            return True
+        return False
+
+    # -- moves ---------------------------------------------------------
+
+    def shorten_schedule(self, cell: CellSpec) -> CellSpec:
+        """ddmin over the explicit schedule embedded in ``cell``."""
+        sequence = list(cell.scheduler["sequence"])
+        granularity = 2
+        while len(sequence) >= 2:
+            chunk = max(1, len(sequence) // granularity)
+            removed_any = False
+            start = 0
+            while start < len(sequence):
+                candidate = sequence[:start] + sequence[start + chunk:]
+                trial = _with_schedule(cell, candidate)
+                if candidate != sequence and self.fails(trial):
+                    sequence = candidate
+                    removed_any = True
+                    # Re-scan from the same offset at the same chunk size.
+                else:
+                    start += chunk
+            if removed_any:
+                granularity = max(granularity - 1, 2)
+            elif chunk <= 1:
+                break
+            else:
+                granularity = min(granularity * 2, len(sequence))
+        return _with_schedule(cell, sequence)
+
+    def uncrash(self, cell: CellSpec) -> CellSpec:
+        for index, crash in enumerate(cell.pattern):
+            if crash is None:
+                continue
+            candidate_pattern = tuple(
+                None if i == index else t
+                for i, t in enumerate(cell.pattern)
+            )
+            trial = dc_replace(cell, pattern=candidate_pattern)
+            if self.fails(trial):
+                cell = trial
+        return cell
+
+    def raise_stabilization(self, cell: CellSpec) -> CellSpec:
+        stab = int(cell.detector.get("stabilization_time", 0))
+        if stab <= 0:
+            return cell
+        while stab < MAX_STABILIZATION:
+            raised = min(stab * 2, MAX_STABILIZATION)
+            detector = dict(cell.detector)
+            detector["stabilization_time"] = raised
+            trial = dc_replace(cell, detector=detector)
+            if not self.fails(trial):
+                break
+            cell, stab = trial, raised
+        return cell
+
+
+def _with_schedule(cell: CellSpec, sequence: list[str]) -> CellSpec:
+    return dc_replace(
+        cell,
+        scheduler={
+            "kind": "explicit",
+            "sequence": list(sequence),
+            "strict": False,
+        },
+    )
+
+
+def pin_schedule(cell: CellSpec) -> tuple[CellSpec, CellRecord]:
+    """Replace the cell's scheduler by the explicit schedule it produces.
+
+    Runs the cell once under a recording wrapper and embeds the recorded
+    choices, making the witness independent of scheduler state.
+    """
+    recorder = RecordingScheduler(build_scheduler(cell.scheduler))
+    record = run_cell(cell, scheduler=recorder)
+    pinned = _with_schedule(
+        cell, [pid.name for pid in recorder.picks]
+    )
+    return pinned, record
+
+
+def shrink_cell(
+    cell: CellSpec, *, max_trials: int = 400
+) -> ShrinkResult:
+    """Delta-debug ``cell`` (which must fail) to a locally-minimal
+    failing cell with an explicit, deterministic schedule."""
+    pinned, record = pin_schedule(cell)
+    if record.outcome == OUTCOME_OK:
+        raise ChaosError(
+            f"cannot shrink a passing cell: {cell.label()}"
+        )
+    shrinker = _Shrinker(record.outcome, max_trials)
+    if not shrinker.fails(pinned):
+        raise ChaosError(
+            "explicit-schedule replay did not reproduce the "
+            f"{record.outcome} outcome for {cell.label()}"
+        )
+    original_len = len(pinned.scheduler["sequence"])
+    current = pinned
+    while True:
+        before = current
+        current = shrinker.shorten_schedule(current)
+        current = shrinker.uncrash(current)
+        current = shrinker.raise_stabilization(current)
+        if current == before or shrinker.trials >= max_trials:
+            break
+    return ShrinkResult(
+        cell=current,
+        outcome=shrinker.target,
+        detail=shrinker.last_detail,
+        trials=shrinker.trials,
+        original_schedule_len=original_len,
+        final_schedule_len=len(current.scheduler["sequence"]),
+    )

@@ -1,0 +1,69 @@
+"""Fault specimens: intentionally buggy algorithms the engine must catch.
+
+A fault-injection engine is only trustworthy if it demonstrably finds
+planted bugs.  The specimens here are *deliberately* outside the paper's
+correctness envelope; campaigns over them must produce safety
+violations, and the shrinking/replay pipeline is acceptance-tested on
+the witnesses they yield.  They are not registered with the protocol
+linter's algorithm schemas — they are test ammunition, not algorithms.
+"""
+
+from __future__ import annotations
+
+from ..core.process import ProcessContext
+from ..core.system import input_register
+from ..runtime import ops
+
+#: Registers where the eager-consensus S-processes publish their advice.
+EAGER_LEAD_PREFIX = "eager/lead/"
+
+
+def eager_consensus_factories(n: int):
+    """Decide-before-stabilization consensus (broken on purpose).
+
+    Each S-process ``q_i`` queries its Omega module exactly **once**, on
+    its first step, and publishes the answer to ``eager/lead/<i>``.  Each
+    C-process ``p_i`` waits for its own S-process's advice, adopts the
+    input of the named leader (falling back to its own input when the
+    leader's input register is empty), and decides immediately.
+
+    The bug: a single pre-stabilization query is trusted forever.  Before
+    Omega stabilizes, different S-processes may name different leaders,
+    so C-processes adopt different proposed values and split consensus.
+    With ``stabilization_time=0`` the algorithm is correct — the
+    violation exists *only* in the noisy window, which is exactly the
+    region chaos campaigns sweep.
+
+    Validity is preserved (every decided value is some participant's
+    input), so the planted bug is a pure agreement violation.
+
+    Returns ``(c_factories, s_factories)`` for a ``System`` of ``n``
+    C- and ``n`` S-processes with an Omega-family detector.
+    """
+
+    def s_factory(i: int):
+        def automaton(ctx: ProcessContext):
+            leader = yield ops.QueryFD()
+            yield ops.Write(f"{EAGER_LEAD_PREFIX}{i}", leader)
+            while True:
+                yield ops.Nop()
+
+        return automaton
+
+    def c_factory(i: int):
+        def automaton(ctx: ProcessContext):
+            while True:
+                leader = yield ops.Read(f"{EAGER_LEAD_PREFIX}{i}")
+                if leader is not None:
+                    break
+            adopted = yield ops.Read(input_register(leader))
+            if adopted is None:
+                adopted = ctx.input_value
+            yield ops.Decide(adopted)
+
+        return automaton
+
+    return (
+        [c_factory(i) for i in range(n)],
+        [s_factory(i) for i in range(n)],
+    )

@@ -35,8 +35,11 @@ class RunResult:
         step_counts: steps per process id.
         reason: why the execution stopped — ``"all_decided"``,
             ``"budget"`` (step budget exhausted), ``"predicate"`` (the
-            caller's stop condition fired), or ``"halted"`` (no
-            schedulable process remained).
+            caller's stop condition fired), ``"halted"`` (no
+            schedulable process remained — a genuine deadlock), or
+            ``"schedule_exhausted"`` (the scheduler gave up while
+            candidates remained, e.g. a strict explicit schedule ran
+            out of entries).
         pattern: the failure pattern of the run.
         memory: the final shared-memory state.
         trace: the recorded trace, if tracing was enabled.
@@ -86,14 +89,22 @@ class RunResult:
             )
         return self
 
+    @property
+    def budget_digest(self) -> str | None:
+        """One-line per-process diagnosis attached by the executor when
+        the run stopped with reason ``"budget"`` (``None`` otherwise)."""
+        return self.extras.get("budget_digest")
+
     def require_all_decided(self) -> "RunResult":
         """Assert the wait-freedom obligation for this bounded run: every
         participant decided before the budget ran out."""
         if not self.all_participants_decided:
             missing = sorted(self.participants - frozenset(self.decided))
-            raise LivenessViolation(
+            message = (
                 f"C-processes {missing} participated but never decided "
-                f"(stop reason: {self.reason}, steps: {self.steps})",
-                result=self,
+                f"(stop reason: {self.reason}, steps: {self.steps})"
             )
+            if self.budget_digest is not None:
+                message += f"; {self.budget_digest}"
+            raise LivenessViolation(message, result=self)
         return self

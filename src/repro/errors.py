@@ -50,6 +50,15 @@ class SafetyViolation(ReproError):
     """A run produced an input/output pair outside the task relation."""
 
 
+class ChaosError(ReproError):
+    """The chaos engine was asked something incoherent.
+
+    Examples: shrinking a cell whose run passes, replaying a repro
+    bundle in an unknown format version, or a witness whose explicit
+    schedule fails to reproduce the recorded outcome.
+    """
+
+
 class TraceHazard(ReproError):
     """Strict verification found race/atomicity hazards in a trace.
 

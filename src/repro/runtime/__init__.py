@@ -13,6 +13,7 @@ from .scheduler import (
     AdversarialScheduler,
     ExplicitScheduler,
     PrioritizedScheduler,
+    RecordingScheduler,
     RoundRobinScheduler,
     Scheduler,
     SchedulerView,
@@ -33,6 +34,7 @@ __all__ = [
     "AdversarialScheduler",
     "ExplicitScheduler",
     "PrioritizedScheduler",
+    "RecordingScheduler",
     "RoundRobinScheduler",
     "Scheduler",
     "SchedulerView",

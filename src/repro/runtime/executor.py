@@ -198,8 +198,10 @@ class Executor:
 
     def run(self) -> RunResult:
         """Run under the scheduler until everyone decided, the stop
-        predicate fires, the budget is exhausted, or nothing remains
-        schedulable."""
+        predicate fires, the budget is exhausted, nothing remains
+        schedulable (``"halted"``), or the scheduler itself gives up
+        while candidates remain (``"schedule_exhausted"``, e.g. a strict
+        explicit schedule running out of entries)."""
         reason = "budget"
         while self.time < self.max_steps:
             if self.system.participants <= self.decided_c:
@@ -215,15 +217,40 @@ class Executor:
             try:
                 pid = self.scheduler.next(self.view())
             except SchedulingError:
-                reason = "halted"
+                reason = "schedule_exhausted"
                 break
             self.step(pid)
         return self._result(reason)
+
+    def _budget_digest(self) -> str:
+        """One-line per-process account of a budget-exhausted run."""
+        undecided = sorted(self.system.participants - self.decided_c)
+        per_process = (
+            ", ".join(
+                f"p{i + 1}({self._slots[c_process(i)].steps} steps)"
+                for i in undecided
+            )
+            or "none"
+        )
+        s_steps = sum(
+            slot.steps
+            for pid, slot in self._slots.items()
+            if pid.is_synchronization
+        )
+        return (
+            f"budget {self.max_steps} exhausted: "
+            f"decided {len(self.decided_c)}/{len(self.system.participants)} "
+            f"participants; undecided: {per_process}; "
+            f"S-process steps: {s_steps}"
+        )
 
     def _result(self, reason: str) -> RunResult:
         outputs = tuple(
             self.decisions.get(i) for i in range(self.system.n_c)
         )
+        extras: dict[str, Any] = {}
+        if reason == "budget":
+            extras["budget_digest"] = self._budget_digest()
         return RunResult(
             inputs=self.system.inputs,
             outputs=outputs,
@@ -236,6 +263,7 @@ class Executor:
             pattern=self.system.pattern,
             memory=self.memory,
             trace=self.trace if self.trace.enabled else None,
+            extras=extras,
         )
 
 

@@ -98,6 +98,7 @@ class AdversarialScheduler(Scheduler):
         self.victims = frozenset(victims)
         self.period = period
         self._turn = 0
+        self._victim_cursor = 0
         self._fallback = RoundRobinScheduler()
 
     def next(self, view: SchedulerView) -> ProcessId:
@@ -106,9 +107,13 @@ class AdversarialScheduler(Scheduler):
         victims = sorted(c for c in view.candidates if c in self.victims)
         others = tuple(c for c in view.candidates if c not in self.victims)
         if victims and (self._turn % self.period == 0 or not others):
-            return victims[self._turn % len(victims)]
-        if not others:
-            return victims[0]
+            # Rotate among victims with a dedicated cursor: indexing by
+            # `_turn` would pin one victim forever whenever the period
+            # divides evenly into the victim count (turn is a multiple of
+            # the period on every victim turn), starving the others.
+            choice = victims[self._victim_cursor % len(victims)]
+            self._victim_cursor += 1
+            return choice
         narrowed = SchedulerView(
             time=view.time,
             candidates=others,
@@ -152,6 +157,24 @@ class ExplicitScheduler(Scheduler):
         if self.strict:
             raise SchedulingError("explicit schedule exhausted")
         return self._fallback.next(view)
+
+
+class RecordingScheduler(Scheduler):
+    """Wraps another scheduler and records every choice it makes.
+
+    The recorded sequence, replayed through an :class:`ExplicitScheduler`,
+    reproduces the interleaving deterministically — the hook the chaos
+    engine's counterexample shrinking and repro bundles are built on.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.picks: list[ProcessId] = []
+
+    def next(self, view: SchedulerView) -> ProcessId:
+        choice = self.inner.next(view)
+        self.picks.append(choice)
+        return choice
 
 
 class PrioritizedScheduler(Scheduler):

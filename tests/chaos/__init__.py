@@ -1,0 +1,1 @@
+"""Tests for the chaos engine (injectors, campaigns, shrinking, replay)."""

@@ -1,0 +1,207 @@
+"""Tests for the campaign runner: cell specs, outcome triage, sweeps."""
+
+import pytest
+
+from repro.chaos import (
+    OUTCOME_BUDGET,
+    OUTCOME_DEADLOCK,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_SAFETY,
+    OUTCOME_SCHEDULE,
+    CampaignSpec,
+    CellSpec,
+    Workload,
+    run_campaign,
+    run_cell,
+    smoke_campaign,
+    specimen_campaign,
+    standard_campaign,
+)
+from repro.chaos.campaign import classify_result
+from repro.core import System, c_process, input_register
+from repro.runtime import (
+    ExplicitScheduler,
+    RoundRobinScheduler,
+    execute,
+    ops,
+)
+from repro.tasks import ConsensusTask
+
+
+def echo(ctx):
+    value = yield ops.Read(input_register(ctx.pid.index))
+    yield ops.Decide(value)
+
+
+def spin(ctx):
+    while True:
+        yield ops.Nop()
+
+
+def halt(ctx):
+    yield ops.Nop()
+
+
+class TestCellSpec:
+    CELL = CellSpec(
+        task={"family": "consensus", "n": 3},
+        detector={"family": "omega", "stabilization_time": 8},
+        pattern=(None, 4, None),
+        scheduler={"kind": "seeded", "seed": 2},
+        seed=5,
+    )
+
+    def test_json_round_trip(self):
+        assert CellSpec.from_json(self.CELL.to_json()) == self.CELL
+
+    def test_label_mentions_axes(self):
+        label = self.CELL.label()
+        assert "consensus(n=3)" in label
+        assert "omega@8" in label
+        assert "crashes=1" in label
+
+
+class TestClassification:
+    task = ConsensusTask(2)
+
+    def test_clean_run_is_ok(self):
+        system = System(inputs=(1, 1), c_factories=[echo, echo])
+        result = execute(system, RoundRobinScheduler(), trace=True)
+        assert classify_result(result, self.task)[0] == OUTCOME_OK
+
+    def test_budget_exhaustion_classified(self):
+        system = System(inputs=(1, 1), c_factories=[spin, spin])
+        result = execute(system, RoundRobinScheduler(), max_steps=20)
+        outcome, detail = classify_result(result, self.task)
+        assert outcome == OUTCOME_BUDGET
+        assert "undecided" in detail
+
+    def test_halt_classified_as_deadlock(self):
+        system = System(
+            inputs=(1, 1), c_factories=[halt, halt], s_factories=[halt]
+        )
+        result = execute(system, RoundRobinScheduler(), max_steps=50)
+        assert classify_result(result, self.task)[0] == OUTCOME_DEADLOCK
+
+    def test_schedule_exhaustion_classified(self):
+        system = System(inputs=(1, 1), c_factories=[spin, spin])
+        scheduler = ExplicitScheduler([c_process(0)] * 3)
+        result = execute(system, scheduler, max_steps=50)
+        assert classify_result(result, self.task)[0] == OUTCOME_SCHEDULE
+
+    def test_disagreement_classified_as_safety(self):
+        system = System(inputs=(1, 2), c_factories=[echo, echo])
+        result = execute(system, RoundRobinScheduler(), trace=True)
+        outcome, detail = classify_result(result, self.task)
+        assert outcome == OUTCOME_SAFETY
+        assert detail
+
+
+class TestRunCell:
+    def test_theorem9_consensus_cell_passes(self):
+        record = run_cell(
+            CellSpec(
+                task={"family": "consensus", "n": 2},
+                detector={"family": "omega", "stabilization_time": 4},
+                pattern=(None, 3),
+                scheduler={"kind": "seeded", "seed": 1},
+            )
+        )
+        assert record.outcome == OUTCOME_OK
+        assert record.result is not None
+        assert record.result.all_participants_decided
+
+    def test_budget_detail_carries_digest(self):
+        record = run_cell(
+            CellSpec(
+                task={"family": "consensus", "n": 2},
+                detector={"family": "omega"},
+                max_steps=40,
+            )
+        )
+        assert record.outcome == OUTCOME_BUDGET
+        assert "budget 40 exhausted" in record.detail
+
+
+class TestCampaigns:
+    def test_small_clean_campaign(self):
+        spec = CampaignSpec(
+            name="mini",
+            workloads=[
+                Workload(
+                    task={"family": "consensus", "n": 2},
+                    detector={"family": "omega"},
+                )
+            ],
+            patterns=((None, None), (None, 2)),
+            schedulers=({"kind": "seeded", "seed": 1},),
+            seeds=(0,),
+            stabilization_times=(4,),
+            max_steps=40_000,
+        )
+        report = run_campaign(spec)
+        assert len(report.records) == 2
+        assert report.ok
+        assert report.counts[OUTCOME_OK] == 2
+        assert "verdict: OK" in report.render()
+
+    def test_failing_cell_recorded_not_fatal(self):
+        # Forcing a crashed leader makes history construction blow up;
+        # the campaign must triage the cell as an error and keep going.
+        spec = CampaignSpec(
+            name="degraded",
+            workloads=[
+                Workload(
+                    task={"family": "consensus", "n": 2},
+                    detector={"family": "omega", "leader": 1},
+                )
+            ],
+            patterns=((None, 2), (None, None)),
+            schedulers=({"kind": "seeded", "seed": 1},),
+            seeds=(0,),
+            stabilization_times=(4,),
+            max_steps=40_000,
+        )
+        report = run_campaign(spec)
+        assert [r.outcome for r in report.records] == [
+            OUTCOME_ERROR,
+            OUTCOME_OK,
+        ]
+        assert not report.ok
+
+    def test_specimen_campaign_finds_planted_bug(self):
+        report = run_campaign(specimen_campaign(seed=0), limit=24)
+        assert report.violations
+        assert not report.ok
+        record = report.violations[0]
+        assert record.outcome == OUTCOME_SAFETY
+        # The planted bug lives in the noisy window only.
+        assert record.cell.detector["stabilization_time"] > 0
+
+    def test_limit_truncates_sweep(self):
+        report = run_campaign(smoke_campaign(), limit=1)
+        assert len(report.records) == 1
+
+    def test_stock_campaign_shapes(self):
+        assert len(list(smoke_campaign().cells())) == 24
+        assert len(list(standard_campaign().cells())) == 200
+        assert len(list(specimen_campaign().cells())) == 72
+
+    def test_stabilization_sweep_skipped_for_static_detectors(self):
+        spec = CampaignSpec(
+            name="static",
+            workloads=[
+                Workload(
+                    task={"family": "consensus", "n": 2},
+                    detector={"family": "perfect"},
+                    algorithm="one-concurrent",
+                )
+            ],
+            patterns=((None, None),),
+            schedulers=({"kind": "round-robin"},),
+            seeds=(0,),
+            stabilization_times=(0, 8, 16),
+        )
+        # No stabilization axis to sweep: one cell, not three.
+        assert len(list(spec.cells())) == 1

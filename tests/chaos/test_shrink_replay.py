@@ -1,0 +1,99 @@
+"""Tests for counterexample shrinking and replayable failure bundles."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    OUTCOME_OK,
+    OUTCOME_SAFETY,
+    bundle_from_shrink,
+    load_bundle,
+    replay_bundle,
+    run_cell,
+    save_bundle,
+    shrink_cell,
+)
+from repro.chaos.campaign import CellSpec
+from repro.chaos.shrink import pin_schedule
+from repro.errors import ChaosError
+
+
+def specimen_cell(seed, *, stabilization_time=24):
+    """One cell over the planted decide-before-stabilization bug."""
+    return CellSpec(
+        task={"family": "consensus", "n": 3},
+        detector={
+            "family": "omega",
+            "stabilization_time": stabilization_time,
+        },
+        algorithm="eager-consensus",
+        scheduler={"kind": "round-robin"},
+        seed=seed,
+        max_steps=5_000,
+    )
+
+
+def find_violating_cell():
+    for seed in range(10):
+        cell = specimen_cell(seed)
+        if run_cell(cell).outcome == OUTCOME_SAFETY:
+            return cell
+    raise AssertionError("no specimen seed split consensus")
+
+
+class TestPinSchedule:
+    def test_pinned_cell_reproduces_outcome(self):
+        cell = find_violating_cell()
+        pinned, record = pin_schedule(cell)
+        assert record.outcome == OUTCOME_SAFETY
+        assert pinned.scheduler["kind"] == "explicit"
+        assert len(pinned.scheduler["sequence"]) == record.steps
+        assert run_cell(pinned).outcome == OUTCOME_SAFETY
+
+
+class TestShrink:
+    def test_shrink_produces_minimal_failing_cell(self):
+        shrunk = shrink_cell(find_violating_cell(), max_trials=200)
+        assert shrunk.outcome == OUTCOME_SAFETY
+        assert shrunk.final_schedule_len <= shrunk.original_schedule_len
+        assert shrunk.trials > 0
+        # The shrunk cell still fails, deterministically.
+        assert run_cell(shrunk.cell).outcome == OUTCOME_SAFETY
+        assert "shrunk to" in shrunk.summary()
+
+    def test_shrinking_passing_cell_rejected(self):
+        # stabilization_time=0: the specimen is correct (no noisy window).
+        passing = specimen_cell(0, stabilization_time=0)
+        assert run_cell(passing).outcome == OUTCOME_OK
+        with pytest.raises(ChaosError):
+            shrink_cell(passing)
+
+
+class TestBundle:
+    def test_round_trip_and_deterministic_replay(self, tmp_path):
+        shrunk = shrink_cell(find_violating_cell(), max_trials=200)
+        bundle = bundle_from_shrink(
+            shrunk, campaign="unit", note="planted bug"
+        )
+        path = save_bundle(tmp_path / "witness.json", bundle)
+        assert load_bundle(path) == bundle
+
+        first = replay_bundle(path)
+        second = replay_bundle(path)
+        assert first.reproduced and second.reproduced
+        assert first.record.steps == second.record.steps
+        assert "REPRODUCED" in first.summary()
+
+    def test_malformed_bundles_rejected(self, tmp_path):
+        not_a_bundle = tmp_path / "junk.json"
+        not_a_bundle.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ChaosError):
+            load_bundle(not_a_bundle)
+
+        wrong_version = tmp_path / "future.json"
+        wrong_version.write_text(
+            json.dumps({"format": "repro-chaos-bundle", "version": 99})
+        )
+        with pytest.raises(ChaosError):
+            load_bundle(wrong_version)

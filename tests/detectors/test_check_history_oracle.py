@@ -1,0 +1,150 @@
+"""``check_history`` as a rejection oracle.
+
+The chaos engine leans on each detector's ``check_history`` to gate
+perturbed histories, so the oracle must actually *reject* corrupted
+histories, not just accept well-formed ones.  Each corruption class here
+encodes one way a history can step outside the detector's specification:
+the wrong leader after stabilization, out-of-range outputs, or a crashed
+process named correct.
+"""
+
+import random
+
+from repro.core.failures import FailurePattern
+from repro.detectors import (
+    AntiOmegaK,
+    EventuallyPerfectDetector,
+    Omega,
+    PerfectDetector,
+    TrivialDetector,
+    VectorOmegaK,
+)
+
+#: q3 crashes at time 4; q1 and q2 stay correct.
+PATTERN = FailurePattern.crash(3, {2: 4})
+STAB = 10
+HORIZON = 26
+
+
+class FixedHistory:
+    """History computed by a plain ``(s_index, time) -> value`` function."""
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def value(self, s_index, time):
+        return self._fn(s_index, time)
+
+
+def check(detector, history, *, stab=STAB):
+    return detector.check_history(
+        PATTERN, history, horizon=HORIZON, stabilized_from=stab
+    )
+
+
+class TestOmegaOracle:
+    detector = Omega(stabilization_time=STAB)
+
+    def test_accepts_own_history(self):
+        history = self.detector.build_history(PATTERN, random.Random(0))
+        assert check(self.detector, history)
+
+    def test_rejects_faulty_leader_after_stabilization(self):
+        # q3 is crashed, yet the history keeps electing it.
+        assert not check(self.detector, FixedHistory(lambda q, t: 2))
+
+    def test_rejects_disagreeing_leaders_after_stabilization(self):
+        assert not check(self.detector, FixedHistory(lambda q, t: q % 2))
+
+    def test_rejects_out_of_range_output(self):
+        assert not check(self.detector, FixedHistory(lambda q, t: 7))
+        assert not check(self.detector, FixedHistory(lambda q, t: "q1"))
+
+
+class TestVectorOmegaOracle:
+    detector = VectorOmegaK(3, 2, stabilization_time=STAB)
+
+    def test_accepts_own_history(self):
+        history = self.detector.build_history(PATTERN, random.Random(1))
+        assert check(self.detector, history)
+
+    def test_rejects_wrong_length_vector(self):
+        assert not check(self.detector, FixedHistory(lambda q, t: (0,)))
+
+    def test_rejects_out_of_range_entry(self):
+        assert not check(self.detector, FixedHistory(lambda q, t: (0, 9)))
+
+    def test_rejects_no_stable_position(self):
+        # Both positions keep flapping between the correct processes:
+        # no position ever settles, so the eventual clause fails.
+        history = FixedHistory(lambda q, t: (t % 2, (t + 1) % 2))
+        assert not check(self.detector, history)
+
+    def test_rejects_stable_but_faulty_position(self):
+        # Position 0 is perfectly stable — on the crashed q3.
+        assert not check(self.detector, FixedHistory(lambda q, t: (2, t % 2)))
+
+
+class TestAntiOmegaOracle:
+    detector = AntiOmegaK(3, 1, stabilization_time=STAB)
+
+    def test_accepts_own_history(self):
+        history = self.detector.build_history(PATTERN, random.Random(2))
+        assert check(self.detector, history)
+
+    def test_rejects_wrong_size_output(self):
+        assert not check(
+            self.detector, FixedHistory(lambda q, t: frozenset({0}))
+        )
+
+    def test_rejects_outputs_covering_every_correct_process(self):
+        # Outputs alternate so that each correct process is output
+        # infinitely often: nobody is eventually safe.
+        history = FixedHistory(
+            lambda q, t: frozenset({t % 2, 2})
+        )
+        assert not check(self.detector, history)
+
+
+class TestPerfectOracle:
+    detector = PerfectDetector()
+
+    def test_accepts_own_history(self):
+        history = self.detector.build_history(PATTERN, random.Random(3))
+        assert check(self.detector, history)
+
+    def test_rejects_suspecting_a_correct_process(self):
+        # The "dead process named correct" dual: a live process (q1) is
+        # reported crashed, violating strong accuracy.
+        history = FixedHistory(lambda q, t: frozenset({0}))
+        assert not check(self.detector, history)
+
+    def test_rejects_never_suspecting_the_crashed_process(self):
+        # q3 crashed at 4 but is still named correct (never suspected)
+        # long after stabilization: completeness fails.
+        history = FixedHistory(lambda q, t: frozenset())
+        assert not check(self.detector, history)
+
+
+class TestEventuallyPerfectOracle:
+    detector = EventuallyPerfectDetector(stabilization_time=STAB)
+
+    def test_accepts_own_history(self):
+        history = self.detector.build_history(PATTERN, random.Random(4))
+        assert check(self.detector, history)
+
+    def test_rejects_wrong_suspicions_after_stabilization(self):
+        # Post-stabilization output must be exactly the faulty set {q3}.
+        history = FixedHistory(lambda q, t: frozenset({0, 2}))
+        assert not check(self.detector, history)
+
+
+class TestTrivialOracle:
+    detector = TrivialDetector()
+
+    def test_accepts_own_history(self):
+        history = self.detector.build_history(PATTERN, random.Random(5))
+        assert check(self.detector, history)
+
+    def test_rejects_any_information(self):
+        assert not check(self.detector, FixedHistory(lambda q, t: 0))

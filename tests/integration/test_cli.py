@@ -37,3 +37,47 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])
+
+
+class TestChaosCLI:
+    def test_smoke_prefix_runs_clean(self, capsys):
+        assert main(["chaos", "run", "--smoke", "--cells", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign 'smoke'" in out
+        assert "verdict: OK" in out
+
+    def test_specimen_shrinks_and_replay_reproduces(self, tmp_path, capsys):
+        bundle = tmp_path / "witness.json"
+        assert (
+            main(
+                [
+                    "chaos",
+                    "run",
+                    "--specimen",
+                    "--cells",
+                    "24",
+                    "--bundle",
+                    str(bundle),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "safety_violation" in out
+        assert "shrunk to" in out
+        assert bundle.exists()
+
+        assert main(["chaos", "replay", str(bundle)]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_replay_rejects_foreign_json(self, tmp_path):
+        from repro.errors import ChaosError
+
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"format": "not-a-bundle"}')
+        with pytest.raises(ChaosError):
+            main(["chaos", "replay", str(junk)])
+
+    def test_chaos_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["chaos"])

@@ -228,6 +228,39 @@ class TestStopConditions:
         with pytest.raises(SchedulingError):
             ex.step(c_process(1))
 
+    def test_exhausted_strict_schedule_distinguished_from_halt(self):
+        from repro.runtime import ExplicitScheduler
+
+        system = System(inputs=(1,), c_factories=[spin])
+        scheduler = ExplicitScheduler([c_process(0)] * 3)
+        result = execute(system, scheduler, max_steps=50)
+        assert result.reason == "schedule_exhausted"
+        assert result.steps == 3
+
+    def test_budget_digest_names_undecided_processes(self):
+        system = System(inputs=(1, 2), c_factories=[echo, spin])
+        result = execute(system, RoundRobinScheduler(), max_steps=40)
+        assert result.reason == "budget"
+        digest = result.budget_digest
+        assert digest is not None
+        assert "budget 40 exhausted" in digest
+        assert "decided 1/2" in digest
+        assert "p2(" in digest  # the spinner, with its step count
+        assert "p1(" not in digest  # decided processes are not listed
+
+    def test_budget_digest_absent_on_clean_run(self):
+        system = System(inputs=(1,), c_factories=[echo])
+        result = execute(system, RoundRobinScheduler())
+        assert result.budget_digest is None
+
+    def test_liveness_violation_message_carries_digest(self):
+        from repro.errors import LivenessViolation
+
+        system = System(inputs=(1,), c_factories=[spin])
+        result = execute(system, RoundRobinScheduler(), max_steps=9)
+        with pytest.raises(LivenessViolation, match="budget 9 exhausted"):
+            result.require_all_decided()
+
 
 class TestDeterminism:
     def test_same_seed_same_run(self):

@@ -8,6 +8,7 @@ from repro.runtime.scheduler import (
     AdversarialScheduler,
     ExplicitScheduler,
     PrioritizedScheduler,
+    RecordingScheduler,
     RoundRobinScheduler,
     SchedulerView,
     SeededRandomScheduler,
@@ -70,6 +71,35 @@ class TestAdversarial:
     def test_bad_period_rejected(self):
         with pytest.raises(SchedulingError):
             AdversarialScheduler([c_process(0)], period=1)
+
+    def test_multiple_victims_all_rotated(self):
+        # Regression: with the period dividing the victim turns evenly,
+        # indexing victims by the turn counter pinned victims[0] forever
+        # and starved the rest of the victim set.
+        victims = [c_process(0), c_process(1)]
+        sched = AdversarialScheduler(victims, period=2)
+        picks = [sched.next(view(PIDS)) for _ in range(40)]
+        assert picks.count(victims[0]) > 0
+        assert picks.count(victims[1]) > 0
+
+    def test_rotation_covers_three_victims(self):
+        sched = AdversarialScheduler(list(PIDS), period=3)
+        picks = set(sched.next(view(PIDS)) for _ in range(30))
+        assert picks == set(PIDS)
+
+
+class TestRecording:
+    def test_records_inner_choices(self):
+        inner = RoundRobinScheduler()
+        recorder = RecordingScheduler(inner)
+        picks = [recorder.next(view(PIDS)) for _ in range(6)]
+        assert recorder.picks == picks
+
+    def test_recorded_sequence_replays_explicitly(self):
+        recorder = RecordingScheduler(SeededRandomScheduler(4))
+        original = [recorder.next(view(PIDS)) for _ in range(10)]
+        replay = ExplicitScheduler(list(recorder.picks))
+        assert [replay.next(view(PIDS)) for _ in range(10)] == original
 
 
 class TestExplicit:
