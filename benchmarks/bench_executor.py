@@ -59,3 +59,65 @@ def test_snapshot_op_cost_grows_with_memory(benchmark):
         return executor.run()
 
     benchmark(run)
+
+
+def test_crash_retirement_throughput(benchmark):
+    """Covers the incremental schedulable set under failure patterns:
+    crashes retire S-processes via the precomputed crash queue instead
+    of a per-step rescan."""
+    from repro.core.failures import FailurePattern
+    from repro.runtime.scheduler import SeededRandomScheduler
+
+    def run():
+        system = System(
+            inputs=(1,) * 6,
+            c_factories=[reader_writer] * 6,
+            pattern=FailurePattern(6, (3, 40, None, 500, None, 900)),
+        )
+        executor = Executor(
+            system, SeededRandomScheduler(7), max_steps=5_000
+        )
+        return executor.run()
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("traced", [False, True])
+def test_tracing_overhead(benchmark, traced):
+    """Tracing off must not allocate TraceEvents; the gap between the
+    two parametrizations is the whole cost of tracing."""
+
+    def run():
+        system = System(inputs=(1,) * 4, c_factories=[reader_writer] * 4)
+        executor = Executor(
+            system, RoundRobinScheduler(), max_steps=5_000, trace=traced
+        )
+        result = executor.run()
+        assert (result.trace is not None) == traced
+        return result
+
+    benchmark(run)
+
+
+def test_checkpoint_restore_roundtrip(benchmark):
+    """Covers the exploration fast path: snapshot an executor mid-run
+    (COW memory + log-prefix capture) and rebuild it by log replay."""
+
+    def run():
+        system = System(inputs=(1,) * 4, c_factories=[reader_writer] * 4)
+        executor = Executor(
+            system,
+            RoundRobinScheduler(),
+            max_steps=200,
+            record_results=True,
+        )
+        for _ in range(100):
+            executor.step_trusted(executor.schedulable()[0])
+        checkpoint = executor.checkpoint()
+        restored = Executor.restore(
+            system, RoundRobinScheduler(), checkpoint, max_steps=200
+        )
+        assert restored.time == executor.time
+        return restored
+
+    benchmark(run)

@@ -34,3 +34,36 @@ def test_loose_renaming_with_rounds(benchmark):
     result = benchmark(decide_two_process_solvability, task)
     assert result.solvable
     assert result.rounds is not None
+
+
+@pytest.mark.parametrize("dedup", [False, True])
+def test_exhaustive_certification_throughput(benchmark, dedup):
+    """The model-checking complement of the topological verdict: certify
+    Figure 4 renaming over every interleaving.  Covers the checkpointed
+    explorer (and, parametrized, opt-in state deduplication — same
+    verdict, fewer nodes)."""
+    from repro.algorithms.renaming_figure4 import figure4_factories
+    from repro.checker import (
+        ScheduleExplorer,
+        drop_null_s_processes,
+        task_safety_verdict,
+    )
+    from repro.core import System
+
+    task = RenamingTask(3, 2, 3)
+
+    def build():
+        return System(inputs=(1, 2, None), c_factories=figure4_factories(3))
+
+    def run():
+        explorer = ScheduleExplorer(
+            build,
+            max_depth=12,
+            candidate_filter=drop_null_s_processes,
+            dedup=dedup,
+        )
+        report = explorer.check(task_safety_verdict(task))
+        assert report.ok
+        return report
+
+    benchmark(run)

@@ -2,7 +2,17 @@
 
 Run with:  pytest benchmarks/ --benchmark-only
 
+Works from a clean checkout: ``src/`` is injected onto ``sys.path``
+below, so no install or PYTHONPATH is needed.
+
 Every benchmark both *times* its workload and *asserts* the shape the
 paper predicts (who wins, by what factor, where bounds sit), so the
 benchmark run doubles as the experiment harness behind EXPERIMENTS.md.
 """
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

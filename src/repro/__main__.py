@@ -14,6 +14,8 @@ Commands:
                             mutated schedules) and triage every cell
     chaos replay BUNDLE     deterministically re-execute a shrunk
                             failure bundle and compare outcomes
+    bench                   run the tracked execution-core benchmark
+                            suite and write BENCH_core.json
 """
 
 from __future__ import annotations
@@ -114,7 +116,9 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         if args.verbose:
             print(record.format_row())
 
-    report = run_campaign(spec, limit=args.cells, on_cell=progress)
+    report = run_campaign(
+        spec, limit=args.cells, on_cell=progress, workers=args.workers
+    )
     print(report.render())
 
     if args.specimen:
@@ -135,6 +139,46 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
             print(f"repro bundle written to {path}")
         return 0
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import (
+        BENCH_SCHEMA,
+        compare_against_baseline,
+        load_baseline,
+        render,
+        run_benchmarks,
+    )
+
+    results = run_benchmarks(smoke=args.smoke, workers=args.workers)
+    print(render(results))
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "smoke": args.smoke,
+        "benchmarks": results,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"results written to {args.out}")
+    if args.baseline:
+        problems = compare_against_baseline(
+            results,
+            load_baseline(args.baseline),
+            fail_threshold=args.fail_threshold,
+        )
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        if problems:
+            return 1
+        print(
+            f"no benchmark more than {args.fail_threshold:g}x below "
+            f"{args.baseline}"
+        )
+    return 0
 
 
 def _cmd_chaos_replay(args: argparse.Namespace) -> int:
@@ -215,6 +259,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--verbose", action="store_true", help="print each cell as it runs"
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan cells out over this many worker processes "
+        "(reports are byte-identical to serial runs)",
+    )
     p.set_defaults(func=_cmd_chaos_run)
 
     p = chaos_sub.add_parser(
@@ -222,6 +273,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("bundle", help="path to a bundle JSON file")
     p.set_defaults(func=_cmd_chaos_replay)
+
+    p = sub.add_parser(
+        "bench", help="run the tracked execution-core benchmarks"
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrunken workloads for CI (same benchmark names)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_core.json",
+        help="write results here (default: %(default)s)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="compare throughput against this results file and fail "
+        "on regressions past --fail-threshold",
+    )
+    p.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=3.0,
+        help="maximum tolerated slowdown factor vs the baseline "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the campaign benchmark",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

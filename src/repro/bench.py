@@ -1,0 +1,205 @@
+"""Tracked micro-benchmarks of the execution core.
+
+``python -m repro bench`` runs a fixed suite over the three hot layers
+— raw executor stepping, exhaustive exploration, and chaos campaigns —
+and writes ``BENCH_core.json``.  The committed copy at the repository
+root is the tracked baseline: CI re-runs the suite in smoke mode and
+fails when any benchmark's throughput regresses by more than the
+threshold against it (rates are compared, not wall-clock totals, so the
+smoke workloads stay comparable to the full ones).
+
+Benchmark names are stable across smoke and full runs; changing a name
+breaks the comparison history and should be treated like an API break.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Mapping
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Primary throughput metric per benchmark (used for regression gating).
+RATE_KEYS = {
+    "executor_rw_n8": "steps_per_s",
+    "executor_nop_n32": "steps_per_s",
+    "executor_crashes": "steps_per_s",
+    "executor_snapshot": "steps_per_s",
+    "explorer_figure4_d16": "explored_per_s",
+    "campaign_smoke": "cells_per_s",
+}
+
+
+# -- workloads -----------------------------------------------------------
+
+
+def _spin(ctx):
+    from .runtime import ops
+
+    while True:
+        yield ops.Nop()
+
+
+def _reader_writer(ctx):
+    from .runtime import ops
+
+    me = ctx.pid.index
+    while True:
+        yield ops.Write(f"cell/{me}", me)
+        yield ops.Read(f"cell/{(me + 1) % ctx.n_computation}")
+
+
+def _snapper(ctx):
+    from .runtime import ops
+
+    for i in range(200):
+        yield ops.Write(f"arr/{ctx.pid.index}/{i}", i)
+    while True:
+        yield ops.Snapshot(f"arr/{ctx.pid.index}/")
+
+
+def _bench_executor(
+    factory, n: int, steps: int, *, pattern=None, sched=None
+) -> dict[str, Any]:
+    from .core import System
+    from .runtime import Executor, RoundRobinScheduler
+
+    t0 = time.perf_counter()
+    system = System(
+        inputs=tuple(range(n)),
+        c_factories=[factory] * n,
+        pattern=pattern,
+    )
+    executor = Executor(
+        system, sched or RoundRobinScheduler(), max_steps=steps
+    )
+    result = executor.run()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "steps_per_s": result.steps / wall,
+        "steps": result.steps,
+    }
+
+
+def _bench_explorer(max_depth: int) -> dict[str, Any]:
+    """The standard exploration benchmark: exhaustive task-safety check
+    of the Figure 4 renaming algorithm, two participants of three."""
+    from .algorithms.renaming_figure4 import figure4_factories
+    from .checker import (
+        ScheduleExplorer,
+        drop_null_s_processes,
+        task_safety_verdict,
+    )
+    from .core import System
+    from .tasks import RenamingTask
+
+    task = RenamingTask(3, 2, 3)
+
+    def build():
+        return System(inputs=(1, 2, None), c_factories=figure4_factories(3))
+
+    explorer = ScheduleExplorer(
+        build, max_depth=max_depth, candidate_filter=drop_null_s_processes
+    )
+    t0 = time.perf_counter()
+    report = explorer.check(task_safety_verdict(task))
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "explored_per_s": report.explored / wall,
+        "explored": report.explored,
+        "completed": report.completed_runs,
+        "violations": len(report.violations),
+    }
+
+
+def _bench_campaign(cells: int, workers: int) -> dict[str, Any]:
+    from .chaos import run_campaign, smoke_campaign
+
+    t0 = time.perf_counter()
+    report = run_campaign(smoke_campaign(), limit=cells, workers=workers)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "cells_per_s": len(report.records) / wall,
+        "cells": len(report.records),
+        "workers": workers,
+        "counts": dict(report.counts),
+    }
+
+
+def run_benchmarks(
+    *, smoke: bool = False, workers: int = 1
+) -> dict[str, dict[str, Any]]:
+    """Run the suite; smoke mode shrinks workloads, not the name set."""
+    exec_steps = 5_000 if smoke else 50_000
+    snap_steps = 3_000 if smoke else 30_000
+    depth = 12 if smoke else 16
+    cells = 4 if smoke else 12
+    from .core.failures import FailurePattern
+    from .runtime.scheduler import SeededRandomScheduler
+
+    suite: dict[str, Callable[[], dict[str, Any]]] = {
+        "executor_rw_n8": lambda: _bench_executor(
+            _reader_writer, 8, exec_steps
+        ),
+        "executor_nop_n32": lambda: _bench_executor(_spin, 32, exec_steps),
+        "executor_crashes": lambda: _bench_executor(
+            _reader_writer,
+            6,
+            exec_steps,
+            pattern=FailurePattern(6, (3, 40, None, 500, None, 9_000)),
+            sched=SeededRandomScheduler(7),
+        ),
+        "executor_snapshot": lambda: _bench_executor(
+            _snapper, 4, snap_steps
+        ),
+        "explorer_figure4_d16": lambda: _bench_explorer(depth),
+        "campaign_smoke": lambda: _bench_campaign(cells, workers),
+    }
+    return {name: fn() for name, fn in suite.items()}
+
+
+# -- comparison ----------------------------------------------------------
+
+
+def compare_against_baseline(
+    results: Mapping[str, Mapping[str, Any]],
+    baseline: Mapping[str, Mapping[str, Any]],
+    *,
+    fail_threshold: float,
+) -> list[str]:
+    """Return one message per benchmark whose throughput dropped below
+    ``baseline rate / fail_threshold`` (benchmarks missing on either
+    side are skipped — names are stable, workload sizes are not)."""
+    problems: list[str] = []
+    for name, rate_key in RATE_KEYS.items():
+        current = results.get(name, {}).get(rate_key)
+        reference = baseline.get(name, {}).get(rate_key)
+        if not current or not reference:
+            continue
+        if current < reference / fail_threshold:
+            problems.append(
+                f"{name}: {rate_key} {current:.0f} is more than "
+                f"{fail_threshold:g}x below baseline {reference:.0f}"
+            )
+    return problems
+
+
+def load_baseline(path: str) -> dict[str, dict[str, Any]]:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return data.get("benchmarks", data)
+
+
+def render(results: Mapping[str, Mapping[str, Any]]) -> str:
+    lines = []
+    for name, metrics in results.items():
+        rate_key = RATE_KEYS.get(name, "wall_s")
+        lines.append(
+            f"{name:24} {metrics.get(rate_key, 0.0):>12.0f} {rate_key}"
+            f"  ({metrics['wall_s']:.2f}s)"
+        )
+    return "\n".join(lines)

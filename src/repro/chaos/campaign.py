@@ -176,6 +176,11 @@ class CampaignSpec:
         max_steps: per-cell liveness budget.
         pattern_seed: determinism seed for derived patterns.
         strict_traces: also classify trace hazards (lint trace rules).
+        workers: default process-pool width for :func:`run_campaign`
+            (1 = in-process serial execution).  Parallel runs produce
+            reports byte-identical to serial ones: every cell carries
+            its own seeds, so its run is independent of which worker
+            executes it, and records are collected in cell order.
     """
 
     name: str
@@ -190,6 +195,7 @@ class CampaignSpec:
     max_steps: int = 120_000
     pattern_seed: int = 0
     strict_traces: bool = False
+    workers: int = 1
 
     def _patterns_for(self, n: int) -> list[tuple]:
         if isinstance(self.patterns, int):
@@ -304,31 +310,60 @@ def run_cell(
     )
 
 
+def _run_cell_guarded(args: tuple[CellSpec, bool]) -> CellRecord:
+    """Module-level (picklable) cell runner shared by the serial and
+    process-pool paths; a raising cell degrades to an ``"error"``
+    record instead of aborting the sweep."""
+    cell, strict_traces = args
+    try:
+        return run_cell(cell, strict_traces=strict_traces)
+    except Exception as exc:  # noqa: BLE001 - triage, don't abort
+        return CellRecord(
+            cell, OUTCOME_ERROR, detail=f"{type(exc).__name__}: {exc}"
+        )
+
+
 def run_campaign(
     spec: CampaignSpec,
     *,
     limit: int | None = None,
     on_cell: Callable[[CellRecord], None] | None = None,
+    workers: int | None = None,
 ) -> CampaignReport:
     """Run (up to ``limit`` cells of) a campaign to a structured report.
 
     Degrades gracefully: a cell that raises is recorded with outcome
     ``"error"`` and the sweep continues.
+
+    ``workers`` (default: ``spec.workers``) > 1 fans the cells out over
+    a process pool.  Cells are fully determined by their spec — every
+    source of randomness is an explicit per-cell seed — and records are
+    collected in cell order, so the resulting report (including
+    :meth:`CampaignReport.render`) is byte-identical to a serial run.
     """
-    records: list[CellRecord] = []
+    if workers is None:
+        workers = spec.workers
     cells = spec.cells()
     if limit is not None:
         cells = itertools.islice(cells, limit)
-    for cell in cells:
-        try:
-            record = run_cell(cell, strict_traces=spec.strict_traces)
-        except Exception as exc:  # noqa: BLE001 - triage, don't abort
-            record = CellRecord(
-                cell, OUTCOME_ERROR, detail=f"{type(exc).__name__}: {exc}"
-            )
-        records.append(record)
-        if on_cell is not None:
-            on_cell(record)
+    jobs = [(cell, spec.strict_traces) for cell in cells]
+    records: list[CellRecord] = []
+    if workers > 1 and len(jobs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = pool.map(_run_cell_guarded, jobs, chunksize=chunksize)
+            for record in outcomes:
+                records.append(record)
+                if on_cell is not None:
+                    on_cell(record)
+    else:
+        for job in jobs:
+            record = _run_cell_guarded(job)
+            records.append(record)
+            if on_cell is not None:
+                on_cell(record)
     return CampaignReport(spec.name, records)
 
 

@@ -65,12 +65,11 @@ def analyze_valency(
         outcomes_by_prefix.setdefault(prefix, set())
         return True
 
-    schedule_stack: list[ProcessId] = []
-
     def _prefix_of(executor):
-        # The explorer replays deterministic prefixes; reconstruct from
-        # step counts is fragile, so track via the explorer cache.
-        return explorer._cache[0] if explorer._cache else ()
+        # The explorer replays deterministic prefixes; reconstructing
+        # from step counts is fragile, so read the schedule of the node
+        # currently being visited straight off the explorer.
+        return explorer.current_schedule
 
     explorer.check(verdict)
     reachable = frozenset(outcomes_by_prefix.get((), set()))

@@ -7,9 +7,21 @@ sampled evidence.  The classifier and several integration tests use
 this to certify the upper-bound algorithms on small instances.
 
 Exploration is a DFS over the executor's ``schedulable()`` sets.  Since
-executors cannot be forked (automata are live generators), the explorer
-re-executes prefixes deterministically, with an incremental fast path
-when the DFS descends (the common case).
+executors cannot be forked (automata are live generators), backtracking
+has to re-establish prefix state.  The explorer keeps a *checkpoint
+stack*: every ``checkpoint_stride`` levels of descent it captures the
+executor (copy-on-write register snapshot + per-process result logs,
+see :meth:`~repro.runtime.executor.Executor.checkpoint`), and sibling
+expansion restores the deepest checkpoint on the target path and
+replays only the suffix — instead of rebuilding the system and
+replaying the whole prefix, which made backtracking O(depth²).
+
+Optional state-fingerprint deduplication (``dedup=True``) prunes
+interleavings that reach an execution state already explored at the
+same depth (symmetric interleavings of independent operations).  It is
+off by default because it changes the reported node counts; violations
+found are the same either way, since a deduplicated state has an
+identical future to its first occurrence.
 """
 
 from __future__ import annotations
@@ -19,7 +31,7 @@ from typing import Callable, Sequence
 
 from ..core.process import ProcessId
 from ..core.system import System
-from ..runtime.executor import Executor
+from ..runtime.executor import Executor, ExecutorCheckpoint
 from ..runtime.scheduler import ExplicitScheduler
 
 
@@ -30,6 +42,7 @@ class ExplorationReport:
     explored: int = 0
     completed_runs: int = 0
     truncated_runs: int = 0
+    deduplicated: int = 0
     violations: list[tuple[tuple[ProcessId, ...], object]] = field(
         default_factory=list
     )
@@ -51,6 +64,11 @@ class ScheduleExplorer:
             k-concurrency gate); receives the executor and the candidate
             tuple, returns the candidates to branch on.
         max_runs: hard cap on completed+truncated runs (safety valve).
+        checkpoint_stride: take an executor checkpoint every this many
+            levels of descent; sibling expansion replays at most this
+            many suffix steps on top of a cheap restore.
+        dedup: prune states whose fingerprint was already explored
+            (opt-in; changes node counts, never the verdict).
     """
 
     def __init__(
@@ -60,28 +78,101 @@ class ScheduleExplorer:
         max_depth: int,
         candidate_filter: Callable | None = None,
         max_runs: int = 200_000,
+        checkpoint_stride: int = 4,
+        dedup: bool = False,
     ) -> None:
+        if checkpoint_stride < 1:
+            raise ValueError("checkpoint_stride must be >= 1")
         self.system_builder = system_builder
         self.max_depth = max_depth
         self.candidate_filter = candidate_filter
         self.max_runs = max_runs
-        self._cache: tuple[tuple[ProcessId, ...], Executor] | None = None
+        self.checkpoint_stride = checkpoint_stride
+        self.dedup = dedup
+        #: schedule prefix of the executor most recently produced by
+        #: :meth:`_executor_for` (the node currently being visited).
+        self.current_schedule: tuple[ProcessId, ...] = ()
+        self._current: Executor | None = None
+        self._system: System | None = None
+        # Replay executors are driven via step_trusted and never consult
+        # their scheduler, so a single inert one serves them all.
+        self._scheduler = ExplicitScheduler([], strict=False)
+        #: stack of (schedule prefix, checkpoint), shallowest first
+        self._checkpoints: list[
+            tuple[tuple[ProcessId, ...], ExecutorCheckpoint]
+        ] = []
 
-    def _executor_for(self, schedule: tuple[ProcessId, ...]) -> Executor:
-        if self._cache is not None:
-            prefix, executor = self._cache
-            if len(schedule) == len(prefix) + 1 and schedule[:-1] == prefix:
-                executor.step(schedule[-1])
-                self._cache = (schedule, executor)
-                return executor
-        executor = Executor(
-            self.system_builder(),
-            ExplicitScheduler([], strict=False),
+    # -- executor management -------------------------------------------
+
+    def _shared_system(self) -> System:
+        """One system instance serves every replay executor: systems are
+        immutable during execution (all run state lives in the executor)
+        and histories are pure functions of (process, time), so replays
+        observe identical behaviour while skipping the per-replay
+        system construction."""
+        if self._system is None:
+            self._system = self.system_builder()
+        return self._system
+
+    def _fresh_executor(self) -> Executor:
+        return Executor(
+            self._shared_system(),
+            self._scheduler,
             max_steps=self.max_depth + 1,
+            record_results=True,
         )
-        for pid in schedule:
-            executor.step(pid)
-        self._cache = (schedule, executor)
+
+    def _maybe_checkpoint(
+        self, schedule: tuple[ProcessId, ...], executor: Executor
+    ) -> None:
+        depth = len(schedule)
+        if depth and depth % self.checkpoint_stride == 0:
+            if not self._checkpoints or len(self._checkpoints[-1][0]) < depth:
+                self._checkpoints.append((schedule, executor.checkpoint()))
+
+    def _executor_for(
+        self,
+        schedule: tuple[ProcessId, ...],
+        parent: tuple[ProcessId, ...] | None = None,
+    ) -> Executor:
+        # Fast path: descending one step from the node just visited.
+        # ``parent`` is the caller's own schedule *object*; the identity
+        # check is O(1) and can only under-approximate (an equal tuple
+        # that is a different object falls through to the replay path).
+        if (
+            parent is not None
+            and self.current_schedule is parent
+            and self._current is not None
+        ):
+            executor = self._current
+            executor.step_trusted(schedule[-1])
+            self.current_schedule = schedule
+            self._maybe_checkpoint(schedule, executor)
+            return executor
+        # Backtrack: drop checkpoints that are not a prefix of the
+        # target, restore the deepest surviving one, replay the suffix.
+        while self._checkpoints:
+            prefix, _ = self._checkpoints[-1]
+            if schedule[: len(prefix)] == prefix:
+                break
+            self._checkpoints.pop()
+        if self._checkpoints:
+            prefix, checkpoint = self._checkpoints[-1]
+            executor = Executor.restore(
+                self._shared_system(),
+                self._scheduler,
+                checkpoint,
+                max_steps=self.max_depth + 1,
+            )
+            replay_from = len(prefix)
+        else:
+            executor = self._fresh_executor()
+            replay_from = 0
+        for depth in range(replay_from, len(schedule)):
+            executor.step_trusted(schedule[depth])
+            self._maybe_checkpoint(schedule[: depth + 1], executor)
+        self.current_schedule = schedule
+        self._current = executor
         return executor
 
     def _branches(self, executor: Executor) -> Sequence[ProcessId]:
@@ -89,6 +180,8 @@ class ScheduleExplorer:
         if self.candidate_filter is not None:
             candidates = tuple(self.candidate_filter(executor, candidates))
         return candidates
+
+    # -- exploration ----------------------------------------------------
 
     def check(
         self, verdict: Callable[[Executor], bool | None]
@@ -98,7 +191,12 @@ class ScheduleExplorer:
         pruned), or ``None`` (finished successfully — e.g. everyone
         decided; branch ends)."""
         report = ExplorationReport()
-        self._explore((), verdict, report)
+        seen: set[bytes] | None = set() if self.dedup else None
+        self.current_schedule = ()
+        self._current = None
+        self._system = None
+        self._checkpoints = []
+        self._explore((), verdict, report, seen)
         return report
 
     def _explore(
@@ -106,15 +204,23 @@ class ScheduleExplorer:
         schedule: tuple[ProcessId, ...],
         verdict: Callable[[Executor], bool | None],
         report: ExplorationReport,
+        seen: set[bytes] | None,
+        parent: tuple[ProcessId, ...] | None = None,
     ) -> None:
         if report.completed_runs + report.truncated_runs >= self.max_runs:
             return
-        executor = self._executor_for(schedule)
+        executor = self._executor_for(schedule, parent)
+        if seen is not None:
+            fingerprint = executor.fingerprint()
+            if fingerprint in seen:
+                report.deduplicated += 1
+                return
+            seen.add(fingerprint)
         report.explored += 1
         outcome = verdict(executor)
         if outcome is False:
             report.violations.append(
-                (schedule, executor._result("violation"))
+                (schedule, executor.result("violation"))
             )
             return
         if outcome is None:
@@ -128,7 +234,7 @@ class ScheduleExplorer:
             report.completed_runs += 1
             return
         for pid in branches:
-            self._explore(schedule + (pid,), verdict, report)
+            self._explore(schedule + (pid,), verdict, report, seen, schedule)
 
 
 def drop_null_s_processes(executor: Executor, candidates):
@@ -156,23 +262,38 @@ def concurrency_gate(k: int):
 
 def task_safety_verdict(task):
     """Standard verdict: fail on a Delta violation, finish when all
-    participants decided."""
+    participants decided.
+
+    The verdict is a pure function of ``(system inputs, started set,
+    decided vector)`` — all of which change on only a handful of the
+    steps in a run — so outcomes are memoized on that key.  During
+    exhaustive exploration the overwhelming majority of nodes hit the
+    cache and never reach ``task.allows``.
+    """
+
+    _miss = object()
+    cache: dict = {}
 
     def verdict(executor: Executor):
-        outputs = tuple(
-            executor.decisions.get(i)
-            for i in range(executor.system.n_c)
-        )
+        started = executor.started_c
+        key = (executor.system.inputs, started, executor.decided_vector())
+        outcome = cache.get(key, _miss)
+        if outcome is not _miss:
+            return outcome
+        outputs = key[2]
         inputs = tuple(
-            v if i in executor.started_c else None
+            v if i in started else None
             for i, v in enumerate(executor.system.inputs)
         )
         if any(v is not None for v in inputs) and not task.allows(
             inputs, outputs
         ):
-            return False
-        if executor.system.participants <= executor.decided_c:
-            return None
-        return True
+            outcome = False
+        elif executor.system.participants <= executor.decided_c:
+            outcome = None
+        else:
+            outcome = True
+        cache[key] = outcome
+        return outcome
 
     return verdict

@@ -13,6 +13,7 @@ construction.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
@@ -90,6 +91,24 @@ class FailurePattern:
     def max_crash_time(self) -> int:
         """Latest crash time in the pattern (0 if failure-free)."""
         return max((t for t in self.crash_times if t is not None), default=0)
+
+    @functools.cached_property
+    def crash_transitions(self) -> tuple[tuple[int, int], ...]:
+        """``(time, index)`` pairs sorted by crash time.
+
+        The executor maintains its schedulable set incrementally: instead
+        of re-deriving aliveness for every S-process on every step, it
+        walks this precomputed schedule and retires exactly the processes
+        whose crash time has been reached.  (``cached_property`` writes
+        straight into ``__dict__``, so it coexists with ``frozen=True``.)
+        """
+        return tuple(
+            sorted(
+                (t, i)
+                for i, t in enumerate(self.crash_times)
+                if t is not None
+            )
+        )
 
 
 class Environment:

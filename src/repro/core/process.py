@@ -19,6 +19,7 @@ exhaustive model checker rely on.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
@@ -44,54 +45,64 @@ class ProcessId:
     Indices are 0-based internally; :attr:`name` renders the paper's
     1-based convention (``p1``/``q1`` for index 0).  Ordering sorts all
     C-processes before all S-processes, then by index.
+
+    The sort key, hash, and kind predicates are precomputed at
+    construction: schedulers and the executor sort, hash, and classify
+    candidate ids on every step, so all three are measured hot paths.
     """
 
     kind: ProcessKind
     index: int
 
     def _sort_key(self) -> tuple[str, int]:
-        return (self.kind.value, self.index)
+        return self._key
 
     def __lt__(self, other: "ProcessId") -> bool:
-        return self._sort_key() < other._sort_key()
+        return self._key < other._key
 
     def __le__(self, other: "ProcessId") -> bool:
-        return self._sort_key() <= other._sort_key()
+        return self._key <= other._key
 
     def __gt__(self, other: "ProcessId") -> bool:
-        return self._sort_key() > other._sort_key()
+        return self._key > other._key
 
     def __ge__(self, other: "ProcessId") -> bool:
-        return self._sort_key() >= other._sort_key()
+        return self._key >= other._key
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __post_init__(self) -> None:
         if self.index < 0:
             raise ValueError(f"process index must be non-negative, got {self.index}")
+        key = (self.kind.value, self.index)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash((self.kind, self.index)))
+        object.__setattr__(
+            self, "is_computation", self.kind is ProcessKind.COMPUTATION
+        )
+        object.__setattr__(
+            self, "is_synchronization", self.kind is ProcessKind.SYNCHRONIZATION
+        )
 
     @property
     def name(self) -> str:
         prefix = "p" if self.kind is ProcessKind.COMPUTATION else "q"
         return f"{prefix}{self.index + 1}"
 
-    @property
-    def is_computation(self) -> bool:
-        return self.kind is ProcessKind.COMPUTATION
-
-    @property
-    def is_synchronization(self) -> bool:
-        return self.kind is ProcessKind.SYNCHRONIZATION
-
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 
 
+@functools.lru_cache(maxsize=None)
 def c_process(index: int) -> ProcessId:
-    """The C-process with the given 0-based index."""
+    """The C-process with the given 0-based index (ids are interned)."""
     return ProcessId(ProcessKind.COMPUTATION, index)
 
 
+@functools.lru_cache(maxsize=None)
 def s_process(index: int) -> ProcessId:
-    """The S-process with the given 0-based index."""
+    """The S-process with the given 0-based index (ids are interned)."""
     return ProcessId(ProcessKind.SYNCHRONIZATION, index)
 
 

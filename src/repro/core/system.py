@@ -92,6 +92,12 @@ class System:
         self.detector = detector
         self.seed = seed
         self.history: History = self._build_history()
+        #: cached — the executor reads this once per step when building
+        #: scheduler views, and inputs are immutable.
+        self.participants: frozenset[int] = frozenset(
+            i for i, v in enumerate(self.inputs) if v is not None
+        )
+        self._contexts: dict[ProcessId, ProcessContext] = {}
 
     def _build_history(self) -> History:
         if self.detector is None:
@@ -99,22 +105,22 @@ class System:
         rng = random.Random(self.seed)
         return self.detector.build_history(self.pattern, rng)
 
-    @property
-    def participants(self) -> frozenset[int]:
-        return frozenset(
-            i for i, v in enumerate(self.inputs) if v is not None
-        )
-
     def context_for(self, pid: ProcessId) -> ProcessContext:
-        input_value = (
-            self.inputs[pid.index] if pid.is_computation else None
-        )
-        return ProcessContext(
-            pid=pid,
-            n_computation=self.n_c,
-            n_synchronization=self.n_s,
-            input_value=input_value,
-        )
+        # Memoized: contexts are immutable and checkpoint restores
+        # re-request them for every rebuilt generator.
+        ctx = self._contexts.get(pid)
+        if ctx is None:
+            input_value = (
+                self.inputs[pid.index] if pid.is_computation else None
+            )
+            ctx = ProcessContext(
+                pid=pid,
+                n_computation=self.n_c,
+                n_synchronization=self.n_s,
+                input_value=input_value,
+            )
+            self._contexts[pid] = ctx
+        return ctx
 
     def all_pids(self) -> tuple[ProcessId, ...]:
         return tuple(

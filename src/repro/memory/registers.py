@@ -7,6 +7,21 @@ by prefix.  Unwritten registers hold ``None`` (the paper's bottom).
 
 All operations are applied atomically by the executor, giving the
 standard atomic (linearizable) register semantics assumed by the paper.
+
+Performance notes
+-----------------
+``snapshot(prefix)`` used to scan every cell on every call, making the
+snapshot-heavy algorithms O(total registers) per step.  The file now
+keeps a *bucket index* keyed by each name's directory part (everything
+up to and including the last ``/``), so the overwhelmingly common
+directory-style prefixes (``inp/``, ``x/lev/``) cost O(matching
+registers).  Snapshot results preserve the legacy ordering exactly:
+within one bucket, insertion order; for the empty prefix or a prefix
+spanning several buckets, the original global-scan order.
+
+``copy()`` is copy-on-write: the clone shares cell storage with its
+source until either side first mutates, which makes executor
+checkpointing and chaos replay paths cheap when the copy is read-only.
 """
 
 from __future__ import annotations
@@ -19,29 +34,92 @@ if TYPE_CHECKING:  # imported lazily to avoid a memory <-> runtime cycle
     from ..runtime import ops
 
 
+def _bucket_of(name: str) -> str:
+    """Directory part of a register name (empty for flat names)."""
+    cut = name.rfind("/")
+    return "" if cut < 0 else name[: cut + 1]
+
+
 class RegisterFile:
     """A mapping from register names to values with atomic step semantics."""
 
     def __init__(self) -> None:
+        #: canonical storage, in global insertion order
         self._cells: dict[str, Any] = {}
+        #: bucket key -> {full name -> value}; values alias ``_cells``
+        self._buckets: dict[str, dict[str, Any]] = {}
+        #: True while ``_cells``/``_buckets`` are shared with a copy
+        self._shared = False
+
+    # -- copy-on-write plumbing ----------------------------------------
+
+    def _own(self) -> None:
+        """Materialize private storage before the first mutation."""
+        if self._shared:
+            self._cells = dict(self._cells)
+            self._buckets = {
+                key: dict(bucket) for key, bucket in self._buckets.items()
+            }
+            self._shared = False
+
+    def copy(self) -> "RegisterFile":
+        """O(1) copy-on-write clone (either side pays on first mutation)."""
+        clone = RegisterFile.__new__(RegisterFile)
+        clone._cells = self._cells
+        clone._buckets = self._buckets
+        clone._shared = True
+        self._shared = True
+        return clone
+
+    # -- operations -----------------------------------------------------
 
     def read(self, name: str) -> Any:
         return self._cells.get(name)
 
     def write(self, name: str, value: Any) -> None:
+        self._own()
         self._cells[name] = value
+        bucket = self._buckets.get(_bucket_of(name))
+        if bucket is None:
+            bucket = self._buckets[_bucket_of(name)] = {}
+        bucket[name] = value
 
     def compare_and_swap(self, name: str, expected: Any, new: Any) -> Any:
         """Returns the prior value; the write happened iff it equals
         ``expected``."""
         prior = self._cells.get(name)
         if prior == expected:
-            self._cells[name] = new
+            self.write(name, new)
         return prior
 
     def snapshot(self, prefix: str) -> dict[str, Any]:
         """Atomic view of every written register whose name starts with
         ``prefix``."""
+        if not prefix:
+            return dict(self._cells)
+        # A name matches iff (a) it lives in the bucket named by the
+        # prefix's own directory part and its leaf extends the prefix, or
+        # (b) its whole bucket key extends the prefix.  Leaves contain no
+        # "/", so exactly one bucket can contribute partial matches.
+        home_key = _bucket_of(prefix)
+        home = self._buckets.get(home_key)
+        spanning = [
+            key
+            for key in self._buckets
+            if key != home_key and key.startswith(prefix)
+        ]
+        if not spanning:
+            if home is None:
+                return {}
+            if home_key == prefix:
+                return dict(home)
+            return {
+                name: value
+                for name, value in home.items()
+                if name.startswith(prefix)
+            }
+        # Rare multi-bucket prefix: fall back to the global scan so the
+        # result order is identical to the pre-index implementation.
         return {
             name: value
             for name, value in self._cells.items()
@@ -53,11 +131,6 @@ class RegisterFile:
 
     def __len__(self) -> int:
         return len(self._cells)
-
-    def copy(self) -> "RegisterFile":
-        clone = RegisterFile()
-        clone._cells = dict(self._cells)
-        return clone
 
 
 def apply_operation(memory: RegisterFile, op: "ops.Operation") -> Any:

@@ -24,7 +24,14 @@ class TraceEvent:
 
 
 class Trace:
-    """An append-only sequence of :class:`TraceEvent`."""
+    """An append-only sequence of :class:`TraceEvent`.
+
+    Callers on hot paths should check :attr:`enabled` *before*
+    constructing a :class:`TraceEvent` — the executor does — so that a
+    disabled trace costs neither the allocation nor the call.
+    :meth:`record` keeps its own guard as a backstop for callers that
+    construct events unconditionally.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled

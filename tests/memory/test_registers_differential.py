@@ -1,0 +1,136 @@
+"""Differential tests: the bucketed, copy-on-write register file must be
+observationally identical to a plain dict-scan reference."""
+
+import random
+
+from repro.memory import RegisterFile
+
+
+class ReferenceFile:
+    """The pre-index semantics: one dict, snapshots scan every cell."""
+
+    def __init__(self):
+        self.cells = {}
+
+    def read(self, name):
+        return self.cells.get(name)
+
+    def write(self, name, value):
+        self.cells[name] = value
+
+    def compare_and_swap(self, name, expected, new):
+        prior = self.cells.get(name)
+        if prior == expected:
+            self.cells[name] = new
+        return prior
+
+    def snapshot(self, prefix):
+        return {
+            name: value
+            for name, value in self.cells.items()
+            if name.startswith(prefix)
+        }
+
+
+NAMES = [
+    "flat",
+    "other",
+    "inp/0",
+    "inp/1",
+    "inp/2",
+    "a/0",
+    "a/1",
+    "a/b/0",
+    "a/b/1",
+    "a/b/c/0",
+    "x/lev/3",
+    "x/lev/7",
+    "x/other",
+]
+
+PREFIXES = ["", "inp/", "a/", "a/b/", "a/b", "x/", "x/lev/", "fla", "zzz", "a"]
+
+
+def random_ops(rng, count):
+    for _ in range(count):
+        roll = rng.random()
+        name = rng.choice(NAMES)
+        if roll < 0.45:
+            yield ("write", name, rng.randrange(100))
+        elif roll < 0.6:
+            yield ("cas", name, rng.randrange(4), rng.randrange(100))
+        elif roll < 0.8:
+            yield ("read", name)
+        else:
+            yield ("snapshot", rng.choice(PREFIXES))
+
+
+class TestDifferential:
+    def test_random_sequences_match_reference(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            real, ref = RegisterFile(), ReferenceFile()
+            for op in random_ops(rng, 300):
+                if op[0] == "write":
+                    real.write(op[1], op[2])
+                    ref.write(op[1], op[2])
+                elif op[0] == "cas":
+                    assert real.compare_and_swap(
+                        op[1], op[2], op[3]
+                    ) == ref.compare_and_swap(op[1], op[2], op[3])
+                elif op[0] == "read":
+                    assert real.read(op[1]) == ref.read(op[1])
+                else:
+                    got, want = real.snapshot(op[1]), ref.snapshot(op[1])
+                    # Same content AND same (insertion) order: snapshot
+                    # iteration order is observable by automata.
+                    assert list(got.items()) == list(want.items())
+
+    def test_snapshots_survive_copies_mid_sequence(self):
+        rng = random.Random(99)
+        real, ref = RegisterFile(), ReferenceFile()
+        for i, op in enumerate(random_ops(rng, 300)):
+            if i % 37 == 0:
+                # Exercise the COW path: clone, diverge the clone, and
+                # check the original is unaffected.
+                before = real.read("clone/only")
+                clone = real.copy()
+                clone.write("clone/only", i)
+                assert real.read("clone/only") == before
+                if i % 2:
+                    real = clone
+                    ref.write("clone/only", i)
+            if op[0] == "write":
+                real.write(op[1], op[2])
+                ref.write(op[1], op[2])
+            elif op[0] == "snapshot":
+                assert real.snapshot(op[1]) == ref.snapshot(op[1])
+
+
+class TestCopyOnWrite:
+    def test_clone_sees_state_at_copy_time(self):
+        mem = RegisterFile()
+        mem.write("a/0", 1)
+        clone = mem.copy()
+        mem.write("a/0", 2)
+        mem.write("a/1", 3)
+        assert clone.snapshot("a/") == {"a/0": 1}
+        assert mem.snapshot("a/") == {"a/0": 2, "a/1": 3}
+
+    def test_chain_of_copies(self):
+        mem = RegisterFile()
+        mem.write("r", 0)
+        copies = []
+        for i in range(1, 5):
+            copies.append(mem.copy())
+            mem.write("r", i)
+        assert [c.read("r") for c in copies] == [0, 1, 2, 3]
+        assert mem.read("r") == 4
+
+    def test_clone_of_clone_without_mutation(self):
+        mem = RegisterFile()
+        mem.write("r", "x")
+        a = mem.copy()
+        b = a.copy()
+        b.write("r", "y")
+        assert (mem.read("r"), a.read("r"), b.read("r")) == ("x", "x", "y")

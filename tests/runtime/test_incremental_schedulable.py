@@ -1,0 +1,143 @@
+"""Differential test: the executor's incrementally-maintained
+schedulable set must equal a from-scratch oracle at every step, across
+randomized runs with crashes, decisions, halts, and non-participants."""
+
+import random
+
+import pytest
+
+from repro.core import System
+from repro.core.failures import FailurePattern
+from repro.core.process import c_process, s_process
+from repro.errors import SchedulingError
+from repro.runtime import Executor, ops
+
+
+def oracle_schedulable(executor):
+    """Recompute the legal candidate set from first principles."""
+    system = executor.system
+    out = []
+    for i in range(system.n_c):
+        pid = c_process(i)
+        slot = executor._slots[pid]
+        if slot.halted:
+            continue
+        if system.inputs[i] is None:
+            continue
+        if i in executor.decisions:
+            continue
+        out.append(pid)
+    for i in range(system.n_s):
+        pid = s_process(i)
+        slot = executor._slots[pid]
+        if slot.halted:
+            continue
+        crash = system.pattern.crash_times[i]
+        if crash is not None and crash <= executor.time:
+            continue
+        out.append(pid)
+    return tuple(out)
+
+
+def make_c_factory(work_steps, decide_value):
+    """A C-automaton that does ``work_steps`` memory ops then decides
+    (``decide_value is None`` halts without deciding instead)."""
+
+    def factory(ctx):
+        me = ctx.pid.index
+        for step in range(work_steps):
+            if step % 3 == 2:
+                yield ops.Read(f"w/{(me + 1) % ctx.n_computation}")
+            else:
+                yield ops.Write(f"w/{me}", step)
+        if decide_value is not None:
+            yield ops.Decide(decide_value)
+
+    return factory
+
+
+def make_s_factory(work_steps):
+    """An S-automaton that snapshots for a while, then halts."""
+
+    def factory(ctx):
+        for _ in range(work_steps):
+            yield ops.Snapshot("w/")
+
+    return factory
+
+
+def random_system(rng):
+    n = rng.randrange(2, 5)
+    inputs = tuple(
+        rng.randrange(10) if rng.random() < 0.8 else None for _ in range(n)
+    )
+    if all(v is None for v in inputs):
+        inputs = (0,) + inputs[1:]
+    c_factories = [
+        make_c_factory(
+            rng.randrange(0, 12),
+            rng.randrange(5) if rng.random() < 0.8 else None,
+        )
+        for _ in range(n)
+    ]
+    s_factories = [make_s_factory(rng.randrange(0, 20)) for _ in range(n)]
+    crash_times = tuple(
+        rng.randrange(0, 30) if rng.random() < 0.4 else None
+        for _ in range(n)
+    )
+    if all(t is not None for t in crash_times):
+        crash_times = crash_times[:-1] + (None,)  # someone must survive
+    return System(
+        inputs=inputs,
+        c_factories=c_factories,
+        s_factories=s_factories,
+        pattern=FailurePattern(n, crash_times),
+    )
+
+
+class TestIncrementalSchedulable:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_oracle_throughout_random_runs(self, seed):
+        rng = random.Random(seed)
+        system = random_system(rng)
+        executor = Executor(system, scheduler=None)
+        assert executor.schedulable() == oracle_schedulable(executor)
+        for _ in range(200):
+            candidates = executor.schedulable()
+            if not candidates:
+                break
+            executor.step(rng.choice(candidates))
+            assert executor.schedulable() == oracle_schedulable(executor)
+
+    def test_crashed_s_process_is_rejected(self):
+        system = System(
+            inputs=(1, 2),
+            c_factories=[make_c_factory(4, 0)] * 2,
+            s_factories=[make_s_factory(50)] * 2,
+            pattern=FailurePattern(2, (0, None)),
+        )
+        executor = Executor(system, scheduler=None)
+        assert s_process(0) not in executor.schedulable()
+        with pytest.raises(SchedulingError):
+            executor.step(s_process(0))
+
+    def test_decided_process_is_retired(self):
+        system = System(inputs=(7,), c_factories=[make_c_factory(0, 42)])
+        executor = Executor(system, scheduler=None)
+        executor.step(c_process(0))  # first step writes the input
+        executor.step(c_process(0))  # decide
+        assert executor.decisions == {0: 42}
+        assert c_process(0) not in executor.schedulable()
+        with pytest.raises(SchedulingError):
+            executor.step(c_process(0))
+
+    def test_non_participant_never_schedulable(self):
+        system = System(
+            inputs=(1, None),
+            c_factories=[make_c_factory(2, 0), make_c_factory(2, 0)],
+        )
+        executor = Executor(system, scheduler=None)
+        for _ in range(30):  # the null S-automata never halt; bound it
+            candidates = executor.schedulable()
+            assert c_process(1) not in candidates
+            executor.step(candidates[0])
