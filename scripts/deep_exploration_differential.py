@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Deep naive-vs-reduced exploration differential.
+
+Runs the exhaustive task-safety check at depths too slow for per-PR CI
+and fails if any reduction (por / dedup / symmetry, in the strongest
+combinations) reports a different verdict than the naive explorer, or
+if pure sleep-set POR visits a different state *set*.  Wired to the
+scheduled `deep-exploration` CI job; runnable locally:
+
+    PYTHONPATH=src python scripts/deep_exploration_differential.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _figure4_case(n, j, l, inputs):
+    from repro.algorithms.renaming_figure4 import figure4_factories
+    from repro.checker import drop_null_s_processes
+    from repro.core import System
+    from repro.tasks import RenamingTask
+
+    task = RenamingTask(n, j, l)
+
+    def build():
+        return System(inputs=inputs, c_factories=figure4_factories(n))
+
+    return task, build, drop_null_s_processes
+
+
+def _kset_case(n, k, inputs):
+    from repro.algorithms.kset_concurrent import kset_concurrent_factories
+    from repro.checker import concurrency_gate, drop_null_s_processes
+    from repro.core import System
+    from repro.tasks import SetAgreementTask
+
+    task = SetAgreementTask(n, k)
+
+    def build():
+        return System(
+            inputs=inputs, c_factories=kset_concurrent_factories(n, k)
+        )
+
+    def gate(executor, candidates):
+        return concurrency_gate(k)(
+            executor, drop_null_s_processes(executor, candidates)
+        )
+
+    return task, build, gate
+
+
+def _explore(task, build, gate, depth, collect_states=False, **knobs):
+    from repro.checker import ScheduleExplorer, task_safety_verdict
+
+    states = set()
+    base = task_safety_verdict(task)
+
+    def verdict(executor):
+        if collect_states:
+            states.add(executor.fingerprint())
+        return base(executor)
+
+    explorer = ScheduleExplorer(
+        build,
+        max_depth=depth,
+        candidate_filter=gate,
+        max_runs=5_000_000,
+        **knobs,
+    )
+    t0 = time.perf_counter()
+    report = explorer.check(verdict)
+    wall = time.perf_counter() - t0
+    return report, states, wall
+
+
+# (name, case, depth, compare-state-sets, reduction configs)
+MATRIX = [
+    (
+        "figure4-renaming-d18",
+        _figure4_case(3, 2, 3, (1, 2, None)),
+        18,
+        True,
+        [
+            {"por": True},
+            {"por": True, "dedup": True},
+            {"symmetry": True, "por": True, "dedup": True},
+        ],
+    ),
+    (
+        "kset-symmetric-d18",
+        _kset_case(4, 2, (1, 1, 1, 1)),
+        18,
+        False,  # naive state collection at this depth is the slow part
+        [
+            {"por": True, "dedup": True},
+            {"symmetry": True, "dedup": True},
+            {"symmetry": True, "por": True, "dedup": True},
+        ],
+    ),
+    (
+        # ~600k naive nodes: the slow half of this job.
+        "figure4-4proc-d12",
+        _figure4_case(4, 3, 5, (1, 2, 3, None)),
+        12,
+        False,
+        [
+            {"por": True},
+            {"por": True, "dedup": True},
+            {"symmetry": True, "por": True, "dedup": True},
+        ],
+    ),
+    (
+        # ~3.6M naive nodes, five processes, mixed inputs.
+        "kset-5proc-d18",
+        _kset_case(5, 2, (1, 1, 1, 1, 2)),
+        18,
+        False,
+        [
+            {"por": True, "dedup": True},
+            {"symmetry": True, "por": True, "dedup": True},
+        ],
+    ),
+    (
+        "kset-mixed-d16",
+        _kset_case(3, 2, (1, 1, 0)),
+        16,
+        True,
+        [
+            {"por": True},
+            {"por": True, "dedup": True},
+            {"symmetry": True, "por": True, "dedup": True},
+        ],
+    ),
+]
+
+
+def main() -> int:
+    failures = []
+    for name, (task, build, gate), depth, check_states, configs in MATRIX:
+        naive, naive_states, wall = _explore(
+            task, build, gate, depth, collect_states=check_states
+        )
+        print(
+            f"{name}: naive {naive.explored} nodes, ok={naive.ok} "
+            f"({wall:.1f}s)"
+        )
+        for knobs in configs:
+            tag = "+".join(sorted(k for k, v in knobs.items() if v))
+            pure_por = knobs == {"por": True}
+            reduced, reduced_states, wall = _explore(
+                task, build, gate, depth,
+                collect_states=check_states and pure_por,
+                **knobs,
+            )
+            print(
+                f"{name}: {tag} {reduced.explored} nodes, "
+                f"ok={reduced.ok} ({wall:.1f}s)"
+            )
+            if reduced.ok != naive.ok:
+                failures.append(
+                    f"{name} [{tag}]: verdict {reduced.ok} != "
+                    f"naive {naive.ok}"
+                )
+            if bool(reduced.violations) != bool(naive.violations):
+                failures.append(
+                    f"{name} [{tag}]: violation presence differs"
+                )
+            if check_states and pure_por and reduced_states != naive_states:
+                failures.append(
+                    f"{name} [por]: visited-state set differs from naive "
+                    f"({len(reduced_states)} vs {len(naive_states)})"
+                )
+    if failures:
+        print("\nDIFFERENTIAL FAILURES:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nall deep differentials agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ Quickstart::
     print(result.outputs)
 """
 
-from .api import solve_task, solve_task_restricted
+from .api import solve_task, solve_task_restricted, verify_run
 from .core import (
     Environment,
     FailurePattern,
@@ -40,6 +40,7 @@ __version__ = "1.0.0"
 __all__ = [
     "solve_task",
     "solve_task_restricted",
+    "verify_run",
     "Environment",
     "FailurePattern",
     "ProcessId",

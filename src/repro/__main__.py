@@ -3,6 +3,11 @@
 Commands:
     hierarchy [--n N]       print the Theorem 10 task hierarchy table
     solve TASK [--seed S]   run a built-in task through the solver
+    check TASK              exhaustively certify a built-in restricted
+                            algorithm over every gated interleaving of
+                            one small instance (explorer knobs:
+                            --depth, --checkpoint-stride, --dedup,
+                            --por, --symmetry)
     check-renaming J NAMES  decide 2-process solvability of strong
                             2-renaming with the given namespace size
     extract                 run the Figure 1 extraction demo
@@ -54,6 +59,88 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"outputs  : {result.outputs}")
     print(f"steps    : {result.steps}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import time
+
+    from .algorithms.dispatch import (
+        algorithm_for_task,
+        default_inputs,
+        task_concurrency_class,
+    )
+    from .classify import explore_k_concurrent
+    from .tasks import (
+        ConsensusTask,
+        RenamingTask,
+        SetAgreementTask,
+        WeakSymmetryBreakingTask,
+    )
+
+    if args.task == "consensus":
+        task = ConsensusTask(args.n)
+    elif args.task == "set-agreement":
+        task = SetAgreementTask(args.n, args.k)
+    elif args.task == "renaming":
+        task = RenamingTask(args.n, args.n - 1, args.n - 1 + args.k - 1)
+    elif args.task == "wsb":
+        task = WeakSymmetryBreakingTask(args.n, args.n - 1)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.task)
+    k = args.k if args.task != "wsb" else task_concurrency_class(task)
+    factories = algorithm_for_task(task, k)
+    if args.inputs:
+        parts = args.inputs.split(",")
+        if len(parts) != args.n:
+            print(f"--inputs needs {args.n} comma-separated values")
+            return 2
+        inputs = tuple(
+            None if part.strip().lower() in ("none", "-") else int(part)
+            for part in parts
+        )
+        if not task.is_input(inputs):
+            print(f"{inputs} is not a valid input vector for {task.name}")
+            return 2
+    else:
+        inputs = default_inputs(task)
+    t0 = time.perf_counter()
+    report = explore_k_concurrent(
+        task,
+        factories,
+        k,
+        inputs,
+        max_depth=args.depth,
+        max_runs=args.max_runs,
+        checkpoint_stride=args.checkpoint_stride,
+        dedup=args.dedup,
+        por=args.por,
+        symmetry=args.symmetry,
+    )
+    wall = time.perf_counter() - t0
+    print(f"task       : {task.name}")
+    print(f"inputs     : {inputs}")
+    print(f"concurrency: {k}")
+    print(
+        f"explored   : {report.explored} nodes in {wall:.2f}s "
+        f"(depth {args.depth})"
+    )
+    print(
+        f"runs       : {report.completed_runs} completed, "
+        f"{report.truncated_runs} truncated"
+    )
+    print(
+        f"pruned     : {report.deduplicated} dedup, "
+        f"{report.por_pruned} por, {report.symmetry_pruned} symmetry"
+    )
+    if report.ok:
+        print("verdict    : OK — no interleaving leaves the task relation")
+        return 0
+    schedule, _ = report.violations[0]
+    print(
+        f"verdict    : {len(report.violations)} VIOLATION(S); first "
+        f"witness: {[str(pid) for pid in schedule]}"
+    )
+    return 1
 
 
 def _cmd_check_renaming(args: argparse.Namespace) -> int:
@@ -206,6 +293,70 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--k", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "check",
+        help="exhaustively certify a restricted algorithm "
+        "(explorer knobs exposed)",
+    )
+    p.add_argument(
+        "task",
+        choices=["consensus", "set-agreement", "renaming", "wsb"],
+    )
+    p.add_argument(
+        "--n", type=int, default=3, help="C-process count (default 3)"
+    )
+    p.add_argument(
+        "--k",
+        type=int,
+        default=2,
+        help="concurrency level / task parameter (default 2)",
+    )
+    p.add_argument(
+        "--depth",
+        type=int,
+        default=14,
+        help="schedule-length bound of the exploration (default 14)",
+    )
+    p.add_argument(
+        "--max-runs",
+        type=int,
+        default=200_000,
+        help="hard cap on completed+truncated runs (default 200000)",
+    )
+    p.add_argument(
+        "--checkpoint-stride",
+        type=int,
+        default=4,
+        help="executor checkpoint every N levels of descent; trades "
+        "checkpoint memory against suffix replay (default 4)",
+    )
+    p.add_argument(
+        "--dedup",
+        action="store_true",
+        help="prune states whose fingerprint was already explored "
+        "(changes node counts, never the verdict)",
+    )
+    p.add_argument(
+        "--por",
+        action="store_true",
+        help="sleep-set partial-order reduction: prune sibling orders "
+        "of commuting steps (changes node counts, never the verdict)",
+    )
+    p.add_argument(
+        "--symmetry",
+        action="store_true",
+        help="prune interchangeable same-input C-processes and "
+        "canonicalize dedup fingerprints over process orbits",
+    )
+    p.add_argument(
+        "--inputs",
+        default=None,
+        help="comma-separated input vector overriding the task default "
+        "('none' or '-' marks a non-participant), e.g. 1,1,1,1 or "
+        "1,2,none",
+    )
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser(
         "check-renaming", help="Lemma 11 solvability crossover"

@@ -49,6 +49,14 @@ from . import paxos
 #: abstract simulation runs "restricted input-less algorithms" (App. C.1).
 CODE_TOKEN = "f2-token"
 
+#: Leader patience window, in own-loop iterations per position of rank.
+#: A rank-``j`` leader watches the current log instance for ``j *
+#: PATIENCE`` of its own iterations before contending it, giving the
+#: rank-0 leader (who needs about one proposal's worth of steps) room to
+#: decide uncontested.  Purely a liveness/performance device: consensus
+#: safety never depends on who proposes when.
+PATIENCE = 8
+
 
 @dataclass
 class F2Spec:
@@ -128,6 +136,8 @@ def figure2_c_factory(spec: F2Spec, simulator_index: int):
         replica = spec.make_replica()
         t = 0
         ballot_round = 0
+        waited = 0
+        backoff = 0
         mirrored: set[int] = set()
         while True:
             # Depart as soon as our own result exists (Figure 2 line 28).
@@ -150,6 +160,8 @@ def figure2_c_factory(spec: F2Spec, simulator_index: int):
                 _apply_entry(spec, replica, entry)
                 t += 1
                 ballot_round = 0
+                waited = 0
+                backoff = 0
                 continue
             # Lead while few simulators are registered.
             active_cells = yield ops.Snapshot(f"{spec.name}/R/")
@@ -160,6 +172,19 @@ def figure2_c_factory(spec: F2Spec, simulator_index: int):
             )
             if len(active) <= spec.k and me in active:
                 j = active.index(me)
+                # Defer to lower-ranked leaders first, and after an
+                # aborted proposal hold back for a stretch that grows
+                # with the round at a per-slot slope — two persistent
+                # rivals' retry cadences diverge until one proposal
+                # lands uncontested (the E-CHAOS lock-step livelock).
+                if waited < j * PATIENCE:
+                    waited += 1
+                    yield ops.Nop()
+                    continue
+                if backoff > 0:
+                    backoff -= 1
+                    yield ops.Nop()
+                    continue
                 inputs_snapshot = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
                 decided = yield from paxos.propose(
                     spec.log_instance(t),
@@ -170,6 +195,7 @@ def figure2_c_factory(spec: F2Spec, simulator_index: int):
                 )
                 if decided is None:
                     ballot_round += 1
+                    backoff = (me + 1) * ballot_round
                 continue
             yield ops.Nop()
 
@@ -190,6 +216,8 @@ def figure2_s_factory(spec: F2Spec, s_index: int):
         slot = spec.n + me
         t = 0
         ballot_round = 0
+        waited = 0
+        backoff = 0
         while True:
             advice = yield ops.QueryFD()
             vector = advice if isinstance(advice, tuple) else (advice,)
@@ -197,6 +225,8 @@ def figure2_s_factory(spec: F2Spec, s_index: int):
             if entry is not None:
                 t += 1
                 ballot_round = 0
+                waited = 0
+                backoff = 0
                 continue
             ever_cells = yield ops.Snapshot(f"{spec.name}/Rever/")
             ell = len(ever_cells)
@@ -210,6 +240,20 @@ def figure2_s_factory(spec: F2Spec, s_index: int):
                 yield ops.Nop()
                 continue
             j = positions[0]
+            # Same contention damping as the C-simulators: patience
+            # proportional to the led position (two stable vector
+            # positions can pin *different* correct leaders, who would
+            # otherwise duel forever at one log instance — the E-CHAOS
+            # vecOmega-2 livelock under lock-step round-robin), plus a
+            # slot-sloped growing backoff after every aborted proposal.
+            if waited < j * PATIENCE:
+                waited += 1
+                yield ops.Nop()
+                continue
+            if backoff > 0:
+                backoff -= 1
+                yield ops.Nop()
+                continue
             inputs_snapshot = yield ops.Snapshot(INPUT_REGISTER_PREFIX)
             decided = yield from paxos.propose(
                 spec.log_instance(t),
@@ -220,6 +264,7 @@ def figure2_s_factory(spec: F2Spec, s_index: int):
             )
             if decided is None:
                 ballot_round += 1
+                backoff = (slot + 1) * ballot_round
 
     return factory
 

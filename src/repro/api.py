@@ -13,6 +13,7 @@ from typing import Any
 from .core.failures import FailurePattern
 from .core.run import RunResult
 from .core.task import Task, Vector
+from .errors import SpecificationError
 
 
 def solve_task(
@@ -64,6 +65,74 @@ def solve_task(
         trace=trace,
         check=check,
     )
+
+
+def verify_run(
+    result: RunResult,
+    task: Task,
+    *,
+    strict: bool = False,
+    exhaustive: bool = False,
+    factories: Any = None,
+    concurrency: int | None = None,
+    max_depth: int = 14,
+    max_runs: int = 200_000,
+    checkpoint_stride: int = 4,
+    dedup: bool = False,
+    por: bool = False,
+    symmetry: bool = False,
+) -> RunResult:
+    """Verify one run against ``task`` (wait-freedom + task relation);
+    returns the result for chaining.
+
+    ``strict=True`` additionally requires a traced, hazard-free run
+    (see :func:`repro.analysis.verify.verify_run`).
+
+    ``exhaustive=True`` hardens the spot check into a certificate: the
+    run's input vector is re-explored over *every*
+    ``concurrency``-concurrent interleaving (up to ``max_depth``) of
+    the restricted algorithm ``factories``, raising
+    :class:`~repro.errors.SafetyViolation` if any interleaving leaves
+    the task relation.  The remaining keywords are the
+    :class:`~repro.checker.explorer.ScheduleExplorer` knobs:
+    ``checkpoint_stride`` trades checkpoint memory against replay
+    work, while ``dedup`` / ``por`` / ``symmetry`` are the opt-in
+    state, partial-order, and process-symmetry reductions (they change
+    node counts, never the verdict).
+    """
+    from .analysis.verify import verify_run as _verify
+
+    _verify(result, task, strict=strict)
+    if exhaustive:
+        if factories is None or concurrency is None:
+            raise SpecificationError(
+                "exhaustive verification needs the restricted algorithm "
+                "(factories=...) and its concurrency level "
+                "(concurrency=...)"
+            )
+        from .classify import explore_k_concurrent
+        from .errors import SafetyViolation
+
+        report = explore_k_concurrent(
+            task,
+            factories,
+            concurrency,
+            result.inputs,
+            max_depth=max_depth,
+            max_runs=max_runs,
+            checkpoint_stride=checkpoint_stride,
+            dedup=dedup,
+            por=por,
+            symmetry=symmetry,
+        )
+        if not report.ok:
+            schedule, _ = report.violations[0]
+            raise SafetyViolation(
+                f"{len(report.violations)} interleaving(s) violate "
+                f"{task.name}; first witness schedule: "
+                f"{[str(pid) for pid in schedule]}"
+            )
+    return result
 
 
 def solve_task_restricted(

@@ -27,6 +27,9 @@ RATE_KEYS = {
     "executor_crashes": "steps_per_s",
     "executor_snapshot": "steps_per_s",
     "explorer_figure4_d16": "explored_per_s",
+    "explorer_por_figure4_d16": "explored_per_s",
+    "explorer_por_deep_renaming": "explored_per_s",
+    "explorer_symmetry_kset": "explored_per_s",
     "campaign_smoke": "cells_per_s",
 }
 
@@ -83,25 +86,11 @@ def _bench_executor(
     }
 
 
-def _bench_explorer(max_depth: int) -> dict[str, Any]:
-    """The standard exploration benchmark: exhaustive task-safety check
-    of the Figure 4 renaming algorithm, two participants of three."""
-    from .algorithms.renaming_figure4 import figure4_factories
-    from .checker import (
-        ScheduleExplorer,
-        drop_null_s_processes,
-        task_safety_verdict,
-    )
-    from .core import System
-    from .tasks import RenamingTask
-
-    task = RenamingTask(3, 2, 3)
-
-    def build():
-        return System(inputs=(1, 2, None), c_factories=figure4_factories(3))
+def _run_explorer(task, build, max_depth, gate=None, **knobs) -> dict[str, Any]:
+    from .checker import ScheduleExplorer, task_safety_verdict
 
     explorer = ScheduleExplorer(
-        build, max_depth=max_depth, candidate_filter=drop_null_s_processes
+        build, max_depth=max_depth, candidate_filter=gate, **knobs
     )
     t0 = time.perf_counter()
     report = explorer.check(task_safety_verdict(task))
@@ -112,7 +101,85 @@ def _bench_explorer(max_depth: int) -> dict[str, Any]:
         "explored": report.explored,
         "completed": report.completed_runs,
         "violations": len(report.violations),
+        "por_pruned": report.por_pruned,
+        "symmetry_pruned": report.symmetry_pruned,
+        "deduplicated": report.deduplicated,
     }
+
+
+def _bench_explorer(max_depth: int, **knobs) -> dict[str, Any]:
+    """The standard exploration benchmark: exhaustive task-safety check
+    of the Figure 4 renaming algorithm, two participants of three."""
+    from .algorithms.renaming_figure4 import figure4_factories
+    from .checker import drop_null_s_processes
+    from .core import System
+    from .tasks import RenamingTask
+
+    task = RenamingTask(3, 2, 3)
+
+    def build():
+        return System(inputs=(1, 2, None), c_factories=figure4_factories(3))
+
+    return _run_explorer(
+        task, build, max_depth, gate=drop_null_s_processes, **knobs
+    )
+
+
+def _bench_explorer_deep(max_depth: int) -> dict[str, Any]:
+    """Four-process wait-free renaming under POR + dedup: a workload
+    whose naive tree (hundreds of millions of nodes at depth 14) is out
+    of reach without the reductions."""
+    from .algorithms.renaming_figure4 import figure4_factories
+    from .checker import drop_null_s_processes
+    from .core import System
+    from .tasks import RenamingTask
+
+    task = RenamingTask(4, 3, 5)
+
+    def build():
+        return System(
+            inputs=(1, 2, 3, None), c_factories=figure4_factories(4)
+        )
+
+    return _run_explorer(
+        task,
+        build,
+        max_depth,
+        gate=drop_null_s_processes,
+        por=True,
+        dedup=True,
+    )
+
+
+def _bench_explorer_symmetry(max_depth: int) -> dict[str, Any]:
+    """Symmetry reduction over four interchangeable processes running
+    2-set agreement with equal inputs, 2-concurrently."""
+    from .algorithms.kset_concurrent import kset_concurrent_factories
+    from .checker import concurrency_gate, drop_null_s_processes
+    from .core import System
+    from .tasks import SetAgreementTask
+
+    task = SetAgreementTask(4, 2)
+
+    def build():
+        return System(
+            inputs=(1, 1, 1, 1), c_factories=kset_concurrent_factories(4, 2)
+        )
+
+    def gate(executor, candidates):
+        return concurrency_gate(2)(
+            executor, drop_null_s_processes(executor, candidates)
+        )
+
+    return _run_explorer(
+        task,
+        build,
+        max_depth,
+        gate=gate,
+        symmetry=True,
+        por=True,
+        dedup=True,
+    )
 
 
 def _bench_campaign(cells: int, workers: int) -> dict[str, Any]:
@@ -157,6 +224,15 @@ def run_benchmarks(
             _snapper, 4, snap_steps
         ),
         "explorer_figure4_d16": lambda: _bench_explorer(depth),
+        "explorer_por_figure4_d16": lambda: _bench_explorer(
+            depth, por=True
+        ),
+        "explorer_por_deep_renaming": lambda: _bench_explorer_deep(
+            10 if smoke else 14
+        ),
+        "explorer_symmetry_kset": lambda: _bench_explorer_symmetry(
+            12 if smoke else 16
+        ),
         "campaign_smoke": lambda: _bench_campaign(cells, workers),
     }
     return {name: fn() for name, fn in suite.items()}

@@ -8,6 +8,8 @@ from .explorer import (
     drop_null_s_processes,
     task_safety_verdict,
 )
+from .independence import StepFootprint, commutes, independent, step_footprint
+from .symmetry import c_orbits, canonical_fingerprint, prune_interchangeable
 
 __all__ = [
     "ValencyReport",
@@ -17,4 +19,11 @@ __all__ = [
     "concurrency_gate",
     "drop_null_s_processes",
     "task_safety_verdict",
+    "StepFootprint",
+    "commutes",
+    "independent",
+    "step_footprint",
+    "c_orbits",
+    "canonical_fingerprint",
+    "prune_interchangeable",
 ]

@@ -22,6 +22,41 @@ same depth (symmetric interleavings of independent operations).  It is
 off by default because it changes the reported node counts; violations
 found are the same either way, since a deduplicated state has an
 identical future to its first occurrence.
+
+Partial-order reduction (``por=True``) prunes sibling orders of
+*commuting* steps with sleep sets (Godefroid): after exploring branch
+``a`` of a node, every branch explored later adds ``a`` to its child's
+sleep set for as long as only steps independent of ``a`` are taken —
+and a sleeping process is never branched on, because the state its
+step would reach is reached (and checked) inside the earlier sibling's
+subtree.  Independence comes from :mod:`repro.checker.independence`:
+disjoint register footprints, with ``QueryFD`` / ``Decide`` /
+first-steps treated as globally dependent and the whole reduction
+suspended while crash transitions are pending.  Sleep sets preserve
+the *set of visited states* (only duplicate orders are dropped), so a
+per-node verdict sees exactly the states the naive explorer sees —
+``por`` changes node counts, never the verdict.  It requires the
+candidate filter, if any, to be a pure function of the candidate and
+the executor's ``started_c`` / ``decided_c`` sets (both built-ins
+are), so that steps independent of a process can never enable or
+disable it.
+
+Symmetry reduction (``symmetry=True``) prunes schedulable C-processes
+that are *interchangeable* — same automaton factory, equal input,
+literally identical history so far — with a smaller-indexed candidate
+(see :mod:`repro.checker.symmetry`), and, when combined with
+``dedup``, canonicalizes fingerprints so states differing only by a
+permutation of interchangeable processes collapse.  Sound for tasks
+that are invariant under permuting equal-input positions (all tasks in
+this repository; enforced by the differential tests).
+
+When ``por`` and ``dedup`` are combined, a revisited fingerprint is
+only pruned if some earlier visit carried a *subset* of the current
+sleep set — i.e. explored at least every branch this visit would.  An
+unconditional prune would be unsound (the classic sleep-sets versus
+state-caching interaction): the first visit may have skipped branches
+whose coverage was promised by siblings of *its* path, a promise that
+says nothing about the new path.
 """
 
 from __future__ import annotations
@@ -33,6 +68,8 @@ from ..core.process import ProcessId
 from ..core.system import System
 from ..runtime.executor import Executor, ExecutorCheckpoint
 from ..runtime.scheduler import ExplicitScheduler
+from .independence import StepFootprint, commutes, step_footprint
+from .symmetry import c_orbits, canonical_fingerprint, prune_interchangeable
 
 
 @dataclass
@@ -43,6 +80,8 @@ class ExplorationReport:
     completed_runs: int = 0
     truncated_runs: int = 0
     deduplicated: int = 0
+    por_pruned: int = 0
+    symmetry_pruned: int = 0
     violations: list[tuple[tuple[ProcessId, ...], object]] = field(
         default_factory=list
     )
@@ -69,6 +108,14 @@ class ScheduleExplorer:
             many suffix steps on top of a cheap restore.
         dedup: prune states whose fingerprint was already explored
             (opt-in; changes node counts, never the verdict).
+        por: sleep-set partial-order reduction — prune sibling orders
+            of independent steps (opt-in; changes node counts, never
+            the verdict; see module docstring for the candidate-filter
+            purity requirement).
+        symmetry: prune interchangeable C-processes and, with
+            ``dedup``, canonicalize fingerprints over process orbits
+            (opt-in; sound for permutation-invariant tasks, see module
+            docstring).
     """
 
     def __init__(
@@ -80,6 +127,8 @@ class ScheduleExplorer:
         max_runs: int = 200_000,
         checkpoint_stride: int = 4,
         dedup: bool = False,
+        por: bool = False,
+        symmetry: bool = False,
     ) -> None:
         if checkpoint_stride < 1:
             raise ValueError("checkpoint_stride must be >= 1")
@@ -89,6 +138,9 @@ class ScheduleExplorer:
         self.max_runs = max_runs
         self.checkpoint_stride = checkpoint_stride
         self.dedup = dedup
+        self.por = por
+        self.symmetry = symmetry
+        self._orbits: tuple[tuple[int, ...], ...] = ()
         #: schedule prefix of the executor most recently produced by
         #: :meth:`_executor_for` (the node currently being visited).
         self.current_schedule: tuple[ProcessId, ...] = ()
@@ -120,6 +172,7 @@ class ScheduleExplorer:
             self._scheduler,
             max_steps=self.max_depth + 1,
             record_results=True,
+            record_ops=self.symmetry,
         )
 
     def _maybe_checkpoint(
@@ -175,10 +228,16 @@ class ScheduleExplorer:
         self._current = executor
         return executor
 
-    def _branches(self, executor: Executor) -> Sequence[ProcessId]:
+    def _branches(
+        self, executor: Executor, report: "ExplorationReport"
+    ) -> Sequence[ProcessId]:
         candidates = executor.schedulable()
         if self.candidate_filter is not None:
             candidates = tuple(self.candidate_filter(executor, candidates))
+        if self._orbits:
+            kept = prune_interchangeable(executor, self._orbits, candidates)
+            report.symmetry_pruned += len(candidates) - len(kept)
+            candidates = kept
         return candidates
 
     # -- exploration ----------------------------------------------------
@@ -191,31 +250,63 @@ class ScheduleExplorer:
         pruned), or ``None`` (finished successfully — e.g. everyone
         decided; branch ends)."""
         report = ExplorationReport()
-        seen: set[bytes] | None = set() if self.dedup else None
+        seen: dict[bytes, list[frozenset]] | None = (
+            {} if self.dedup else None
+        )
         self.current_schedule = ()
         self._current = None
         self._system = None
         self._checkpoints = []
-        self._explore((), verdict, report, seen)
+        self._orbits = (
+            c_orbits(self._shared_system()) if self.symmetry else ()
+        )
+        self._explore((), verdict, report, seen, frozenset())
         return report
+
+    def _fingerprint(self, executor: Executor) -> bytes:
+        if self._orbits:
+            return canonical_fingerprint(executor, self._orbits)
+        return executor.fingerprint()
+
+    def _seen_covers(
+        self,
+        seen: dict[bytes, list[frozenset]],
+        fingerprint: bytes,
+        sleep: frozenset,
+    ) -> bool:
+        """Whether an earlier visit of this state makes the current one
+        redundant, recording the current visit otherwise.  Without POR
+        every sleep set is empty and this degenerates to plain set
+        membership; with POR a prior visit only covers this one if its
+        sleep set was a subset (it explored at least as much)."""
+        prior = seen.get(fingerprint)
+        if prior is None:
+            seen[fingerprint] = [sleep]
+            return False
+        if any(s <= sleep for s in prior):
+            return True
+        # Keep the frontier minimal: drop recorded visits this one
+        # strictly dominates.
+        prior[:] = [s for s in prior if not sleep < s]
+        prior.append(sleep)
+        return False
 
     def _explore(
         self,
         schedule: tuple[ProcessId, ...],
         verdict: Callable[[Executor], bool | None],
         report: ExplorationReport,
-        seen: set[bytes] | None,
+        seen: dict[bytes, list[frozenset]] | None,
+        sleep: frozenset,
         parent: tuple[ProcessId, ...] | None = None,
     ) -> None:
         if report.completed_runs + report.truncated_runs >= self.max_runs:
             return
         executor = self._executor_for(schedule, parent)
         if seen is not None:
-            fingerprint = executor.fingerprint()
-            if fingerprint in seen:
+            if self._seen_covers(seen, self._fingerprint(executor), sleep):
                 report.deduplicated += 1
                 return
-            seen.add(fingerprint)
         report.explored += 1
         outcome = verdict(executor)
         if outcome is False:
@@ -229,12 +320,42 @@ class ScheduleExplorer:
         if len(schedule) >= self.max_depth:
             report.truncated_runs += 1
             return
-        branches = self._branches(executor)
+        branches = self._branches(executor, report)
         if not branches:
             report.completed_runs += 1
             return
-        for pid in branches:
-            self._explore(schedule + (pid,), verdict, report, seen, schedule)
+        if self.por and not executor.crashes_pending():
+            # Footprints must be taken *now*: the executor object is
+            # shared down the DFS and will have mutated by the time the
+            # second sibling is expanded.
+            footprints: dict[ProcessId, StepFootprint] = {
+                pid: step_footprint(executor, pid)
+                for pid in {*branches, *sleep}
+            }
+            taken: list[ProcessId] = []
+            for pid in branches:
+                if pid in sleep:
+                    report.por_pruned += 1
+                    continue
+                pid_fp = footprints[pid]
+                child_sleep = frozenset(
+                    t
+                    for t in sleep.union(taken)
+                    if commutes(footprints[t], pid_fp)
+                )
+                self._explore(
+                    schedule + (pid,), verdict, report, seen,
+                    child_sleep, schedule,
+                )
+                taken.append(pid)
+        else:
+            # No POR here (disabled, or crash transitions pending —
+            # everything is dependent, so all sleepers wake).
+            for pid in branches:
+                self._explore(
+                    schedule + (pid,), verdict, report, seen,
+                    frozenset(), schedule,
+                )
 
 
 def drop_null_s_processes(executor: Executor, candidates):

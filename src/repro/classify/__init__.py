@@ -4,6 +4,7 @@ from .concurrency_level import (
     Evidence,
     TaskClassification,
     certify_k_concurrent_exhaustively,
+    explore_k_concurrent,
     classify_task,
     validate_k_concurrent,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "Evidence",
     "TaskClassification",
     "certify_k_concurrent_exhaustively",
+    "explore_k_concurrent",
     "classify_task",
     "validate_k_concurrent",
     "build_hierarchy",

@@ -99,16 +99,25 @@ def validate_k_concurrent(
     return True
 
 
-def certify_k_concurrent_exhaustively(
+def explore_k_concurrent(
     task: Task,
     factories: Sequence[Callable],
     k: int,
     inputs: Vector,
     *,
     max_depth: int = 14,
-) -> bool:
-    """Exhaustive certificate on one small instance: every k-concurrent
-    interleaving up to ``max_depth`` stays within the task relation."""
+    max_runs: int = 200_000,
+    checkpoint_stride: int = 4,
+    dedup: bool = False,
+    por: bool = False,
+    symmetry: bool = False,
+):
+    """Exhaustively explore every k-concurrent interleaving of a
+    restricted algorithm on one small instance, checking the task
+    relation at every node.  The keyword knobs are the
+    :class:`~repro.checker.explorer.ScheduleExplorer` reduction knobs
+    (``dedup`` / ``por`` / ``symmetry`` change node counts, never the
+    verdict).  Returns the full exploration report."""
 
     def build() -> System:
         return System(inputs=inputs, c_factories=list(factories))
@@ -118,8 +127,35 @@ def certify_k_concurrent_exhaustively(
             executor, drop_null_s_processes(executor, candidates)
         )
 
-    explorer = ScheduleExplorer(build, max_depth=max_depth, candidate_filter=gate)
-    return explorer.check(task_safety_verdict(task)).ok
+    explorer = ScheduleExplorer(
+        build,
+        max_depth=max_depth,
+        candidate_filter=gate,
+        max_runs=max_runs,
+        checkpoint_stride=checkpoint_stride,
+        dedup=dedup,
+        por=por,
+        symmetry=symmetry,
+    )
+    return explorer.check(task_safety_verdict(task))
+
+
+def certify_k_concurrent_exhaustively(
+    task: Task,
+    factories: Sequence[Callable],
+    k: int,
+    inputs: Vector,
+    *,
+    max_depth: int = 14,
+    **explorer_knobs,
+) -> bool:
+    """Exhaustive certificate on one small instance: every k-concurrent
+    interleaving up to ``max_depth`` stays within the task relation.
+    Extra keyword knobs are forwarded to :func:`explore_k_concurrent`
+    (e.g. ``por=True`` to certify with partial-order reduction)."""
+    return explore_k_concurrent(
+        task, factories, k, inputs, max_depth=max_depth, **explorer_knobs
+    ).ok
 
 
 def classify_task(

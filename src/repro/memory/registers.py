@@ -15,9 +15,19 @@ snapshot-heavy algorithms O(total registers) per step.  The file now
 keeps a *bucket index* keyed by each name's directory part (everything
 up to and including the last ``/``), so the overwhelmingly common
 directory-style prefixes (``inp/``, ``x/lev/``) cost O(matching
-registers).  Snapshot results preserve the legacy ordering exactly:
-within one bucket, insertion order; for the empty prefix or a prefix
-spanning several buckets, the original global-scan order.
+registers).  Snapshot results are returned in *canonical* (sorted by
+register name) order: two runs that wrote the same registers with the
+same values produce literally equal snapshots no matter which order
+the writes landed in.  This matters for state identity — the executor
+fingerprint digests snapshot results, and the exhaustive checker's
+dedup and partial-order reductions treat runs whose snapshots differ
+only by write order as distinct states unless the order is normalized
+at the source.
+
+The sort is amortized by a per-prefix result cache, invalidated by any
+write the prefix covers: snapshot-heavy loops over a quiescent family
+(the common pattern in the paper's algorithms — write once, then poll)
+pay the sort on the first call and a plain dict copy afterwards.
 
 ``copy()`` is copy-on-write: the clone shares cell storage with its
 source until either side first mutates, which makes executor
@@ -48,6 +58,10 @@ class RegisterFile:
         self._cells: dict[str, Any] = {}
         #: bucket key -> {full name -> value}; values alias ``_cells``
         self._buckets: dict[str, dict[str, Any]] = {}
+        #: prefix -> sorted snapshot result; entries are dropped by any
+        #: write whose name the prefix covers, so snapshot-heavy loops
+        #: over a quiescent family pay the sort once
+        self._snap_cache: dict[str, dict[str, Any]] = {}
         #: True while ``_cells``/``_buckets`` are shared with a copy
         self._shared = False
 
@@ -67,6 +81,9 @@ class RegisterFile:
         clone = RegisterFile.__new__(RegisterFile)
         clone._cells = self._cells
         clone._buckets = self._buckets
+        # Caches are never shared: once the two files diverge, a shared
+        # cache could serve one side's snapshot from the other's state.
+        clone._snap_cache = {}
         clone._shared = True
         self._shared = True
         return clone
@@ -83,6 +100,14 @@ class RegisterFile:
         if bucket is None:
             bucket = self._buckets[_bucket_of(name)] = {}
         bucket[name] = value
+        if self._snap_cache:
+            stale = [
+                prefix
+                for prefix in self._snap_cache
+                if name.startswith(prefix)
+            ]
+            for prefix in stale:
+                del self._snap_cache[prefix]
 
     def compare_and_swap(self, name: str, expected: Any, new: Any) -> Any:
         """Returns the prior value; the write happened iff it equals
@@ -94,9 +119,15 @@ class RegisterFile:
 
     def snapshot(self, prefix: str) -> dict[str, Any]:
         """Atomic view of every written register whose name starts with
-        ``prefix``."""
+        ``prefix``, in canonical (sorted-by-name) order."""
+        cached = self._snap_cache.get(prefix)
+        if cached is None:
+            cached = self._snap_cache[prefix] = self._scan(prefix)
+        return dict(cached)
+
+    def _scan(self, prefix: str) -> dict[str, Any]:
         if not prefix:
-            return dict(self._cells)
+            return dict(sorted(self._cells.items()))
         # A name matches iff (a) it lives in the bucket named by the
         # prefix's own directory part and its leaf extends the prefix, or
         # (b) its whole bucket key extends the prefix.  Leaves contain no
@@ -112,19 +143,22 @@ class RegisterFile:
             if home is None:
                 return {}
             if home_key == prefix:
-                return dict(home)
-            return {
-                name: value
-                for name, value in home.items()
+                return dict(sorted(home.items()))
+            return dict(
+                sorted(
+                    (name, value)
+                    for name, value in home.items()
+                    if name.startswith(prefix)
+                )
+            )
+        # Rare multi-bucket prefix: fall back to a global scan.
+        return dict(
+            sorted(
+                (name, value)
+                for name, value in self._cells.items()
                 if name.startswith(prefix)
-            }
-        # Rare multi-bucket prefix: fall back to the global scan so the
-        # result order is identical to the pre-index implementation.
-        return {
-            name: value
-            for name, value in self._cells.items()
-            if name.startswith(prefix)
-        }
+            )
+        )
 
     def names(self) -> Iterator[str]:
         return iter(self._cells)

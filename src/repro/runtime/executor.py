@@ -57,7 +57,7 @@ class _ProcessSlot:
 
     __slots__ = (
         "pid", "generator", "pending", "halted", "started", "steps",
-        "result_log",
+        "result_log", "op_log",
     )
 
     def __init__(self, pid: ProcessId, generator) -> None:
@@ -68,6 +68,11 @@ class _ProcessSlot:
         self.started = False
         self.steps = 0
         self.result_log: list[Any] | None = None
+        #: operations the automaton actually executed, in order
+        #: (``record_ops`` only; the mandated input write is implied by
+        #: ``started`` and is not recorded).  Symmetry reduction compares
+        #: these logs to decide whether two processes are interchangeable.
+        self.op_log: list[Any] | None = None
 
     def prime(self) -> None:
         """Obtain the first operation (local computation, takes no step)."""
@@ -98,13 +103,15 @@ class ExecutorCheckpoint:
     time: int
     memory: RegisterFile
     decisions: tuple[tuple[int, Any], ...]
-    #: per process: (pid, started, halted, steps, log ref, log length).
-    #: The log reference aliases the live executor's append-only result
-    #: log; only its first ``log length`` entries belong to this
-    #: checkpoint.  Appends never invalidate a captured prefix, which is
-    #: what makes taking a checkpoint O(#processes) rather than O(steps).
+    #: per process: (pid, started, halted, steps, log ref, log length,
+    #: op-log ref, op-log length).  The log references alias the live
+    #: executor's append-only logs; only their first ``length`` entries
+    #: belong to this checkpoint.  Appends never invalidate a captured
+    #: prefix, which is what makes taking a checkpoint O(#processes)
+    #: rather than O(steps).  The op-log pair is ``(None, 0)`` unless the
+    #: executor records operations.
     slots: tuple[
-        tuple[ProcessId, bool, bool, int, list[Any], int], ...
+        tuple[ProcessId, bool, bool, int, list[Any], int, Any, int], ...
     ]
     #: derived state captured so :meth:`Executor.restore` does not have
     #: to recompute it: the schedulable list, the crash-queue position,
@@ -128,6 +135,10 @@ class Executor:
             reduction algorithms that never "decide".
         record_results: keep per-process operation-result logs so the
             executor can be checkpointed (see :meth:`checkpoint`).
+        record_ops: additionally keep per-process logs of the operations
+            actually executed (requires ``record_results``); the
+            explorer's symmetry reduction compares these to recognize
+            interchangeable processes.
     """
 
     def __init__(
@@ -139,7 +150,10 @@ class Executor:
         trace: bool = False,
         stop_when: Callable[["Executor"], bool] | None = None,
         record_results: bool = False,
+        record_ops: bool = False,
     ) -> None:
+        if record_ops and not record_results:
+            raise ProtocolError("record_ops requires record_results")
         self.system = system
         self.scheduler = scheduler
         self.max_steps = max_steps
@@ -149,6 +163,7 @@ class Executor:
         self.time = 0
         self.decisions: dict[int, Any] = {}
         self.record_results = record_results
+        self.record_ops = record_ops
         self._slots: dict[ProcessId, _ProcessSlot] = {}
         # Insertion order is the canonical sorted order (all C before S,
         # then by index), which keeps the schedulable list sorted for free.
@@ -168,6 +183,8 @@ class Executor:
         if record_results:
             for slot in self._slots.values():
                 slot.result_log = []
+                if record_ops:
+                    slot.op_log = []
         # -- incremental schedulability state --------------------------
         self._started: set[int] = set()
         self._started_frozen: frozenset[int] | None = frozenset()
@@ -204,6 +221,43 @@ class Executor:
                 decisions.get(i) for i in range(self.system.n_c)
             )
         return self._decided_vector
+
+    def peek(self, pid: ProcessId) -> Any:
+        """The operation ``pid`` would perform on its next step, without
+        stepping — its read/write/query footprint for partial-order
+        reduction.
+
+        For a C-process that has not started, this is the mandated
+        first-step write of its task input.  For a lazily-restored slot
+        that never stepped, the generator is materialized here (pure
+        local computation; see :meth:`restore`).  Returns ``None`` for a
+        halted process.
+        """
+        slot = self._slots[pid]
+        if pid.is_computation and not slot.started:
+            return ops.Write(
+                input_register(pid.index), self.system.inputs[pid.index]
+            )
+        if slot.generator is None and not slot.halted:
+            self._materialize(slot)
+        return slot.pending
+
+    def slot_view(self, pid: ProcessId) -> tuple:
+        """Snapshot of one process's execution history, for symmetry
+        comparisons: ``(started, halted, steps, result log, op log)``.
+        The logs are the live lists — callers must not mutate them."""
+        slot = self._slots[pid]
+        return (
+            slot.started, slot.halted, slot.steps,
+            slot.result_log, slot.op_log,
+        )
+
+    def crashes_pending(self) -> bool:
+        """Whether the failure pattern still holds crash transitions at
+        or after the current time.  While it does, step reordering is
+        unsound (which S-steps a crash boundary cuts off depends on the
+        order), so the explorer's POR layer disables itself."""
+        return self._crash_pos < len(self._crash_queue)
 
     def schedulable(self) -> tuple[ProcessId, ...]:
         """Processes that may legally take the next step, in canonical
@@ -358,6 +412,8 @@ class Executor:
                 self.trace.record(TraceEvent(self.time, pid, op, result))
             if slot.result_log is not None:
                 slot.result_log.append(result)
+                if slot.op_log is not None:
+                    slot.op_log.append(op)
             slot.resume(result)
             if slot.halted:
                 self._retire(pid)
@@ -425,6 +481,8 @@ class Executor:
                     slot.steps,
                     slot.result_log,
                     len(slot.result_log),
+                    slot.op_log,
+                    0 if slot.op_log is None else len(slot.op_log),
                 )
                 for pid, slot in self._slots.items()
             ),
@@ -470,9 +528,14 @@ class Executor:
         ex.time = checkpoint.time
         ex.decisions = dict(checkpoint.decisions)
         ex.record_results = record_results
+        ex.record_ops = any(
+            op_ref is not None for *_ignored, op_ref, _op_len in checkpoint.slots
+        )
         ex._slots = {}
         started_set: set[int] = set()
-        for pid, started, halted, steps, log_ref, log_len in checkpoint.slots:
+        for (
+            pid, started, halted, steps, log_ref, log_len, op_ref, op_len
+        ) in checkpoint.slots:
             log = log_ref[:log_len]
             if halted or steps == 0:
                 # Halted processes never run again; never-stepped ones
@@ -500,6 +563,8 @@ class Executor:
             slot.steps = steps
             if record_results:
                 slot.result_log = log
+                if op_ref is not None:
+                    slot.op_log = op_ref[:op_len]
             if started and pid.is_computation:
                 started_set.add(pid.index)
             ex._slots[pid] = slot

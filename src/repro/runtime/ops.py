@@ -92,6 +92,31 @@ class CompareAndSwap:
 
 Operation = Union[Read, Write, Snapshot, QueryFD, Decide, Nop, CompareAndSwap]
 
+
+def footprint(
+    op: Operation,
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]] | None:
+    """Register footprint of ``op`` as ``(reads, read_prefixes, writes)``.
+
+    Returns ``None`` when the operation's effect cannot be captured as a
+    set of register names: :class:`QueryFD` results are indexed by the
+    global time of the run, and :class:`Decide` mutates the decision
+    vector observed by verdicts and candidate filters.  Callers (the
+    explorer's independence relation) must treat such steps as dependent
+    on everything.
+    """
+    if isinstance(op, Read):
+        return ((op.register,), (), ())
+    if isinstance(op, Write):
+        return ((), (), (op.register,))
+    if isinstance(op, Snapshot):
+        return ((), (op.prefix,), ())
+    if isinstance(op, Nop):
+        return ((), (), ())
+    if isinstance(op, CompareAndSwap):
+        return ((op.register,), (), (op.register,))
+    return None
+
 #: Operations permitted for C-process automata.
 COMPUTATION_OPS = (Read, Write, Snapshot, Decide, Nop, CompareAndSwap)
 #: Operations permitted for S-process automata.

@@ -247,3 +247,64 @@ class TestDeparture:
         assert spec.log_instance(5).endswith("/log/5")
         replica = spec.make_replica()
         assert replica.n_c == 2
+
+
+class TestLockStepLiveness:
+    """Regression for the E-CHAOS vecOmega-2 livelock: two stable vector
+    positions pinned *different* correct S-leaders, who perpetually
+    aborted each other's proposals at the same log instance under
+    lock-step round-robin scheduling.  Position-proportional leader
+    patience plus slot-sloped growing abort backoff break the duel."""
+
+    def test_vec_omega_2_solver_decides_under_round_robin(self):
+        from repro.algorithms.dispatch import build_solver_system
+        from repro.runtime import Executor, RoundRobinScheduler
+        from repro.tasks import SetAgreementTask
+
+        task = SetAgreementTask(3, 2)
+        system = build_solver_system(
+            task, inputs=(0, 1, 2), detector=VectorOmegaK(3, 2), seed=0
+        )
+        executor = Executor(
+            system, RoundRobinScheduler(), max_steps=100_000
+        )
+        result = executor.run()
+        assert result.reason == "all_decided"
+        # The livelocked run managed 6 log entries in 400k steps; the
+        # fixed one decides comfortably within a quarter of that.
+        assert result.steps < 100_000
+        outputs = tuple(
+            executor.decisions.get(i) for i in range(task.n)
+        )
+        assert task.allows((0, 1, 2), outputs)
+
+    def test_dueling_stable_leaders_make_log_progress(self):
+        """Direct Figure 2 rendering of the duel: a constant detector
+        vector naming two different S-leaders forever."""
+        from repro.core.history import ConstantHistory
+        from repro.runtime import Executor, RoundRobinScheduler
+
+        class ConstantVector:
+            def __init__(self, vector):
+                self.vector = vector
+
+            def build_history(self, pattern, rng):
+                return ConstantHistory(self.vector)
+
+        n, k = 3, 2
+        spec = F2Spec(k=k, code_factories=[counting_code] * k, n=n)
+        c_factories, s_factories = figure2_factories(spec)
+        system = System(
+            inputs=(1, 2, 3),
+            c_factories=c_factories,
+            s_factories=s_factories,
+            detector=ConstantVector((2, 1)),
+        )
+        executor = Executor(
+            system,
+            RoundRobinScheduler(),
+            max_steps=60_000,
+            stop_when=lambda ex: False,
+        )
+        executor.run()
+        assert log_length(spec, executor.memory) >= 20

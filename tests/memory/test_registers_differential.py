@@ -7,7 +7,8 @@ from repro.memory import RegisterFile
 
 
 class ReferenceFile:
-    """The pre-index semantics: one dict, snapshots scan every cell."""
+    """Reference semantics: one dict scanned per snapshot, results in
+    canonical (sorted-by-name) order."""
 
     def __init__(self):
         self.cells = {}
@@ -25,11 +26,13 @@ class ReferenceFile:
         return prior
 
     def snapshot(self, prefix):
-        return {
-            name: value
-            for name, value in self.cells.items()
-            if name.startswith(prefix)
-        }
+        return dict(
+            sorted(
+                (name, value)
+                for name, value in self.cells.items()
+                if name.startswith(prefix)
+            )
+        )
 
 
 NAMES = [
@@ -82,8 +85,10 @@ class TestDifferential:
                     assert real.read(op[1]) == ref.read(op[1])
                 else:
                     got, want = real.snapshot(op[1]), ref.snapshot(op[1])
-                    # Same content AND same (insertion) order: snapshot
-                    # iteration order is observable by automata.
+                    # Same content AND canonical sorted order: snapshot
+                    # iteration order is observable by automata, so it
+                    # must not leak the write order (state identity in
+                    # the exhaustive checker depends on this).
                     assert list(got.items()) == list(want.items())
 
     def test_snapshots_survive_copies_mid_sequence(self):
