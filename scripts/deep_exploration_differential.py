@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Deep naive-vs-reduced exploration differential.
+"""Deep naive-vs-reduced exploration differential (resumable).
 
 Runs the exhaustive task-safety check at depths too slow for per-PR CI
 and fails if any reduction (por / dedup / symmetry, in the strongest
@@ -8,12 +8,27 @@ if pure sleep-set POR visits a different state *set*.  Wired to the
 scheduled `deep-exploration` CI job; runnable locally:
 
     PYTHONPATH=src python scripts/deep_exploration_differential.py
+
+The job is *resumable*: ``--deadline-s`` bounds one invocation's
+wall-clock; at expiry the in-flight exploration checkpoints its
+frontier into ``--checkpoint-dir`` (finished phases persist their
+summaries there too) and the script exits 75 (``EX_TEMPFAIL``).
+Re-running the same command skips finished phases and resumes the
+interrupted one exactly — the reported node counts are identical to an
+uninterrupted run.  A fully successful run clears the directory.
 """
 
 from __future__ import annotations
 
+import argparse
+import pickle
 import sys
 import time
+from pathlib import Path
+
+#: Exit code for "out of budget, progress checkpointed — rerun to
+#: continue" (mirrors repro.resilience.EXIT_RESUMABLE).
+EXIT_RESUMABLE = 75
 
 
 def _figure4_case(n, j, l, inputs):
@@ -49,30 +64,6 @@ def _kset_case(n, k, inputs):
         )
 
     return task, build, gate
-
-
-def _explore(task, build, gate, depth, collect_states=False, **knobs):
-    from repro.checker import ScheduleExplorer, task_safety_verdict
-
-    states = set()
-    base = task_safety_verdict(task)
-
-    def verdict(executor):
-        if collect_states:
-            states.add(executor.fingerprint())
-        return base(executor)
-
-    explorer = ScheduleExplorer(
-        build,
-        max_depth=depth,
-        candidate_filter=gate,
-        max_runs=5_000_000,
-        **knobs,
-    )
-    t0 = time.perf_counter()
-    report = explorer.check(verdict)
-    wall = time.perf_counter() - t0
-    return report, states, wall
 
 
 # (name, case, depth, compare-state-sets, reduction configs)
@@ -136,47 +127,162 @@ MATRIX = [
 ]
 
 
-def main() -> int:
+class OutOfBudget(Exception):
+    """The invocation's wall-clock budget expired; progress is saved."""
+
+
+class PhaseRunner:
+    """Runs one exploration phase at a time, persisting finished-phase
+    summaries and interrupted-phase frontiers under ``checkpoint_dir``."""
+
+    def __init__(self, checkpoint_dir: Path, deadline_s: float | None):
+        self.dir = checkpoint_dir
+        self.deadline_at = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+
+    def _remaining(self) -> float | None:
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    def run(self, key, task, build, gate, depth, collect_states, **knobs):
+        """Explore one phase; returns ``(report, states, wall_s,
+        skipped)``.  Raises :class:`OutOfBudget` when the budget expires
+        (after checkpointing the frontier and the collected states)."""
+        from repro.checker import ScheduleExplorer, task_safety_verdict
+
+        done_path = self.dir / f"{key}.done.pkl"
+        ckpt_path = self.dir / f"{key}.ckpt"
+        states_path = self.dir / f"{key}.states.pkl"
+        if done_path.exists():
+            report, states = pickle.loads(done_path.read_bytes())
+            return report, states, 0.0, True
+        remaining = self._remaining()
+        if remaining is not None and remaining <= 0:
+            raise OutOfBudget(f"budget expired before phase {key}")
+
+        # States collected before an interrupt live in a sidecar file —
+        # the explorer checkpoint only knows about its own frontier.
+        states: set = (
+            pickle.loads(states_path.read_bytes())
+            if states_path.exists()
+            else set()
+        )
+        base = task_safety_verdict(task)
+
+        def verdict(executor):
+            if collect_states:
+                states.add(executor.fingerprint())
+            return base(executor)
+
+        explorer = ScheduleExplorer(
+            build,
+            max_depth=depth,
+            candidate_filter=gate,
+            max_runs=5_000_000,
+            **knobs,
+        )
+        self.dir.mkdir(parents=True, exist_ok=True)
+        t0 = time.perf_counter()
+        report = explorer.check(
+            verdict,
+            deadline_s=remaining,
+            checkpoint_path=str(ckpt_path),
+            resume_from=str(ckpt_path) if ckpt_path.exists() else None,
+            handle_signals=True,
+        )
+        wall = time.perf_counter() - t0
+        if report.interrupted:
+            if collect_states:
+                states_path.write_bytes(pickle.dumps(states))
+            raise OutOfBudget(
+                f"phase {key} checkpointed at {report.explored} nodes"
+            )
+        done_path.parent.mkdir(parents=True, exist_ok=True)
+        done_path.write_bytes(pickle.dumps((report, states)))
+        ckpt_path.unlink(missing_ok=True)
+        states_path.unlink(missing_ok=True)
+        return report, states, wall, False
+
+    def clear(self) -> None:
+        if self.dir.exists():
+            for path in self.dir.iterdir():
+                path.unlink()
+            self.dir.rmdir()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="overall wall-clock budget for this invocation; at expiry "
+        "progress is checkpointed and the script exits 75",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=Path(".deep-exploration-ckpt"),
+        help="where finished-phase summaries and interrupted frontiers "
+        "live between invocations (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    runner = PhaseRunner(args.checkpoint_dir, args.deadline_s)
+
     failures = []
-    for name, (task, build, gate), depth, check_states, configs in MATRIX:
-        naive, naive_states, wall = _explore(
-            task, build, gate, depth, collect_states=check_states
-        )
-        print(
-            f"{name}: naive {naive.explored} nodes, ok={naive.ok} "
-            f"({wall:.1f}s)"
-        )
-        for knobs in configs:
-            tag = "+".join(sorted(k for k, v in knobs.items() if v))
-            pure_por = knobs == {"por": True}
-            reduced, reduced_states, wall = _explore(
-                task, build, gate, depth,
-                collect_states=check_states and pure_por,
-                **knobs,
+    try:
+        for name, (task, build, gate), depth, check_states, configs in MATRIX:
+            naive, naive_states, wall, skipped = runner.run(
+                f"{name}--naive", task, build, gate, depth, check_states
             )
             print(
-                f"{name}: {tag} {reduced.explored} nodes, "
-                f"ok={reduced.ok} ({wall:.1f}s)"
+                f"{name}: naive {naive.explored} nodes, ok={naive.ok} "
+                f"({'cached' if skipped else f'{wall:.1f}s'})"
             )
-            if reduced.ok != naive.ok:
-                failures.append(
-                    f"{name} [{tag}]: verdict {reduced.ok} != "
-                    f"naive {naive.ok}"
+            for knobs in configs:
+                tag = "+".join(sorted(k for k, v in knobs.items() if v))
+                pure_por = knobs == {"por": True}
+                reduced, reduced_states, wall, skipped = runner.run(
+                    f"{name}--{tag}",
+                    task, build, gate, depth,
+                    check_states and pure_por,
+                    **knobs,
                 )
-            if bool(reduced.violations) != bool(naive.violations):
-                failures.append(
-                    f"{name} [{tag}]: violation presence differs"
+                print(
+                    f"{name}: {tag} {reduced.explored} nodes, "
+                    f"ok={reduced.ok} "
+                    f"({'cached' if skipped else f'{wall:.1f}s'})"
                 )
-            if check_states and pure_por and reduced_states != naive_states:
-                failures.append(
-                    f"{name} [por]: visited-state set differs from naive "
-                    f"({len(reduced_states)} vs {len(naive_states)})"
-                )
+                if reduced.ok != naive.ok:
+                    failures.append(
+                        f"{name} [{tag}]: verdict {reduced.ok} != "
+                        f"naive {naive.ok}"
+                    )
+                if bool(reduced.violations) != bool(naive.violations):
+                    failures.append(
+                        f"{name} [{tag}]: violation presence differs"
+                    )
+                if check_states and pure_por and reduced_states != naive_states:
+                    failures.append(
+                        f"{name} [por]: visited-state set differs from "
+                        f"naive ({len(reduced_states)} vs "
+                        f"{len(naive_states)})"
+                    )
+    except OutOfBudget as exc:
+        print(f"\nout of budget: {exc}")
+        print(
+            "progress saved; rerun the same command to continue "
+            f"(checkpoints in {args.checkpoint_dir})"
+        )
+        return EXIT_RESUMABLE
     if failures:
         print("\nDIFFERENTIAL FAILURES:")
         for failure in failures:
             print(f"  {failure}")
         return 1
+    runner.clear()
     print("\nall deep differentials agree")
     return 0
 

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Acceptance drill: kill a campaign two ways, resume it, diff the report.
+
+The resilience layer's headline claim is that *nothing* that happens to
+the orchestration is visible in the science: a campaign that loses a
+worker to SIGKILL, takes a SIGINT to the orchestrator mid-sweep, and is
+later resumed from its journal must render a report byte-identical to
+an uninterrupted serial run.  This script stages exactly that drill
+against the 200-cell standard campaign (E-RESIL in EXPERIMENTS.md):
+
+1. serial reference:  ``chaos run --cells N``  (no pool, no faults)
+2. faulted run:       ``chaos run --cells N --workers 2 --journal J
+   --inject-worker-kill K`` — SIGKILLs one worker mid-sweep, then the
+   drill SIGINTs the orchestrator once the journal passes ~50%
+   (expects exit 75)
+3. resumed run:       ``chaos run --cells N --workers 2 --resume J``
+4. byte-compare the resumed stdout against the reference stdout
+
+    PYTHONPATH=src python scripts/resilience_drill.py [--cells 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+EXIT_RESUMABLE = 75
+
+
+def _run(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _journal_lines(path: Path) -> int:
+    try:
+        return sum(1 for _ in path.open())
+    except OSError:
+        return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cells", type=int, default=200)
+    parser.add_argument(
+        "--kill-cell",
+        type=int,
+        default=17,
+        help="cell index whose worker takes a SIGKILL on first attempt",
+    )
+    args = parser.parse_args(argv)
+    cells = args.cells
+    interrupt_at = max(2, cells // 2)
+
+    workdir = Path(tempfile.mkdtemp(prefix="resilience-drill-"))
+    journal = workdir / "campaign.jsonl"
+
+    print(f"[1/4] serial reference run ({cells} cells)...")
+    reference = _run(["chaos", "run", "--cells", str(cells)])
+    if reference.returncode != 0:
+        print(reference.stdout)
+        print(f"reference run failed with {reference.returncode}")
+        return 1
+
+    print(
+        f"[2/4] faulted run: SIGKILL worker on cell {args.kill_cell}, "
+        f"SIGINT orchestrator at ~{interrupt_at}/{cells} cells..."
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "chaos", "run",
+            "--cells", str(cells),
+            "--workers", "2",
+            "--journal", str(journal),
+            "--inject-worker-kill", str(args.kill_cell),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            print(proc.communicate()[0])
+            print("faulted run finished before it could be interrupted — ")
+            print("use more --cells, or a slower machine")
+            return 1
+        if _journal_lines(journal) > interrupt_at:  # +1 header line
+            proc.send_signal(signal.SIGINT)
+            break
+        time.sleep(0.1)
+    out, _ = proc.communicate(timeout=120)
+    if proc.returncode != EXIT_RESUMABLE:
+        print(out)
+        print(f"expected exit {EXIT_RESUMABLE}, got {proc.returncode}")
+        return 1
+    durable = _journal_lines(journal) - 1  # header line
+    print(f"      interrupted with {durable}/{cells} cells durable")
+
+    print("[3/4] resuming from the journal...")
+    resumed = _run(
+        [
+            "chaos", "run",
+            "--cells", str(cells),
+            "--workers", "2",
+            "--resume", str(journal),
+        ]
+    )
+    if resumed.returncode != 0:
+        print(resumed.stdout)
+        print(f"resume failed with {resumed.returncode}")
+        return 1
+
+    print("[4/4] comparing reports...")
+    if resumed.stdout != reference.stdout:
+        print("REPORTS DIFFER:")
+        import difflib
+
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                reference.stdout.splitlines(keepends=True),
+                resumed.stdout.splitlines(keepends=True),
+                fromfile="serial reference",
+                tofile="killed+interrupted+resumed",
+            )
+        )
+        return 1
+    print(
+        f"OK: worker-SIGKILL + orchestrator-SIGINT + resume rendered a "
+        f"report byte-identical to the uninterrupted serial run "
+        f"({cells} cells, journal {journal})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,8 @@ Commands:
                             algorithm over every gated interleaving of
                             one small instance (explorer knobs:
                             --depth, --checkpoint-stride, --dedup,
-                            --por, --symmetry)
+                            --por, --symmetry; preemption knobs:
+                            --deadline-s, --checkpoint, --resume)
     check-renaming J NAMES  decide 2-process solvability of strong
                             2-renaming with the given namespace size
     extract                 run the Figure 1 extraction demo
@@ -16,17 +17,63 @@ Commands:
                             race detection)
     chaos run               sweep a fault-injection campaign (crash
                             storms, perturbed detector histories,
-                            mutated schedules) and triage every cell
+                            mutated schedules) and triage every cell;
+                            resilience knobs: --journal, --resume,
+                            --deadline-s, --rss-mb, --retries
     chaos replay BUNDLE     deterministically re-execute a shrunk
                             failure bundle and compare outcomes
     bench                   run the tracked execution-core benchmark
                             suite and write BENCH_core.json
+
+Interrupted-but-resumable commands (``chaos run`` with a journal,
+``check`` with a checkpoint) exit with status 75 (``EX_TEMPFAIL``) and
+print the exact command that continues them.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Translate SIGTERM into KeyboardInterrupt for the duration, so a
+    supervisor's ``kill`` gets the same flush-and-journal shutdown path
+    as Ctrl-C."""
+
+    def _raise(signum, frame):  # pragma: no cover - signal delivery
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # not the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _strip_option(argv: list[str], name: str) -> list[str]:
+    """Drop ``name <value>`` / ``name=<value>`` from an argv copy (used
+    to rebuild a resumable command line without a stale ``--resume``)."""
+    out: list[str] = []
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg == name:
+            skip = True
+            continue
+        if arg.startswith(name + "="):
+            continue
+        out.append(arg)
+    return out
 
 
 def _cmd_hierarchy(args: argparse.Namespace) -> int:
@@ -115,6 +162,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         dedup=args.dedup,
         por=args.por,
         symmetry=args.symmetry,
+        deadline_s=args.deadline_s,
+        checkpoint_path=args.checkpoint,
+        resume_from=args.resume,
+        handle_signals=True,
     )
     wall = time.perf_counter() - t0
     print(f"task       : {task.name}")
@@ -132,6 +183,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
         f"pruned     : {report.deduplicated} dedup, "
         f"{report.por_pruned} por, {report.symmetry_pruned} symmetry"
     )
+    if report.interrupted:
+        from .resilience import EXIT_RESUMABLE
+
+        print("verdict    : INTERRUPTED (deadline or signal)")
+        if report.checkpoint_path:
+            resume_args = _strip_option(sys.argv[1:], "--resume")
+            print(f"frontier checkpointed to {report.checkpoint_path}")
+            print(
+                "resume with: python -m repro "
+                + " ".join(resume_args)
+                + f" --resume {report.checkpoint_path}"
+            )
+        return EXIT_RESUMABLE
     if report.ok:
         print("verdict    : OK — no interleaving leaves the task relation")
         return 0
@@ -191,6 +255,8 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         specimen_campaign,
         standard_campaign,
     )
+    from .errors import CampaignInterrupted
+    from .resilience import EXIT_RESUMABLE, CellBudget, RetryPolicy
 
     if args.specimen:
         spec = specimen_campaign(seed=args.seed)
@@ -203,9 +269,44 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         if args.verbose:
             print(record.format_row())
 
-    report = run_campaign(
-        spec, limit=args.cells, on_cell=progress, workers=args.workers
-    )
+    budget = None
+    if args.deadline_s is not None or args.rss_mb is not None:
+        budget = CellBudget(deadline_s=args.deadline_s, rss_mb=args.rss_mb)
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(max_retries=args.retries, seed=args.seed)
+    try:
+        with _graceful_sigterm():
+            report = run_campaign(
+                spec,
+                limit=args.cells,
+                on_cell=progress,
+                workers=args.workers,
+                budget=budget,
+                retry=retry,
+                journal=args.journal,
+                resume=args.resume,
+                pool=args.pool,
+                inject_worker_kill=args.inject_worker_kill,
+            )
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}")
+        if exc.journal_path:
+            resume_args = _strip_option(
+                _strip_option(sys.argv[1:], "--journal"), "--resume"
+            )
+            print(
+                "resume with: python -m repro "
+                + " ".join(resume_args)
+                + f" --resume {exc.journal_path}"
+            )
+        else:
+            print(
+                "(no --journal was given, so completed cells were not "
+                "durable; rerun with --journal PATH to make the sweep "
+                "resumable)"
+            )
+        return EXIT_RESUMABLE
     print(report.render())
 
     if args.specimen:
@@ -225,7 +326,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
             path = save_bundle(args.bundle, bundle)
             print(f"repro bundle written to {path}")
         return 0
-    return 0 if report.ok else 1
+    return 0 if report.ok and report.complete else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -237,10 +338,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_baseline,
         render,
         run_benchmarks,
+        supervised_overhead_problems,
     )
 
     results = run_benchmarks(smoke=args.smoke, workers=args.workers)
     print(render(results))
+    overhead_problems = supervised_overhead_problems(results)
+    for problem in overhead_problems:
+        print(f"OVERHEAD: {problem}")
     payload = {
         "schema": BENCH_SCHEMA,
         "smoke": args.smoke,
@@ -265,7 +370,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"no benchmark more than {args.fail_threshold:g}x below "
             f"{args.baseline}"
         )
-    return 0
+    return 1 if overhead_problems else 0
 
 
 def _cmd_chaos_replay(args: argparse.Namespace) -> int:
@@ -356,6 +461,27 @@ def main(argv: list[str] | None = None) -> int:
         "('none' or '-' marks a non-participant), e.g. 1,1,1,1 or "
         "1,2,none",
     )
+    p.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="wall-clock budget; at expiry the exploration stops, "
+        "checkpoints its frontier (with --checkpoint), and exits 75",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write the frontier here when interrupted by the deadline "
+        "or SIGINT/SIGTERM",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="continue a checkpointed exploration exactly (same task, "
+        "inputs, and explorer knobs required)",
+    )
     p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser(
@@ -416,6 +542,57 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="fan cells out over this many worker processes "
         "(reports are byte-identical to serial runs)",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append every completed cell to this JSONL journal; an "
+        "interrupted sweep exits 75 and can be continued with --resume",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from a journal: replay its completed cells and "
+        "execute only the remainder (fingerprint-pinned to the exact "
+        "same campaign/seed/--cells)",
+    )
+    p.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget enforced inside workers; a "
+        "cell that exceeds it is retried, then quarantined as timeout",
+    )
+    p.add_argument(
+        "--rss-mb",
+        type=float,
+        default=None,
+        help="per-cell resident-set budget (MiB) enforced inside "
+        "workers; breaching cells are quarantined as oom",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="supervised retry budget per cell before quarantine "
+        "(default: RetryPolicy's 2)",
+    )
+    p.add_argument(
+        "--pool",
+        choices=["supervised", "raw"],
+        default="supervised",
+        help="worker pool implementation; 'raw' is the legacy "
+        "ProcessPoolExecutor, kept for overhead benchmarking",
+    )
+    p.add_argument(
+        "--inject-worker-kill",
+        type=int,
+        metavar="CELL",
+        default=None,
+        help="fault drill: SIGKILL the worker assigned this cell index "
+        "on its first attempt (the report must come out identical)",
     )
     p.set_defaults(func=_cmd_chaos_run)
 

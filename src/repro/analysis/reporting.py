@@ -59,5 +59,15 @@ def format_campaign(report: Any) -> str:
             lines.append(f"  {record.format_row()}")
             if record.detail:
                 lines.append(f"      {record.detail}")
-    lines.append(f"verdict: {'OK' if report.ok else 'FAILED'}")
+    quarantined = list(getattr(report, "quarantined", ()))
+    if quarantined:
+        lines.append("quarantined cells (run never finished):")
+        for record in quarantined:
+            lines.append(f"  {record.format_row()}")
+            if record.detail:
+                lines.append(f"      {record.detail}")
+    verdict = "OK" if report.ok else "FAILED"
+    if report.ok and quarantined:
+        verdict = f"OK (INCOMPLETE: {len(quarantined)} quarantined)"
+    lines.append(f"verdict: {verdict}")
     return "\n".join(lines)

@@ -81,6 +81,9 @@ def verify_run(
     dedup: bool = False,
     por: bool = False,
     symmetry: bool = False,
+    deadline_s: float | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | None = None,
 ) -> RunResult:
     """Verify one run against ``task`` (wait-freedom + task relation);
     returns the result for chaining.
@@ -99,6 +102,14 @@ def verify_run(
     work, while ``dedup`` / ``por`` / ``symmetry`` are the opt-in
     state, partial-order, and process-symmetry reductions (they change
     node counts, never the verdict).
+
+    ``deadline_s`` bounds the exhaustive exploration's wall-clock time.
+    A certificate is all-or-nothing, so hitting the deadline raises
+    :class:`~repro.errors.ExplorationInterrupted` rather than returning
+    a partial "ok"; when ``checkpoint_path`` is given the frontier is
+    saved there first and the exception carries the path, so a later
+    call with ``resume_from`` finishes the certificate without
+    re-exploring.
     """
     from .analysis.verify import verify_run as _verify
 
@@ -111,7 +122,7 @@ def verify_run(
                 "(concurrency=...)"
             )
         from .classify import explore_k_concurrent
-        from .errors import SafetyViolation
+        from .errors import ExplorationInterrupted, SafetyViolation
 
         report = explore_k_concurrent(
             task,
@@ -124,7 +135,22 @@ def verify_run(
             dedup=dedup,
             por=por,
             symmetry=symmetry,
+            deadline_s=deadline_s,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
         )
+        if report.interrupted:
+            where = (
+                f"; frontier saved to {report.checkpoint_path} "
+                "(pass resume_from=... to continue)"
+                if report.checkpoint_path
+                else ""
+            )
+            raise ExplorationInterrupted(
+                f"exhaustive verification stopped after "
+                f"{report.explored} nodes{where}",
+                checkpoint_path=report.checkpoint_path,
+            )
         if not report.ok:
             schedule, _ = report.violations[0]
             raise SafetyViolation(

@@ -31,7 +31,12 @@ RATE_KEYS = {
     "explorer_por_deep_renaming": "explored_per_s",
     "explorer_symmetry_kset": "explored_per_s",
     "campaign_smoke": "cells_per_s",
+    "campaign_supervised": "cells_per_s",
 }
+
+#: Maximum tolerated supervised-pool slowdown vs the raw
+#: ``ProcessPoolExecutor`` on the same cells (fraction of raw rate).
+SUPERVISED_OVERHEAD_MAX = 0.10
 
 
 # -- workloads -----------------------------------------------------------
@@ -197,6 +202,54 @@ def _bench_campaign(cells: int, workers: int) -> dict[str, Any]:
     }
 
 
+def _bench_campaign_pools(cells: int, workers: int) -> dict[str, Any]:
+    """Supervised pool vs raw ``ProcessPoolExecutor`` on identical
+    cells: the resilience layer's crash detection, budget plumbing, and
+    per-worker pipes must cost less than
+    :data:`SUPERVISED_OVERHEAD_MAX` of raw throughput."""
+    from .chaos import run_campaign, smoke_campaign
+
+    spec = smoke_campaign()
+    t0 = time.perf_counter()
+    supervised = run_campaign(spec, limit=cells, workers=workers)
+    supervised_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    raw = run_campaign(spec, limit=cells, workers=workers, pool="raw")
+    raw_wall = time.perf_counter() - t0
+    assert supervised.render() == raw.render()  # same cells, same report
+    supervised_rate = len(supervised.records) / supervised_wall
+    raw_rate = len(raw.records) / raw_wall
+    return {
+        "wall_s": supervised_wall,
+        "cells_per_s": supervised_rate,
+        "raw_cells_per_s": raw_rate,
+        "raw_wall_s": raw_wall,
+        "overhead_frac": 1.0 - supervised_rate / raw_rate,
+        "cells": len(supervised.records),
+        "workers": workers,
+    }
+
+
+def supervised_overhead_problems(
+    results: Mapping[str, Mapping[str, Any]],
+    *,
+    max_overhead: float = SUPERVISED_OVERHEAD_MAX,
+) -> list[str]:
+    """Gate the supervised pool's measured overhead against the raw
+    pool from the same run (empty list = within budget or not run)."""
+    metrics = results.get("campaign_supervised")
+    if not metrics or "overhead_frac" not in metrics:
+        return []
+    overhead = metrics["overhead_frac"]
+    if overhead > max_overhead:
+        return [
+            f"campaign_supervised: supervised pool is "
+            f"{overhead:.1%} slower than the raw pool "
+            f"(budget: {max_overhead:.0%})"
+        ]
+    return []
+
+
 def run_benchmarks(
     *, smoke: bool = False, workers: int = 1
 ) -> dict[str, dict[str, Any]]:
@@ -234,6 +287,9 @@ def run_benchmarks(
             12 if smoke else 16
         ),
         "campaign_smoke": lambda: _bench_campaign(cells, workers),
+        "campaign_supervised": lambda: _bench_campaign_pools(
+            cells, max(2, workers)
+        ),
     }
     return {name: fn() for name, fn in suite.items()}
 

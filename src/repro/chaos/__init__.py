@@ -39,11 +39,16 @@ from .campaign import (
     OUTCOME_BUDGET,
     OUTCOME_DEADLOCK,
     OUTCOME_ERROR,
+    OUTCOME_FLAKY,
     OUTCOME_HAZARD,
     OUTCOME_INVALID_HISTORY,
     OUTCOME_OK,
+    OUTCOME_OOM,
     OUTCOME_SAFETY,
     OUTCOME_SCHEDULE,
+    OUTCOME_TIMEOUT,
+    OUTCOME_WORKER_CRASH,
+    QUARANTINE_OUTCOMES,
     CampaignReport,
     CampaignSpec,
     CellRecord,
@@ -75,11 +80,16 @@ __all__ = [
     "OUTCOME_BUDGET",
     "OUTCOME_DEADLOCK",
     "OUTCOME_ERROR",
+    "OUTCOME_FLAKY",
     "OUTCOME_HAZARD",
     "OUTCOME_INVALID_HISTORY",
     "OUTCOME_OK",
+    "OUTCOME_OOM",
     "OUTCOME_SAFETY",
     "OUTCOME_SCHEDULE",
+    "OUTCOME_TIMEOUT",
+    "OUTCOME_WORKER_CRASH",
+    "QUARANTINE_OUTCOMES",
     "CampaignReport",
     "CampaignSpec",
     "CellRecord",

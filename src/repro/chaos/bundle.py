@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from ..errors import ChaosError
+from ..resilience import atomic_write_text
 from .campaign import CellRecord, CellSpec, run_cell
 from .shrink import ShrinkResult
 
@@ -47,9 +48,9 @@ def bundle_from_shrink(
 
 
 def save_bundle(path: str | Path, bundle: Mapping[str, Any]) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(bundle, indent=2) + "\n")
-    return path
+    # Atomic: a bundle interrupted mid-write (the exact moment chaos
+    # tooling exists for) must never leave a torn JSON document behind.
+    return atomic_write_text(path, json.dumps(bundle, indent=2) + "\n")
 
 
 def load_bundle(path: str | Path) -> dict[str, Any]:

@@ -8,11 +8,23 @@ history is validated against the ``check_history`` oracle *before* the
 run, and the outcome is classified; a failing cell is recorded and the
 campaign continues, so one bad interleaving never hides the rest of the
 space.
+
+Fan-out goes through the resilience layer
+(:mod:`repro.resilience.supervisor`): workers run under per-cell
+wall-clock/RSS budgets, a crashed worker costs only its in-flight cell
+(retried with deterministic backoff, quarantined after the retry budget
+with a triaged outcome — ``timeout`` / ``oom`` / ``worker_crash`` /
+``flaky``), and progress can be journaled append-only so an interrupted
+campaign resumes exactly (`run_campaign(resume=...)`).  Because every
+cell is fully determined by its spec, a resumed, retried, or parallel
+campaign renders a report byte-identical to an uninterrupted serial one.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import signal
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
@@ -20,9 +32,20 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 from ..analysis.verify import verify_run
 from ..core.run import RunResult
 from ..errors import (
+    CampaignInterrupted,
     LivenessViolation,
+    ResilienceError,
     SafetyViolation,
     TraceHazard,
+)
+from ..resilience import (
+    CampaignJournal,
+    CellBudget,
+    JobResult,
+    RetryPolicy,
+    SupervisedPool,
+    campaign_fingerprint,
+    load_journal,
 )
 from ..runtime import execute
 from ..runtime.scheduler import Scheduler
@@ -43,6 +66,16 @@ OUTCOME_DEADLOCK = "deadlock"
 OUTCOME_SCHEDULE = "schedule_exhausted"
 OUTCOME_INVALID_HISTORY = "invalid_history"
 OUTCOME_ERROR = "error"
+#: Quarantine outcomes: the *cell run* never finished — its worker was
+#: stopped by a budget watchdog or died — and retries were exhausted.
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_OOM = "oom"
+OUTCOME_WORKER_CRASH = "worker_crash"
+OUTCOME_FLAKY = "flaky"
+
+QUARANTINE_OUTCOMES = frozenset(
+    {OUTCOME_TIMEOUT, OUTCOME_OOM, OUTCOME_WORKER_CRASH, OUTCOME_FLAKY}
+)
 
 #: Extra times past stabilization over which histories are validated.
 HISTORY_VALIDATION_SLACK = 16
@@ -112,13 +145,21 @@ class CellSpec:
 
 @dataclass
 class CellRecord:
-    """Triage result of one executed cell."""
+    """Triage result of one executed cell.
+
+    ``attempts`` counts executions including supervised retries; it is
+    deliberately absent from :meth:`format_row` so that a cell that was
+    lost to a worker crash and re-run renders identically to one that
+    succeeded first try (retried runs are deterministic re-executions).
+    ``result`` is ``None`` for journal-replayed and quarantined cells.
+    """
 
     cell: CellSpec
     outcome: str
     detail: str = ""
     steps: int = 0
     result: RunResult | None = None
+    attempts: int = 1
 
     def format_row(self) -> str:
         return f"{self.outcome:18} {self.steps:>7}  {self.cell.label()}"
@@ -140,10 +181,23 @@ class CampaignReport:
         return [r for r in self.records if r.outcome == OUTCOME_SAFETY]
 
     @property
+    def quarantined(self) -> list[CellRecord]:
+        """Cells whose run never finished (budget kill / worker crash)
+        and whose retries were exhausted — lost coverage, not verdicts."""
+        return [
+            r for r in self.records if r.outcome in QUARANTINE_OUTCOMES
+        ]
+
+    @property
     def ok(self) -> bool:
         """No safety violations, no engine errors, no invalid histories."""
         bad = {OUTCOME_SAFETY, OUTCOME_ERROR, OUTCOME_INVALID_HISTORY}
         return not any(r.outcome in bad for r in self.records)
+
+    @property
+    def complete(self) -> bool:
+        """Every cell actually produced a verdict (nothing quarantined)."""
+        return not self.quarantined
 
     def render(self) -> str:
         from ..analysis.reporting import format_campaign
@@ -310,11 +364,19 @@ def run_cell(
     )
 
 
-def _run_cell_guarded(args: tuple[CellSpec, bool]) -> CellRecord:
+def _run_cell_guarded(args: tuple) -> CellRecord:
     """Module-level (picklable) cell runner shared by the serial and
-    process-pool paths; a raising cell degrades to an ``"error"``
-    record instead of aborting the sweep."""
-    cell, strict_traces = args
+    pool paths; a raising cell degrades to an ``"error"`` record instead
+    of aborting the sweep.
+
+    ``args`` is ``(cell, strict_traces)`` or ``(cell, strict_traces,
+    kill_self)`` — the third element is the raw-pool fault drill: the
+    worker SIGKILLs itself *before* running the cell, simulating an OOM
+    killer / operator kill mid-sweep (resubmissions clear the flag).
+    """
+    cell, strict_traces, *rest = args
+    if rest and rest[0]:
+        os.kill(os.getpid(), signal.SIGKILL)
     try:
         return run_cell(cell, strict_traces=strict_traces)
     except Exception as exc:  # noqa: BLE001 - triage, don't abort
@@ -323,48 +385,228 @@ def _run_cell_guarded(args: tuple[CellSpec, bool]) -> CellRecord:
         )
 
 
+def _record_from_job(cell: CellSpec, job: JobResult) -> CellRecord:
+    """Map a supervised :class:`~repro.resilience.JobResult` onto a
+    :class:`CellRecord` (quarantined jobs become triaged outcomes)."""
+    if job.ok:
+        record = job.value
+        record.attempts = job.attempts
+        return record
+    if job.kind == "task_error":
+        return CellRecord(
+            cell, OUTCOME_ERROR, detail=job.detail, attempts=job.attempts
+        )
+    detail = job.detail
+    if job.failures:
+        detail = "; ".join(
+            f"attempt {i + 1}: {failure.kind}"
+            for i, failure in enumerate(job.failures)
+        ) + f" — {job.detail}"
+    return CellRecord(cell, job.kind, detail=detail, attempts=job.attempts)
+
+
+def _run_jobs_raw(
+    jobs: list[tuple[int, tuple]],
+    workers: int,
+    record_result: Callable[[int, CellRecord], None],
+    inject_worker_kill: int | None = None,
+) -> None:
+    """Legacy ``ProcessPoolExecutor`` fan-out, kept for the supervised-
+    overhead benchmark — now with ``BrokenProcessPool`` recovery: a dead
+    worker no longer discards completed cells; finished futures are
+    harvested and only the unfinished cells are resubmitted to a fresh
+    pool (with any self-kill drill flag cleared)."""
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures.process import BrokenProcessPool
+
+    outstanding: dict[int, tuple] = dict(jobs)
+    inject = inject_worker_kill
+    while outstanding:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: dict = {}
+        try:
+            for index, payload in sorted(outstanding.items()):
+                kill_self = index == inject
+                if kill_self:
+                    inject = None  # the drill kills exactly once
+                futures[
+                    pool.submit(_run_cell_guarded, (*payload, kill_self))
+                ] = index
+            for future in as_completed(futures):
+                index = futures[future]
+                record_result(index, future.result())
+                del outstanding[index]
+        except BrokenProcessPool:
+            # Harvest every future that did finish, resubmit the rest.
+            for future, index in futures.items():
+                if index not in outstanding or not future.done():
+                    continue
+                try:
+                    record = future.result()
+                except Exception:  # noqa: BLE001 - lost with the worker
+                    continue
+                record_result(index, record)
+                del outstanding[index]
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_campaign(
     spec: CampaignSpec,
     *,
     limit: int | None = None,
     on_cell: Callable[[CellRecord], None] | None = None,
     workers: int | None = None,
+    budget: CellBudget | None = None,
+    retry: RetryPolicy | None = None,
+    journal: str | None = None,
+    resume: str | None = None,
+    pool: str = "supervised",
+    inject_worker_kill: int | None = None,
 ) -> CampaignReport:
     """Run (up to ``limit`` cells of) a campaign to a structured report.
 
-    Degrades gracefully: a cell that raises is recorded with outcome
-    ``"error"`` and the sweep continues.
+    Degrades gracefully at every level: a cell that *raises* is recorded
+    with outcome ``"error"``; a cell whose worker *dies* (crash, budget
+    kill) is retried with deterministic backoff and, after the retry
+    budget, recorded with a quarantine outcome (``timeout`` / ``oom`` /
+    ``worker_crash`` / ``flaky``) — the sweep always continues.
 
     ``workers`` (default: ``spec.workers``) > 1 fans the cells out over
-    a process pool.  Cells are fully determined by their spec — every
+    a :class:`~repro.resilience.SupervisedPool` (or the legacy raw
+    ``ProcessPoolExecutor`` with ``pool="raw"``, kept for overhead
+    benchmarking).  Cells are fully determined by their spec — every
     source of randomness is an explicit per-cell seed — and records are
     collected in cell order, so the resulting report (including
     :meth:`CampaignReport.render`) is byte-identical to a serial run.
+
+    ``budget`` arms per-cell wall-clock/RSS watchdogs inside the
+    workers; setting it (or ``inject_worker_kill``) with ``workers=1``
+    still routes through a one-worker supervised pool so the budget is
+    enforceable.  ``journal`` appends every completed cell to a JSONL
+    file the moment it finishes; ``resume`` replays such a journal,
+    re-executing only the missing cells (the journal is fingerprint-
+    pinned to the exact enumerated campaign).  SIGINT/SIGTERM during a
+    run raises :class:`~repro.errors.CampaignInterrupted` after workers
+    are stopped and the journal is flushed.
     """
     if workers is None:
         workers = spec.workers
-    cells = spec.cells()
+    if pool not in ("supervised", "raw"):
+        raise ResilienceError(f"unknown pool kind: {pool!r}")
+    cell_iter = spec.cells()
     if limit is not None:
-        cells = itertools.islice(cells, limit)
-    jobs = [(cell, spec.strict_traces) for cell in cells]
-    records: list[CellRecord] = []
-    if workers > 1 and len(jobs) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        cell_iter = itertools.islice(cell_iter, limit)
+    cells = list(cell_iter)
+    fingerprint = campaign_fingerprint(
+        spec.name, cells, spec.strict_traces
+    )
 
-        chunksize = max(1, len(jobs) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = pool.map(_run_cell_guarded, jobs, chunksize=chunksize)
-            for record in outcomes:
-                records.append(record)
-                if on_cell is not None:
-                    on_cell(record)
-    else:
-        for job in jobs:
-            record = _run_cell_guarded(job)
-            records.append(record)
+    records: dict[int, CellRecord] = {}
+    journal_writer: CampaignJournal | None = None
+    journal_path: str | None = None
+    if resume is not None:
+        header, lines = load_journal(resume)
+        if header.get("fingerprint") != fingerprint:
+            raise ResilienceError(
+                f"{resume}: journal fingerprint does not match this "
+                f"campaign (different spec, seed, or --cells limit)"
+            )
+        for index, line in lines.items():
+            if 0 <= index < len(cells):
+                records[index] = CellRecord(
+                    cells[index],
+                    line["outcome"],
+                    detail=line.get("detail", ""),
+                    steps=int(line.get("steps", 0)),
+                    attempts=int(line.get("attempts", 1)),
+                )
+        journal_path = str(resume)
+        journal_writer = CampaignJournal(resume).reopen()
+    elif journal is not None:
+        journal_path = str(journal)
+        journal_writer = CampaignJournal(journal).open(
+            {
+                "campaign": spec.name,
+                "fingerprint": fingerprint,
+                "cells": len(cells),
+            }
+        )
+
+    emitted = 0
+
+    def emit_ready() -> None:
+        """Deliver records to ``on_cell`` in cell order, as available."""
+        nonlocal emitted
+        while emitted < len(cells) and emitted in records:
             if on_cell is not None:
-                on_cell(record)
-    return CampaignReport(spec.name, records)
+                on_cell(records[emitted])
+            emitted += 1
+
+    def record_result(index: int, record: CellRecord) -> None:
+        records[index] = record
+        if journal_writer is not None:
+            journal_writer.append_cell(
+                index,
+                outcome=record.outcome,
+                detail=record.detail,
+                steps=record.steps,
+                attempts=record.attempts,
+                cell_json=record.cell.to_json(),
+            )
+        emit_ready()
+
+    remaining = [
+        (index, (cells[index], spec.strict_traces))
+        for index in range(len(cells))
+        if index not in records
+    ]
+    try:
+        emit_ready()  # journal-replayed prefix first, in order
+        use_pool = (
+            workers > 1
+            or budget is not None
+            or inject_worker_kill is not None
+        )
+        if not remaining:
+            pass
+        elif use_pool and pool == "raw":
+            _run_jobs_raw(
+                remaining, max(1, workers), record_result,
+                inject_worker_kill,
+            )
+        elif use_pool:
+            supervised = SupervisedPool(
+                _run_cell_guarded,
+                workers=max(1, workers),
+                budget=budget,
+                retry=retry,
+                kill_job_index=inject_worker_kill,
+            )
+
+            def on_job(job: JobResult) -> None:
+                record_result(
+                    job.index, _record_from_job(cells[job.index], job)
+                )
+
+            supervised.run(remaining, on_result=on_job)
+        else:
+            for index, payload in remaining:
+                record_result(index, _run_cell_guarded(payload))
+    except KeyboardInterrupt:
+        raise CampaignInterrupted(
+            f"campaign '{spec.name}' interrupted: "
+            f"{len(records)}/{len(cells)} cells durable",
+            journal_path=journal_path,
+            completed=len(records),
+            total=len(cells),
+        ) from None
+    finally:
+        if journal_writer is not None:
+            journal_writer.close()
+    return CampaignReport(
+        spec.name, [records[index] for index in range(len(cells))]
+    )
 
 
 # -- stock campaigns ----------------------------------------------------

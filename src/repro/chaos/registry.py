@@ -38,7 +38,11 @@ from .injectors import (
     PerturbedDetector,
     PriorityInversionScheduler,
 )
-from .specimens import eager_consensus_factories
+from .specimens import (
+    allocating_factories,
+    eager_consensus_factories,
+    spinning_factories,
+)
 
 
 def parse_pid(name: str) -> ProcessId:
@@ -182,6 +186,24 @@ def build_system(
             c_factories=c_factories,
             s_factories=s_factories,
             detector=detector,
+            pattern=pattern,
+            seed=seed,
+        )
+    if algorithm == "specimen-spin":
+        # Planted liveness hazard: unbounded local computation that only
+        # the resilience layer's deadline watchdog can stop.
+        return System(
+            inputs=inputs,
+            c_factories=spinning_factories(task.n),
+            pattern=pattern,
+            seed=seed,
+        )
+    if algorithm == "specimen-hog":
+        # Planted allocator: retains memory each step until the RSS
+        # watchdog kills the worker.
+        return System(
+            inputs=inputs,
+            c_factories=allocating_factories(task.n),
             pattern=pattern,
             seed=seed,
         )

@@ -67,3 +67,50 @@ def eager_consensus_factories(n: int):
         [c_factory(i) for i in range(n)],
         [s_factory(i) for i in range(n)],
     )
+
+
+def spinning_factories(n: int):
+    """Unbounded *local* computation (broken on purpose).
+
+    C-process ``p1`` performs one legal step, then falls into an
+    infinite local loop while computing its next operation — the
+    executor's resume of the generator never returns.  No step budget or
+    cooperative check can interrupt it; only the resilience layer's
+    wall-clock watchdog (which kills the worker process from a separate
+    thread) detects it.  Campaign cells over this specimen must triage
+    as ``timeout``.
+    """
+
+    def c_factory(i: int):
+        def automaton(ctx: ProcessContext):
+            yield ops.Nop()
+            if i == 0:
+                while True:  # unbounded local computation
+                    pass
+            while True:
+                yield ops.Nop()
+
+        return automaton
+
+    return [c_factory(i) for i in range(n)]
+
+
+def allocating_factories(n: int, *, chunk_mb: int = 8):
+    """Unbounded memory growth (broken on purpose).
+
+    Every step of every C-process allocates and *retains* ``chunk_mb``
+    MiB, so the worker's resident set climbs by ``n * chunk_mb`` MiB per
+    scheduling round until the RSS watchdog kills it.  Campaign cells
+    over this specimen under a memory budget must triage as ``oom``.
+    """
+
+    def c_factory(i: int):
+        def automaton(ctx: ProcessContext):
+            hoard = []
+            while True:
+                hoard.append(bytearray(chunk_mb << 20))
+                yield ops.Nop()
+
+        return automaton
+
+    return [c_factory(i) for i in range(n)]

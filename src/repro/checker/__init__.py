@@ -2,6 +2,8 @@
 
 from .bivalence import ValencyReport, analyze_valency
 from .explorer import (
+    EXPLORER_CHECKPOINT_FORMAT,
+    EXPLORER_CHECKPOINT_VERSION,
     ExplorationReport,
     ScheduleExplorer,
     concurrency_gate,
@@ -14,6 +16,8 @@ from .symmetry import c_orbits, canonical_fingerprint, prune_interchangeable
 __all__ = [
     "ValencyReport",
     "analyze_valency",
+    "EXPLORER_CHECKPOINT_FORMAT",
+    "EXPLORER_CHECKPOINT_VERSION",
     "ExplorationReport",
     "ScheduleExplorer",
     "concurrency_gate",

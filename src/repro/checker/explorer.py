@@ -57,24 +57,53 @@ unconditional prune would be unsound (the classic sleep-sets versus
 state-caching interaction): the first visit may have skipped branches
 whose coverage was promised by siblings of *its* path, a promise that
 says nothing about the new path.
+
+Exploration is *preemptible*: the DFS runs over an explicit frontier
+stack (not Python recursion), so :meth:`ScheduleExplorer.check` can
+stop at a wall-clock ``deadline_s`` or on SIGINT/SIGTERM, serialize the
+frontier — pending ``(schedule, sleep set)`` nodes, the report
+counters, and the dedup ``seen`` map — to an atomic checkpoint file,
+and a later ``resume_from`` run re-establishes prefix state by replay
+and continues *exactly*: the final report of an interrupted-and-resumed
+exploration is equal, counter for counter, to an uninterrupted one,
+because nodes are expanded in the identical order and no counter is
+charged twice (the frontier is saved before the next node is popped).
 """
 
 from __future__ import annotations
 
+import pickle
+import signal as _signal
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.process import ProcessId
 from ..core.system import System
+from ..errors import ResilienceError
+from ..resilience import atomic_write_bytes
 from ..runtime.executor import Executor, ExecutorCheckpoint
 from ..runtime.scheduler import ExplicitScheduler
 from .independence import StepFootprint, commutes, step_footprint
 from .symmetry import c_orbits, canonical_fingerprint, prune_interchangeable
 
+EXPLORER_CHECKPOINT_FORMAT = "repro-explorer-checkpoint"
+EXPLORER_CHECKPOINT_VERSION = 1
+
+#: Explorer knobs that must match between a checkpoint and the
+#: explorer resuming from it.
+_KNOB_NAMES = ("max_depth", "max_runs", "dedup", "por", "symmetry")
+
 
 @dataclass
 class ExplorationReport:
-    """Outcome of one exhaustive exploration."""
+    """Outcome of one exhaustive exploration.
+
+    ``interrupted`` marks a run that stopped at its deadline or on a
+    signal rather than exhausting the frontier; when a checkpoint was
+    requested, ``checkpoint_path`` names the file a ``resume_from`` run
+    continues from.
+    """
 
     explored: int = 0
     completed_runs: int = 0
@@ -85,6 +114,8 @@ class ExplorationReport:
     violations: list[tuple[tuple[ProcessId, ...], object]] = field(
         default_factory=list
     )
+    interrupted: bool = False
+    checkpoint_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -141,6 +172,9 @@ class ScheduleExplorer:
         self.por = por
         self.symmetry = symmetry
         self._orbits: tuple[tuple[int, ...], ...] = ()
+        #: set by :meth:`request_interrupt` (or a signal handler) to
+        #: stop the running :meth:`check` before its next node.
+        self._interrupt = False
         #: schedule prefix of the executor most recently produced by
         #: :meth:`_executor_for` (the node currently being visited).
         self.current_schedule: tuple[ProcessId, ...] = ()
@@ -242,25 +276,130 @@ class ScheduleExplorer:
 
     # -- exploration ----------------------------------------------------
 
+    def request_interrupt(self) -> None:
+        """Ask a running :meth:`check` to stop before its next node
+        (and checkpoint, if a checkpoint path was given).  Safe to call
+        from signal handlers or from inside the verdict callback."""
+        self._interrupt = True
+
+    def _knobs(self) -> dict:
+        return {name: getattr(self, name) for name in _KNOB_NAMES}
+
+    def _save_checkpoint(
+        self,
+        path: str,
+        report: ExplorationReport,
+        stack: list,
+        seen: dict | None,
+    ) -> None:
+        # Stack entries carry a parent schedule reference used only for
+        # an identity fast path; it never survives a restore, so strip
+        # it (pickling it would deep-copy shared prefixes anyway).
+        payload = {
+            "format": EXPLORER_CHECKPOINT_FORMAT,
+            "version": EXPLORER_CHECKPOINT_VERSION,
+            "knobs": self._knobs(),
+            "report": report,
+            "frontier": [(schedule, sleep) for schedule, sleep, _ in stack],
+            "seen": seen,
+        }
+        atomic_write_bytes(path, pickle.dumps(payload, protocol=4))
+
+    def _load_checkpoint(
+        self, path: str
+    ) -> tuple[ExplorationReport, list, dict | None]:
+        try:
+            payload = pickle.loads(open(path, "rb").read())
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot read explorer checkpoint {path}: {exc}"
+            ) from exc
+        if payload.get("format") != EXPLORER_CHECKPOINT_FORMAT:
+            raise ResilienceError(
+                f"{path}: not an {EXPLORER_CHECKPOINT_FORMAT} file"
+            )
+        if payload.get("version") != EXPLORER_CHECKPOINT_VERSION:
+            raise ResilienceError(
+                f"{path}: unsupported checkpoint version "
+                f"{payload.get('version')!r}"
+            )
+        if payload["knobs"] != self._knobs():
+            raise ResilienceError(
+                f"{path}: checkpoint was taken with different explorer "
+                f"knobs {payload['knobs']} (this explorer: "
+                f"{self._knobs()})"
+            )
+        stack = [
+            (schedule, sleep, None)
+            for schedule, sleep in payload["frontier"]
+        ]
+        return payload["report"], stack, payload["seen"]
+
     def check(
-        self, verdict: Callable[[Executor], bool | None]
+        self,
+        verdict: Callable[[Executor], bool | None],
+        *,
+        deadline_s: float | None = None,
+        checkpoint_path: str | None = None,
+        resume_from: str | None = None,
+        handle_signals: bool = False,
     ) -> ExplorationReport:
         """Explore; ``verdict`` is called at every node and must return
         ``True`` (fine so far), ``False`` (violation — recorded, branch
         pruned), or ``None`` (finished successfully — e.g. everyone
-        decided; branch ends)."""
+        decided; branch ends).
+
+        ``deadline_s`` bounds wall-clock time; at expiry (or after
+        :meth:`request_interrupt`, or SIGINT/SIGTERM when
+        ``handle_signals`` is true) the exploration stops, writes its
+        frontier to ``checkpoint_path`` (if given), and returns a
+        report with ``interrupted=True``.  ``resume_from`` restores a
+        previous checkpoint and continues exactly — the verdict
+        callback must be semantically identical across the runs, and
+        ``system_builder`` must rebuild the same system (both hold for
+        all built-in verdicts/systems, which are pure functions of
+        their specs)."""
         report = ExplorationReport()
         seen: dict[bytes, list[frozenset]] | None = (
             {} if self.dedup else None
         )
+        #: frontier entries: (schedule, sleep set, parent schedule ref)
+        stack: list = [((), frozenset(), None)]
+        if resume_from is not None:
+            report, stack, seen = self._load_checkpoint(resume_from)
+            report.interrupted = False
+            report.checkpoint_path = None
         self.current_schedule = ()
         self._current = None
         self._system = None
         self._checkpoints = []
+        self._interrupt = False
         self._orbits = (
             c_orbits(self._shared_system()) if self.symmetry else ()
         )
-        self._explore((), verdict, report, seen, frozenset())
+        deadline_at = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        restore: list[tuple[int, object]] = []
+        if handle_signals:
+
+            def _on_signal(signum, frame):  # pragma: no cover - signal
+                self._interrupt = True
+
+            for signum in (_signal.SIGINT, _signal.SIGTERM):
+                try:
+                    restore.append(
+                        (signum, _signal.signal(signum, _on_signal))
+                    )
+                except ValueError:  # not the main thread
+                    break
+        try:
+            self._explore_frontier(
+                stack, verdict, report, seen, deadline_at, checkpoint_path
+            )
+        finally:
+            for signum, previous in restore:
+                _signal.signal(signum, previous)
         return report
 
     def _fingerprint(self, executor: Executor) -> bytes:
@@ -291,71 +430,101 @@ class ScheduleExplorer:
         prior.append(sleep)
         return False
 
-    def _explore(
+    def _explore_frontier(
         self,
-        schedule: tuple[ProcessId, ...],
+        stack: list,
         verdict: Callable[[Executor], bool | None],
         report: ExplorationReport,
         seen: dict[bytes, list[frozenset]] | None,
-        sleep: frozenset,
-        parent: tuple[ProcessId, ...] | None = None,
+        deadline_at: float | None,
+        checkpoint_path: str | None,
     ) -> None:
-        if report.completed_runs + report.truncated_runs >= self.max_runs:
-            return
-        executor = self._executor_for(schedule, parent)
-        if seen is not None:
-            if self._seen_covers(seen, self._fingerprint(executor), sleep):
-                report.deduplicated += 1
+        """DFS over an explicit frontier stack.
+
+        Children are pushed in reverse so pops visit them in sibling
+        order — node for node the same sequence the recursive DFS
+        visited, which keeps every report counter (and the dedup/sleep
+        interactions that depend on visit order) exactly reproducible
+        across interrupt/resume.  Interrupts are honoured *between*
+        nodes, before the next pop, so the saved frontier plus the
+        counters so far is a complete description of the remaining
+        work.
+        """
+        while stack:
+            if self._interrupt or (
+                deadline_at is not None
+                and time.monotonic() >= deadline_at
+            ):
+                report.interrupted = True
+                if checkpoint_path is not None:
+                    self._save_checkpoint(
+                        checkpoint_path, report, stack, seen
+                    )
+                    report.checkpoint_path = checkpoint_path
                 return
-        report.explored += 1
-        outcome = verdict(executor)
-        if outcome is False:
-            report.violations.append(
-                (schedule, executor.result("violation"))
-            )
-            return
-        if outcome is None:
-            report.completed_runs += 1
-            return
-        if len(schedule) >= self.max_depth:
-            report.truncated_runs += 1
-            return
-        branches = self._branches(executor, report)
-        if not branches:
-            report.completed_runs += 1
-            return
-        if self.por and not executor.crashes_pending():
-            # Footprints must be taken *now*: the executor object is
-            # shared down the DFS and will have mutated by the time the
-            # second sibling is expanded.
-            footprints: dict[ProcessId, StepFootprint] = {
-                pid: step_footprint(executor, pid)
-                for pid in {*branches, *sleep}
-            }
-            taken: list[ProcessId] = []
-            for pid in branches:
-                if pid in sleep:
-                    report.por_pruned += 1
+            if (
+                report.completed_runs + report.truncated_runs
+                >= self.max_runs
+            ):
+                return
+            schedule, sleep, parent = stack.pop()
+            executor = self._executor_for(schedule, parent)
+            if seen is not None:
+                if self._seen_covers(
+                    seen, self._fingerprint(executor), sleep
+                ):
+                    report.deduplicated += 1
                     continue
-                pid_fp = footprints[pid]
-                child_sleep = frozenset(
-                    t
-                    for t in sleep.union(taken)
-                    if commutes(footprints[t], pid_fp)
+            report.explored += 1
+            outcome = verdict(executor)
+            if outcome is False:
+                report.violations.append(
+                    (schedule, executor.result("violation"))
                 )
-                self._explore(
-                    schedule + (pid,), verdict, report, seen,
-                    child_sleep, schedule,
-                )
-                taken.append(pid)
-        else:
-            # No POR here (disabled, or crash transitions pending —
-            # everything is dependent, so all sleepers wake).
-            for pid in branches:
-                self._explore(
-                    schedule + (pid,), verdict, report, seen,
-                    frozenset(), schedule,
-                )
+                continue
+            if outcome is None:
+                report.completed_runs += 1
+                continue
+            if len(schedule) >= self.max_depth:
+                report.truncated_runs += 1
+                continue
+            branches = self._branches(executor, report)
+            if not branches:
+                report.completed_runs += 1
+                continue
+            children: list = []
+            if self.por and not executor.crashes_pending():
+                # Footprints must be taken *now*, while the executor
+                # still holds this node's state: it is shared down the
+                # DFS and will have mutated by the time a sibling is
+                # popped.
+                footprints: dict[ProcessId, StepFootprint] = {
+                    pid: step_footprint(executor, pid)
+                    for pid in {*branches, *sleep}
+                }
+                taken: list[ProcessId] = []
+                for pid in branches:
+                    if pid in sleep:
+                        report.por_pruned += 1
+                        continue
+                    pid_fp = footprints[pid]
+                    child_sleep = frozenset(
+                        t
+                        for t in sleep.union(taken)
+                        if commutes(footprints[t], pid_fp)
+                    )
+                    children.append(
+                        (schedule + (pid,), child_sleep, schedule)
+                    )
+                    taken.append(pid)
+            else:
+                # No POR here (disabled, or crash transitions pending —
+                # everything is dependent, so all sleepers wake).
+                for pid in branches:
+                    children.append(
+                        (schedule + (pid,), frozenset(), schedule)
+                    )
+            stack.extend(reversed(children))
 
 
 def drop_null_s_processes(executor: Executor, candidates):

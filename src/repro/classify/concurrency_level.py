@@ -111,13 +111,22 @@ def explore_k_concurrent(
     dedup: bool = False,
     por: bool = False,
     symmetry: bool = False,
+    deadline_s: float | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | None = None,
+    handle_signals: bool = False,
 ):
     """Exhaustively explore every k-concurrent interleaving of a
     restricted algorithm on one small instance, checking the task
     relation at every node.  The keyword knobs are the
     :class:`~repro.checker.explorer.ScheduleExplorer` reduction knobs
     (``dedup`` / ``por`` / ``symmetry`` change node counts, never the
-    verdict).  Returns the full exploration report."""
+    verdict) plus the preemption knobs of
+    :meth:`~repro.checker.explorer.ScheduleExplorer.check`
+    (``deadline_s`` / ``checkpoint_path`` / ``resume_from`` /
+    ``handle_signals``) for deep explorations that must survive
+    wall-clock budgets and signals.  Returns the full exploration
+    report (check ``interrupted`` before trusting ``ok``)."""
 
     def build() -> System:
         return System(inputs=inputs, c_factories=list(factories))
@@ -137,7 +146,13 @@ def explore_k_concurrent(
         por=por,
         symmetry=symmetry,
     )
-    return explorer.check(task_safety_verdict(task))
+    return explorer.check(
+        task_safety_verdict(task),
+        deadline_s=deadline_s,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+        handle_signals=handle_signals,
+    )
 
 
 def certify_k_concurrent_exhaustively(

@@ -90,6 +90,19 @@ class ProcessId:
         prefix = "p" if self.kind is ProcessKind.COMPUTATION else "q"
         return f"{prefix}{self.index + 1}"
 
+    def __reduce__(self):
+        # Unpickle through the interning constructors: the cached
+        # ``_hash`` is only valid within the process that computed it
+        # (hash randomization), so a default-pickled id would silently
+        # miss dict lookups when a checkpoint or a worker's result is
+        # loaded in another process.
+        ctor = (
+            c_process
+            if self.kind is ProcessKind.COMPUTATION
+            else s_process
+        )
+        return (ctor, (self.index,))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 

@@ -59,6 +59,46 @@ class ChaosError(ReproError):
     """
 
 
+class ResilienceError(ReproError):
+    """The resilience layer was misused or hit unrecoverable state.
+
+    Examples: resuming from a journal whose fingerprint does not match
+    the campaign being run, a corrupt (non-trailing) journal line, or an
+    explorer checkpoint taken with different reduction knobs.
+    """
+
+
+class CampaignInterrupted(ReproError):
+    """A journaled campaign was interrupted (SIGINT/SIGTERM) and shut
+    down gracefully: in-flight workers were stopped and every completed
+    cell is durable in the journal.  Carries what the caller needs to
+    print a resume hint."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        journal_path: str | None = None,
+        completed: int = 0,
+        total: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.journal_path = journal_path
+        self.completed = completed
+        self.total = total
+
+
+class ExplorationInterrupted(ReproError):
+    """An exhaustive exploration hit its deadline or was signalled; its
+    frontier was checkpointed to disk for exact resumption."""
+
+    def __init__(
+        self, message: str, *, checkpoint_path: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+
+
 class TraceHazard(ReproError):
     """Strict verification found race/atomicity hazards in a trace.
 

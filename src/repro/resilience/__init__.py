@@ -1,0 +1,74 @@
+"""Resilience layer: supervised fan-out, budgets, and durable progress.
+
+The paper's construction keeps computation wait-free by pushing every
+crash-prone step onto supervised helpers; this package applies the same
+discipline to the harness's own long-running workloads.  Campaigns and
+deep explorations fan work out through a :class:`SupervisedPool` whose
+workers run under :class:`CellBudget` watchdogs, failed work is retried
+with deterministic backoff and quarantined with a triaged kind instead
+of aborting the sweep, and progress is journaled append-only so an
+interrupted run resumes exactly where it stopped.
+
+* :mod:`~repro.resilience.supervisor` — the pool: per-worker pipes,
+  crash detection and attribution, retry/backoff/jitter, quarantine.
+* :mod:`~repro.resilience.budget` — in-worker wall-clock and RSS
+  watchdogs with distinct kill exit codes.
+* :mod:`~repro.resilience.journal` — append-only JSONL campaign
+  journals with fingerprint-pinned resume.
+"""
+
+from .budget import (
+    EXIT_OOM,
+    EXIT_TIMEOUT,
+    BudgetWatchdog,
+    CellBudget,
+    current_rss_mb,
+)
+from .journal import (
+    JOURNAL_FORMAT,
+    JOURNAL_VERSION,
+    CampaignJournal,
+    atomic_write_bytes,
+    atomic_write_text,
+    campaign_fingerprint,
+    load_journal,
+)
+from .supervisor import (
+    EXIT_RESUMABLE,
+    FAIL_CRASH,
+    FAIL_FLAKY,
+    FAIL_OOM,
+    FAIL_TIMEOUT,
+    AttemptFailure,
+    JobResult,
+    RetryPolicy,
+    SupervisedPool,
+    backoff_schedule,
+    triage,
+)
+
+__all__ = [
+    "EXIT_OOM",
+    "EXIT_TIMEOUT",
+    "BudgetWatchdog",
+    "CellBudget",
+    "current_rss_mb",
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "CampaignJournal",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "campaign_fingerprint",
+    "load_journal",
+    "EXIT_RESUMABLE",
+    "FAIL_CRASH",
+    "FAIL_FLAKY",
+    "FAIL_OOM",
+    "FAIL_TIMEOUT",
+    "AttemptFailure",
+    "JobResult",
+    "RetryPolicy",
+    "SupervisedPool",
+    "backoff_schedule",
+    "triage",
+]

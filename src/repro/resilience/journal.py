@@ -1,0 +1,186 @@
+"""Append-only JSONL progress journals, the campaign resume substrate.
+
+A journal mirrors the paper's discipline of separating crash-prone work
+from durable state: every completed cell is appended (and fsynced) the
+moment its outcome is known, so a SIGKILLed worker, an OOMed host, or a
+Ctrl-C'd orchestrator loses at most the cells that were in flight.
+``python -m repro chaos run --resume <journal>`` replays the journal's
+completed cells into the report and executes only the remainder; the
+final report is byte-identical to an uninterrupted run because cell
+outcomes are fully determined by their specs.
+
+Line format (one JSON object per line):
+
+* header — ``{"kind": "header", "format": ..., "version": ...,
+  "campaign": name, "fingerprint": <sha256 over the enumerated cell
+  specs>, "cells": N}``
+* cell — ``{"kind": "cell", "index": i, "outcome": ..., "detail": ...,
+  "steps": ..., "attempts": k, "cell": <CellSpec JSON>}``
+
+A torn trailing line (crash mid-append) is tolerated and ignored on
+load.  The fingerprint pins the journal to one exact campaign: resuming
+against a different spec, seed, or cell limit is refused instead of
+silently mixing sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import ResilienceError
+
+JOURNAL_FORMAT = "repro-chaos-journal"
+JOURNAL_VERSION = 1
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a same-directory temp file and
+    ``os.replace``, so readers never observe a half-written file."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Binary sibling of :func:`atomic_write_text` (explorer
+    checkpoints must never be observable half-written either)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+    return path
+
+
+def campaign_fingerprint(
+    name: str, cells: Iterable[Any], strict_traces: bool
+) -> str:
+    """Stable identity of one enumerated campaign (order included)."""
+    payload = json.dumps(
+        {
+            "name": name,
+            "strict_traces": strict_traces,
+            "cells": [cell.to_json() for cell in cells],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class CampaignJournal:
+    """Append-only writer; durable after every :meth:`append_cell`."""
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle = None
+
+    def open(self, header: Mapping[str, Any]) -> "CampaignJournal":
+        """Create/truncate the journal and write its header line."""
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._append(
+            {
+                "kind": "header",
+                "format": JOURNAL_FORMAT,
+                "version": JOURNAL_VERSION,
+                **dict(header),
+            }
+        )
+        return self
+
+    def reopen(self) -> "CampaignJournal":
+        """Continue appending to an existing journal (resume mode)."""
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def _append(self, line: Mapping[str, Any]) -> None:
+        assert self._handle is not None, "journal not opened"
+        self._handle.write(json.dumps(line, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def append_cell(
+        self,
+        index: int,
+        *,
+        outcome: str,
+        detail: str,
+        steps: int,
+        attempts: int,
+        cell_json: Mapping[str, Any],
+    ) -> None:
+        self._append(
+            {
+                "kind": "cell",
+                "index": index,
+                "outcome": outcome,
+                "detail": detail,
+                "steps": steps,
+                "attempts": attempts,
+                "cell": dict(cell_json),
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_journal(
+    path: str | Path,
+) -> tuple[dict[str, Any], dict[int, dict[str, Any]]]:
+    """Read a journal back: ``(header, {cell index: cell line})``.
+
+    A torn trailing line is skipped; a torn line *before* valid lines
+    (which cannot happen with append-only writes) is an error.  Re-runs
+    of the same cell keep the last record.
+    """
+    path = Path(path)
+    try:
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise ResilienceError(f"cannot read journal {path}: {exc}") from exc
+    header: dict[str, Any] | None = None
+    cells: dict[int, dict[str, Any]] = {}
+    for lineno, raw in enumerate(raw_lines):
+        if not raw.strip():
+            continue
+        try:
+            line = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            if lineno == len(raw_lines) - 1:
+                break  # torn trailing line: the crash we exist to survive
+            raise ResilienceError(
+                f"{path}:{lineno + 1}: corrupt journal line"
+            ) from exc
+        kind = line.get("kind")
+        if kind == "header":
+            if line.get("format") != JOURNAL_FORMAT:
+                raise ResilienceError(
+                    f"{path}: not a {JOURNAL_FORMAT} document"
+                )
+            if line.get("version") != JOURNAL_VERSION:
+                raise ResilienceError(
+                    f"{path}: unsupported journal version "
+                    f"{line.get('version')!r}"
+                )
+            header = line
+        elif kind == "cell":
+            cells[int(line["index"])] = line
+    if header is None:
+        raise ResilienceError(f"{path}: journal has no header line")
+    return header, cells

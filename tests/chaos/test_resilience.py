@@ -1,0 +1,182 @@
+"""Supervised campaigns: budgets, retries, quarantine, journaled resume.
+
+Planted specimens (an infinite spin, an unbounded allocator) prove the
+watchdogs actually fire; kill-injection drills prove a murdered worker
+costs nothing; journal round-trips prove interrupted sweeps resume to
+byte-identical reports.
+"""
+
+import pytest
+
+from repro.chaos import run_campaign, smoke_campaign
+from repro.chaos.campaign import (
+    OUTCOME_OOM,
+    OUTCOME_TIMEOUT,
+    CampaignSpec,
+    Workload,
+)
+from repro.errors import CampaignInterrupted, ResilienceError
+from repro.resilience import (
+    AttemptFailure,
+    CellBudget,
+    RetryPolicy,
+    backoff_schedule,
+    current_rss_mb,
+    load_journal,
+    triage,
+)
+
+#: No-retry policy with negligible backoff, so specimen tests stay fast.
+FAST_QUARANTINE = RetryPolicy(max_retries=0, backoff_base_s=0.01)
+
+
+def specimen_spec(algorithm: str) -> CampaignSpec:
+    """One-cell campaign over a planted-resource-bug specimen."""
+    return CampaignSpec(
+        name=f"budget:{algorithm}",
+        workloads=[
+            Workload(
+                task={"family": "consensus", "n": 3},
+                detector={"family": "none"},
+                algorithm=algorithm,
+            ),
+        ],
+        patterns=((None, None, None),),
+        schedulers=({"kind": "round-robin"},),
+        seeds=(0,),
+        stabilization_times=(0,),
+        max_steps=2_000,
+    )
+
+
+class TestBudgetEnforcement:
+    def test_spin_specimen_quarantines_as_timeout(self):
+        report = run_campaign(
+            specimen_spec("specimen-spin"),
+            budget=CellBudget(deadline_s=0.5, poll_interval_s=0.02),
+            retry=FAST_QUARANTINE,
+        )
+        assert [r.outcome for r in report.records] == [OUTCOME_TIMEOUT]
+        assert not report.complete
+        assert report.quarantined == report.records
+        assert "quarantined" in report.render()
+
+    def test_hog_specimen_quarantines_as_oom(self):
+        # The worker forks from this process, so budget relative to the
+        # current RSS; the hog retains ~24 MiB per scheduling round.
+        report = run_campaign(
+            specimen_spec("specimen-hog"),
+            budget=CellBudget(
+                deadline_s=30.0,  # backstop only; RSS must fire first
+                rss_mb=current_rss_mb() + 80,
+                poll_interval_s=0.02,
+            ),
+            retry=FAST_QUARANTINE,
+        )
+        assert [r.outcome for r in report.records] == [OUTCOME_OOM]
+        assert not report.complete
+
+
+class TestRetryAndQuarantine:
+    def test_backoff_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_retries=3, seed=42)
+        assert backoff_schedule(policy, 7) == backoff_schedule(policy, 7)
+        assert backoff_schedule(policy, 7) != backoff_schedule(policy, 8)
+        reseeded = RetryPolicy(max_retries=3, seed=43)
+        assert backoff_schedule(policy, 7) != backoff_schedule(reseeded, 7)
+        for attempt, delay in enumerate(backoff_schedule(policy, 7)):
+            raw = min(
+                policy.backoff_cap_s,
+                policy.backoff_base_s * policy.backoff_factor**attempt,
+            )
+            assert raw <= delay <= raw * (1.0 + policy.jitter)
+
+    def test_triage_kinds(self):
+        crash = AttemptFailure("worker_crash", "")
+        slow = AttemptFailure("timeout", "")
+        assert triage([slow, slow]) == "timeout"
+        assert triage([crash]) == "worker_crash"
+        assert triage([crash, slow]) == "flaky"
+
+    def test_supervised_kill_injection_retries_to_identical_report(self):
+        spec = smoke_campaign()
+        serial = run_campaign(spec, limit=6)
+        drilled = run_campaign(
+            spec,
+            limit=6,
+            workers=2,
+            inject_worker_kill=1,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.01),
+        )
+        assert drilled.render() == serial.render()
+        assert drilled.records[1].attempts == 2
+        assert all(r.attempts == 1 for r in serial.records)
+
+    def test_raw_pool_survives_worker_sigkill(self):
+        # Regression: BrokenProcessPool used to abandon every completed
+        # cell; the raw path must now harvest them and resubmit the rest.
+        spec = smoke_campaign()
+        serial = run_campaign(spec, limit=6)
+        drilled = run_campaign(
+            spec, limit=6, workers=2, pool="raw", inject_worker_kill=2
+        )
+        assert drilled.render() == serial.render()
+
+    def test_unknown_pool_kind_is_refused(self):
+        with pytest.raises(ResilienceError, match="pool"):
+            run_campaign(smoke_campaign(), limit=1, pool="threads")
+
+
+class TestJournalResume:
+    def test_interrupted_campaign_resumes_byte_identically(self, tmp_path):
+        spec = smoke_campaign()
+        serial = run_campaign(spec, limit=8)
+        journal = str(tmp_path / "campaign.jsonl")
+        seen = 0
+
+        def interrupt_after_four(record):
+            nonlocal seen
+            seen += 1
+            if seen == 4:
+                raise KeyboardInterrupt
+
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            run_campaign(
+                spec, limit=8, journal=journal, on_cell=interrupt_after_four
+            )
+        assert excinfo.value.journal_path == journal
+        assert excinfo.value.completed >= 4
+        assert excinfo.value.total == 8
+
+        resumed = run_campaign(spec, limit=8, resume=journal)
+        assert resumed.render() == serial.render()
+        header, lines = load_journal(journal)
+        assert header["cells"] == 8
+        assert set(lines) == set(range(8))
+
+    def test_journal_pins_the_exact_campaign(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(smoke_campaign(), limit=4, journal=journal)
+        with pytest.raises(ResilienceError, match="fingerprint"):
+            run_campaign(smoke_campaign(), limit=6, resume=journal)
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        spec = smoke_campaign()
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(spec, limit=4, journal=journal)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "cell", "index": 9')  # crash mid-append
+        header, lines = load_journal(journal)
+        assert set(lines) == set(range(4))
+        resumed = run_campaign(spec, limit=4, resume=journal)
+        assert resumed.render() == run_campaign(spec, limit=4).render()
+
+    def test_resumed_cells_are_not_reexecuted(self, tmp_path):
+        spec = smoke_campaign()
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(spec, limit=4, journal=journal)
+        _, before = load_journal(journal)
+        resumed = run_campaign(spec, limit=4, resume=journal)
+        _, after = load_journal(journal)
+        assert after == before  # nothing re-run, nothing re-journaled
+        assert all(r.result is None for r in resumed.records)

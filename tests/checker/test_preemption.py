@@ -1,0 +1,137 @@
+"""Preemptible exploration: interrupt/checkpoint/resume must be exact.
+
+The invariant under test: an exploration interrupted at *any* node and
+resumed from its checkpoint produces a report equal, counter for
+counter, to an uninterrupted run — across every reduction-knob
+combination, because the frontier stack is saved before the next node
+is popped and nodes are expanded in the recursive DFS's order.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algorithms.renaming_figure4 import figure4_factories
+from repro.checker import (
+    ScheduleExplorer,
+    drop_null_s_processes,
+    task_safety_verdict,
+)
+from repro.core import System
+from repro.core.process import c_process, s_process
+from repro.errors import ResilienceError
+from repro.tasks import RenamingTask
+
+
+def renaming_builder():
+    return System(inputs=(1, 2, None), c_factories=figure4_factories(3))
+
+
+def make_explorer(**knobs):
+    return ScheduleExplorer(
+        renaming_builder,
+        max_depth=9,
+        candidate_filter=drop_null_s_processes,
+        **knobs,
+    )
+
+
+def renaming_verdict():
+    return task_safety_verdict(RenamingTask(3, 2, 4))
+
+
+KNOB_GRID = [
+    {},
+    {"dedup": True},
+    {"por": True},
+    {"dedup": True, "por": True, "symmetry": True},
+]
+
+
+class TestInterruptResume:
+    @pytest.mark.parametrize("knobs", KNOB_GRID)
+    @pytest.mark.parametrize("cut", [1, 7, 40])
+    def test_resumed_report_equals_uninterrupted(self, tmp_path, knobs, cut):
+        baseline = make_explorer(**knobs).check(renaming_verdict())
+        assert baseline.explored > 40  # the cut must land mid-run
+
+        path = str(tmp_path / "frontier.ckpt")
+        explorer = make_explorer(**knobs)
+        inner = renaming_verdict()
+        nodes = 0
+
+        def interrupting_verdict(executor):
+            nonlocal nodes
+            nodes += 1
+            if nodes == cut:
+                explorer.request_interrupt()
+            return inner(executor)
+
+        partial = explorer.check(
+            interrupting_verdict, checkpoint_path=path
+        )
+        assert partial.interrupted
+        assert partial.checkpoint_path == path
+        assert partial.explored == cut
+
+        resumed = make_explorer(**knobs).check(
+            renaming_verdict(), resume_from=path
+        )
+        assert not resumed.interrupted
+        assert resumed == baseline
+
+    def test_deadline_zero_interrupts_immediately(self, tmp_path):
+        path = str(tmp_path / "frontier.ckpt")
+        report = make_explorer().check(
+            renaming_verdict(), deadline_s=0.0, checkpoint_path=path
+        )
+        assert report.interrupted
+        assert report.explored == 0
+        resumed = make_explorer().check(
+            renaming_verdict(), resume_from=path
+        )
+        assert resumed == make_explorer().check(renaming_verdict())
+
+    def test_interrupt_without_checkpoint_path_still_stops(self):
+        explorer = make_explorer()
+        inner = renaming_verdict()
+
+        def verdict(executor):
+            explorer.request_interrupt()
+            return inner(executor)
+
+        report = explorer.check(verdict)
+        assert report.interrupted
+        assert report.explored == 1
+        assert report.checkpoint_path is None
+
+    def test_knob_mismatch_is_refused(self, tmp_path):
+        path = str(tmp_path / "frontier.ckpt")
+        explorer = make_explorer(por=True)
+        inner = renaming_verdict()
+
+        def verdict(executor):
+            explorer.request_interrupt()
+            return inner(executor)
+
+        partial = explorer.check(verdict, checkpoint_path=path)
+        assert partial.interrupted
+        with pytest.raises(ResilienceError, match="different explorer"):
+            make_explorer().check(renaming_verdict(), resume_from=path)
+
+    def test_missing_checkpoint_is_refused(self, tmp_path):
+        with pytest.raises(ResilienceError, match="cannot read"):
+            make_explorer().check(
+                renaming_verdict(),
+                resume_from=str(tmp_path / "nope.ckpt"),
+            )
+
+
+class TestProcessIdPickling:
+    def test_ids_unpickle_to_the_interned_instances(self):
+        # Checkpoints are loaded in *other* processes, where the cached
+        # per-process hash of a default-pickled id would be stale;
+        # __reduce__ must route through the interning constructors.
+        for pid in (c_process(0), s_process(2)):
+            clone = pickle.loads(pickle.dumps(pid))
+            assert clone is pid
