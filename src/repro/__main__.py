@@ -13,8 +13,15 @@ Commands:
                             2-renaming with the given namespace size
     extract                 run the Figure 1 extraction demo
     lint [--strict]         check every algorithm against the EFD step
-                            model (static rules; --strict adds traced
-                            race detection)
+                            model (AST rules + semantic CFG passes;
+                            --strict adds the traced battery: race
+                            detection and the POR footprint audit).
+                            Output: --format text|json|sarif [--out
+                            FILE]; pass selection: --list-passes,
+                            --enable/--disable ID; suppression:
+                            --baseline FILE, --write-baseline FILE.
+                            Exit 0 clean/warnings-only, 1 error
+                            findings, 2 analyzer crash.
     chaos run               sweep a fault-injection campaign (crash
                             storms, perturbed detector histories,
                             mutated schedules) and triage every cell;
@@ -36,6 +43,7 @@ import argparse
 import contextlib
 import signal
 import sys
+from pathlib import Path
 
 
 @contextlib.contextmanager
@@ -238,11 +246,50 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .lint import lint_algorithms
+    # Exit codes: 0 = clean (or warnings only), 1 = error findings,
+    # 2 = analyzer crash (bad pass id, unreadable baseline, internal
+    # error) — so CI can distinguish "code is wrong" from "the
+    # analyzer is wrong".
+    try:
+        from .lint import (
+            all_passes,
+            lint_algorithms,
+            load_baseline,
+            render_report,
+            write_baseline,
+        )
 
-    report = lint_algorithms(strict=args.strict)
-    print(report.render())
-    return 0 if report.ok else 1
+        if args.list_passes:
+            for cls in all_passes():
+                evidence = "+".join(cls.evidence_required)
+                print(f"{cls.pass_id:18} [{evidence}] {cls.title}")
+            return 0
+        baseline = (
+            load_baseline(args.baseline) if args.baseline else None
+        )
+        report = lint_algorithms(
+            strict=args.strict,
+            enable=tuple(args.enable) if args.enable else None,
+            disable=tuple(args.disable) if args.disable else None,
+            baseline=baseline,
+        )
+        if args.write_baseline:
+            write_baseline(report, args.write_baseline)
+            print(
+                f"wrote baseline with "
+                f"{len(report.findings) + len(report.suppressed)} "
+                f"finding(s) to {args.write_baseline}"
+            )
+            return 0
+        rendered = render_report(report, args.format)
+        if args.out:
+            Path(args.out).write_text(rendered + "\n")
+        else:
+            print(rendered)
+        return 1 if report.has_errors else 0
+    except Exception as exc:  # analyzer crash, not a lint verdict
+        print(f"lint: analyzer error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_chaos_run(args: argparse.Namespace) -> int:
@@ -499,7 +546,42 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--strict",
         action="store_true",
-        help="also run the traced race-detection battery",
+        help="also run the traced battery (race detection + POR "
+        "footprint audit)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report output format",
+    )
+    p.add_argument(
+        "--out", help="write the report to this file instead of stdout"
+    )
+    p.add_argument(
+        "--enable",
+        action="append",
+        metavar="PASS",
+        help="run only the named pass (repeatable)",
+    )
+    p.add_argument(
+        "--disable",
+        action="append",
+        metavar="PASS",
+        help="skip the named pass (repeatable)",
+    )
+    p.add_argument(
+        "--baseline",
+        help="suppress findings listed in this baseline file",
+    )
+    p.add_argument(
+        "--write-baseline",
+        help="record the current findings as the new baseline",
+    )
+    p.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list registered passes and exit",
     )
     p.set_defaults(func=_cmd_lint)
 

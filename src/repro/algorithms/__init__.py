@@ -77,7 +77,11 @@ LINT_SCHEMAS: dict[str, ModuleSchema] = {
     ),
     "extraction": ModuleSchema(
         s_automata=("extraction_s_factory",),
-        registers=RegisterSchema(prefixes=("xtr/",)),
+        registers=RegisterSchema(
+            prefixes=("xtr/",),
+            single_writer=("xtr/",),
+            write_once=("xtr/result/",),
+        ),
         notes="the Theorem 8 reduction is pure S-part; its C-part is "
         "the null automaton",
     ),
@@ -93,7 +97,11 @@ LINT_SCHEMAS: dict[str, ModuleSchema] = {
     ),
     "kset_concurrent": ModuleSchema(
         c_automata=("kset_concurrent_factory",),
-        registers=RegisterSchema(prefixes=("ksetc/ann/",)),
+        registers=RegisterSchema(
+            prefixes=("ksetc/ann/",),
+            single_writer=("ksetc/ann/",),
+            write_once=("ksetc/ann/",),
+        ),
     ),
     "kset_vector": ModuleSchema(
         c_automata=("kset_c_factory",),
@@ -102,7 +110,11 @@ LINT_SCHEMAS: dict[str, ModuleSchema] = {
     ),
     "one_concurrent": ModuleSchema(
         c_automata=("one_concurrent_factory",),
-        registers=RegisterSchema(prefixes=("p1c/out/", "inp/")),
+        registers=RegisterSchema(
+            prefixes=("p1c/out/", "inp/"),
+            single_writer=("p1c/out/",),
+            write_once=("p1c/out/",),
+        ),
     ),
     "paxos": ModuleSchema(
         subroutines=(
@@ -117,7 +129,9 @@ LINT_SCHEMAS: dict[str, ModuleSchema] = {
     "renaming_figure3": ModuleSchema(
         c_automata=("figure3_factory", "cas_strong_renaming_factory"),
         registers=RegisterSchema(
-            prefixes=("f3/R/",), exact=("f3/inner/counter",)
+            prefixes=("f3/R/",),
+            exact=("f3/inner/counter",),
+            single_writer=("f3/R/",),
         ),
         cas_allowlist=("cas_strong_renaming_factory",),
         notes="the CAS stand-in deliberately exceeds register power — "
@@ -125,13 +139,17 @@ LINT_SCHEMAS: dict[str, ModuleSchema] = {
     ),
     "renaming_figure4": ModuleSchema(
         c_automata=("figure4_factory",),
-        registers=RegisterSchema(prefixes=("f4/R/",)),
+        registers=RegisterSchema(
+            prefixes=("f4/R/",), single_writer=("f4/R/",)
+        ),
     ),
     "s_helper": ModuleSchema(
         c_automata=("helper_c_factory",),
         s_automata=("helper_s_factory",),
         registers=RegisterSchema(
-            prefixes=("inp/",), exact=("shelper/V",)
+            prefixes=("inp/",),
+            exact=("shelper/V",),
+            write_once=("shelper/V",),
         ),
     ),
     "safe_agreement": ModuleSchema(

@@ -35,6 +35,7 @@ def bundle_from_shrink(
         "campaign": campaign,
         "note": note,
         "cell": shrunk.cell.to_json(),
+        "strict_traces": shrunk.strict_traces,
         "expected": {
             "outcome": shrunk.outcome,
             "detail": shrunk.detail,
@@ -98,7 +99,11 @@ def replay_bundle(source: str | Path | Mapping[str, Any]) -> ReplayResult:
     )
     cell = CellSpec.from_json(bundle["cell"])
     expected = bundle.get("expected", {})
-    record = run_cell(cell)
+    # Replays apply the same per-run trace analysis the witness was
+    # shrunk under (older bundles predate the key: plain replay).
+    record = run_cell(
+        cell, strict_traces=bool(bundle.get("strict_traces", False))
+    )
     return ReplayResult(
         record=record,
         expected_outcome=expected.get("outcome", ""),

@@ -44,6 +44,10 @@ class ShrinkResult:
     trials: int
     original_schedule_len: int
     final_schedule_len: int
+    #: whether the witness was reproduced under per-run trace analysis
+    #: (``run_cell(strict_traces=True)``); recorded in bundles so the
+    #: replay applies the same checking
+    strict_traces: bool = False
 
     def summary(self) -> str:
         return (
@@ -54,9 +58,16 @@ class ShrinkResult:
 
 
 class _Shrinker:
-    def __init__(self, target_outcome: str, max_trials: int) -> None:
+    def __init__(
+        self,
+        target_outcome: str,
+        max_trials: int,
+        *,
+        strict_traces: bool = False,
+    ) -> None:
         self.target = target_outcome
         self.max_trials = max_trials
+        self.strict_traces = strict_traces
         self.trials = 0
         self.last_detail = ""
 
@@ -64,7 +75,7 @@ class _Shrinker:
         if self.trials >= self.max_trials:
             return False  # out of budget: reject further candidates
         self.trials += 1
-        record = run_cell(cell)
+        record = run_cell(cell, strict_traces=self.strict_traces)
         if record.outcome == self.target:
             self.last_detail = record.detail
             return True
@@ -136,14 +147,18 @@ def _with_schedule(cell: CellSpec, sequence: list[str]) -> CellSpec:
     )
 
 
-def pin_schedule(cell: CellSpec) -> tuple[CellSpec, CellRecord]:
+def pin_schedule(
+    cell: CellSpec, *, strict_traces: bool = False
+) -> tuple[CellSpec, CellRecord]:
     """Replace the cell's scheduler by the explicit schedule it produces.
 
     Runs the cell once under a recording wrapper and embeds the recorded
     choices, making the witness independent of scheduler state.
     """
     recorder = RecordingScheduler(build_scheduler(cell.scheduler))
-    record = run_cell(cell, scheduler=recorder)
+    record = run_cell(
+        cell, scheduler=recorder, strict_traces=strict_traces
+    )
     pinned = _with_schedule(
         cell, [pid.name for pid in recorder.picks]
     )
@@ -151,16 +166,26 @@ def pin_schedule(cell: CellSpec) -> tuple[CellSpec, CellRecord]:
 
 
 def shrink_cell(
-    cell: CellSpec, *, max_trials: int = 400
+    cell: CellSpec,
+    *,
+    max_trials: int = 400,
+    strict_traces: bool = False,
 ) -> ShrinkResult:
     """Delta-debug ``cell`` (which must fail) to a locally-minimal
-    failing cell with an explicit, deterministic schedule."""
-    pinned, record = pin_schedule(cell)
+    failing cell with an explicit, deterministic schedule.
+
+    ``strict_traces`` runs every trial under per-run trace analysis
+    (:func:`repro.chaos.campaign.run_cell`'s flag), so hazard outcomes
+    (``trace_hazard``) can be shrunk and replayed too.
+    """
+    pinned, record = pin_schedule(cell, strict_traces=strict_traces)
     if record.outcome == OUTCOME_OK:
         raise ChaosError(
             f"cannot shrink a passing cell: {cell.label()}"
         )
-    shrinker = _Shrinker(record.outcome, max_trials)
+    shrinker = _Shrinker(
+        record.outcome, max_trials, strict_traces=strict_traces
+    )
     if not shrinker.fails(pinned):
         raise ChaosError(
             "explicit-schedule replay did not reproduce the "
@@ -182,4 +207,5 @@ def shrink_cell(
         trials=shrinker.trials,
         original_schedule_len=original_len,
         final_schedule_len=len(current.scheduler["sequence"]),
+        strict_traces=strict_traces,
     )

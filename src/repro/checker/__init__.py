@@ -10,7 +10,13 @@ from .explorer import (
     drop_null_s_processes,
     task_safety_verdict,
 )
-from .independence import StepFootprint, commutes, independent, step_footprint
+from .independence import (
+    StepFootprint,
+    commutes,
+    independent,
+    op_footprint,
+    step_footprint,
+)
 from .symmetry import c_orbits, canonical_fingerprint, prune_interchangeable
 
 __all__ = [
@@ -24,6 +30,7 @@ __all__ = [
     "drop_null_s_processes",
     "task_safety_verdict",
     "StepFootprint",
+    "op_footprint",
     "commutes",
     "independent",
     "step_footprint",

@@ -42,7 +42,29 @@ from ..core.process import ProcessId
 from ..runtime import ops
 from ..runtime.executor import Executor
 
-__all__ = ["StepFootprint", "step_footprint", "commutes", "independent"]
+__all__ = [
+    "StepFootprint",
+    "op_footprint",
+    "step_footprint",
+    "commutes",
+    "independent",
+]
+
+
+def op_footprint(
+    op: ops.Operation,
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]] | None:
+    """The per-operation register footprint this module's independence
+    relation is built on — ``(reads, read_prefixes, writes)``, or
+    ``None`` for universally-dependent operations.
+
+    This is re-exported here (rather than callers reaching into
+    :func:`repro.runtime.ops.footprint` directly) so the lint
+    footprint audit provably checks *the same declaration* the
+    partial-order reduction trusts: a dynamic result the declared
+    footprint cannot explain is a POR soundness bug.
+    """
+    return ops.footprint(op)
 
 
 @dataclass(frozen=True)
@@ -65,7 +87,7 @@ def step_footprint(executor: Executor, pid: ProcessId) -> StepFootprint:
         and not executor.slot_view(pid)[0]  # not started: first step
     ) or op is None:
         return StepFootprint(pid, (), (), (), universal=True)
-    prints = ops.footprint(op)
+    prints = op_footprint(op)
     if prints is None or isinstance(op, ops.Decide):
         return StepFootprint(pid, (), (), (), universal=True)
     reads, prefixes, writes = prints

@@ -1,0 +1,80 @@
+"""Baseline suppression for lint findings.
+
+A baseline file is a JSON document listing finding ids that are
+*known and accepted* — the standard ratchet for introducing a new
+analyzer to an existing codebase: record today's findings, fail only
+on new ones, burn the baseline down over time.
+
+Ids are the content hashes of :attr:`repro.lint.findings.Finding.id`
+(line-independent), so routine edits do not invalidate the baseline.
+The file keeps the rule and message alongside each id purely for
+human review; only the ids are consulted when suppressing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import SpecificationError
+from .findings import Finding, LintReport
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+BASELINE_FORMAT = "repro-lint-baseline"
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Read a baseline file; returns the suppressed finding ids."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise SpecificationError(
+            f"cannot read lint baseline {path}: {exc}"
+        ) from exc
+    if payload.get("format") != BASELINE_FORMAT:
+        raise SpecificationError(
+            f"{path} is not a {BASELINE_FORMAT} file"
+        )
+    if payload.get("version") != BASELINE_VERSION:
+        raise SpecificationError(
+            f"{path} has unsupported baseline version "
+            f"{payload.get('version')!r}"
+        )
+    return frozenset(
+        entry["id"] for entry in payload.get("findings", ())
+    )
+
+
+def write_baseline(report: LintReport, path: str | Path) -> None:
+    """Record the report's current findings as the new baseline."""
+    report.finalize()
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "id": f.id,
+                "rule": f.rule,
+                "severity": f.severity,
+                "message": f.message,
+            }
+            for f in report.findings + report.suppressed
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    report: LintReport, suppressed_ids: frozenset[str]
+) -> LintReport:
+    """Move baseline-listed findings to ``report.suppressed``."""
+    kept: list[Finding] = []
+    for finding in report.findings:
+        if finding.id in suppressed_ids:
+            report.suppressed.append(finding)
+        else:
+            kept.append(finding)
+    report.findings = kept
+    return report.finalize()

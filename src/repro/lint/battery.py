@@ -1,0 +1,236 @@
+"""Traced reference runs: the dynamic evidence for ``--strict`` lint.
+
+Each battery entry executes one bundled algorithm *inside the
+concurrency envelope it is specified for* and keeps the full trace.
+Two kinds of passes consume the battery:
+
+* :class:`~repro.lint.passes.trace_races.TraceRaces` replays the
+  race analyzer over the entries marked ``race_check`` (the historical
+  strict battery — outside their envelopes these algorithms *do*
+  exhibit hazards, and the tests demonstrate that).
+* :class:`~repro.lint.passes.footprints.FootprintAudit` differentially
+  checks every entry's op-log against the static footprints and
+  against :func:`repro.runtime.ops.footprint` — the declaration the
+  partial-order reduction in :mod:`repro.checker.independence` trusts.
+
+The battery deliberately covers every Figure 1–4 algorithm family that
+can run standalone, including ones with dynamic (spec-relative or
+splitter-grid) register names, so the audit exercises both closed and
+open static footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.run import RunResult
+
+__all__ = ["BatteryRun", "battery_runs"]
+
+
+@dataclass
+class BatteryRun:
+    """One traced reference run.
+
+    ``automaton_of`` maps a pid *name* (``p1``/``q2`` …) to the
+    ``(module, automaton)`` pair naming its schema declaration, so
+    dynamic passes can tie trace events back to static IR.  Pids
+    running null automata are simply absent.
+    """
+
+    label: str
+    result: RunResult
+    automaton_of: dict[str, tuple[str, str]]
+    race_check: bool
+
+
+def _pid_map(
+    n_c: int,
+    c_name: tuple[str, str] | None,
+    n_s: int = 0,
+    s_name: tuple[str, str] | None = None,
+) -> dict[str, tuple[str, str]]:
+    mapping: dict[str, tuple[str, str]] = {}
+    if c_name is not None:
+        for i in range(n_c):
+            mapping[f"p{i + 1}"] = c_name
+    if s_name is not None:
+        for i in range(n_s):
+            mapping[f"q{i + 1}"] = s_name
+    return mapping
+
+
+def battery_runs() -> tuple[BatteryRun, ...]:
+    """Execute the battery (fresh runs; deterministic seeds)."""
+    from ..algorithms.kset_concurrent import kset_concurrent_factories
+    from ..algorithms.kset_vector import kset_factories
+    from ..algorithms.one_concurrent import one_concurrent_factories
+    from ..algorithms.renaming_figure4 import figure4_factories
+    from ..algorithms.s_helper import helper_c_factory, helper_s_factory
+    from ..algorithms.splitters import moir_anderson_factories
+    from ..algorithms.wsb_concurrent import wsb_concurrent_factories
+    from ..core.system import System
+    from ..detectors import VectorOmegaK
+    from ..runtime import SeededRandomScheduler, execute, k_concurrent
+    from ..tasks import ConsensusTask
+
+    runs: list[BatteryRun] = []
+
+    task = ConsensusTask(3)
+    system = System(
+        inputs=(0, 1, 1), c_factories=one_concurrent_factories(task)
+    )
+    result = execute(
+        system,
+        k_concurrent(SeededRandomScheduler(7), 1),
+        trace=True,
+        max_steps=50_000,
+    )
+    runs.append(
+        BatteryRun(
+            label="one_concurrent@1",
+            result=result,
+            automaton_of=_pid_map(
+                3, ("one_concurrent", "one_concurrent_factory")
+            ),
+            race_check=True,
+        )
+    )
+
+    system = System(
+        inputs=(3, 4, 5),
+        c_factories=kset_concurrent_factories(3, 2),
+    )
+    result = execute(
+        system,
+        k_concurrent(SeededRandomScheduler(11), 1),
+        trace=True,
+        max_steps=50_000,
+    )
+    runs.append(
+        BatteryRun(
+            label="kset_concurrent@1",
+            result=result,
+            automaton_of=_pid_map(
+                3, ("kset_concurrent", "kset_concurrent_factory")
+            ),
+            race_check=True,
+        )
+    )
+
+    system = System(
+        inputs=(6, 7, 8),
+        c_factories=[helper_c_factory] * 3,
+        s_factories=[helper_s_factory] * 3,
+    )
+    result = execute(
+        system,
+        SeededRandomScheduler(13),
+        trace=True,
+        max_steps=50_000,
+    )
+    runs.append(
+        BatteryRun(
+            label="s_helper",
+            result=result,
+            automaton_of=_pid_map(
+                3,
+                ("s_helper", "helper_c_factory"),
+                3,
+                ("s_helper", "helper_s_factory"),
+            ),
+            race_check=True,
+        )
+    )
+
+    system = System(
+        inputs=(1, 2, None), c_factories=figure4_factories(3)
+    )
+    result = execute(
+        system,
+        SeededRandomScheduler(17),
+        trace=True,
+        max_steps=50_000,
+    )
+    runs.append(
+        BatteryRun(
+            label="figure4",
+            result=result,
+            automaton_of=_pid_map(
+                3, ("renaming_figure4", "figure4_factory")
+            ),
+            race_check=False,
+        )
+    )
+
+    system = System(
+        inputs=(1, None, 3),
+        c_factories=wsb_concurrent_factories(3, 2),
+    )
+    result = execute(
+        system,
+        k_concurrent(SeededRandomScheduler(19), 2),
+        trace=True,
+        max_steps=50_000,
+    )
+    runs.append(
+        BatteryRun(
+            label="wsb@2",
+            result=result,
+            automaton_of=_pid_map(
+                3, ("wsb_concurrent", "wsb_concurrent_factory")
+            ),
+            race_check=False,
+        )
+    )
+
+    system = System(
+        inputs=(1, 2, 3, None, None),
+        c_factories=moir_anderson_factories(5, 3),
+    )
+    result = execute(
+        system,
+        SeededRandomScheduler(23),
+        trace=True,
+        max_steps=50_000,
+    )
+    runs.append(
+        BatteryRun(
+            label="moir_anderson",
+            result=result,
+            automaton_of=_pid_map(
+                5, ("splitters", "moir_anderson_factory")
+            ),
+            race_check=False,
+        )
+    )
+
+    c_factories, s_factories = kset_factories(2, 1)
+    system = System(
+        inputs=(0, 1),
+        c_factories=c_factories,
+        s_factories=s_factories,
+        detector=VectorOmegaK(2, 1),
+        seed=3,
+    )
+    result = execute(
+        system,
+        SeededRandomScheduler(29),
+        trace=True,
+        max_steps=200_000,
+    )
+    runs.append(
+        BatteryRun(
+            label="kset_vector",
+            result=result,
+            automaton_of=_pid_map(
+                2,
+                ("kset_vector", "kset_c_factory"),
+                2,
+                ("kset_vector", "kset_s_factory"),
+            ),
+            race_check=False,
+        )
+    )
+
+    return tuple(runs)

@@ -1,0 +1,109 @@
+"""Lint report serialization: text, JSON, and SARIF 2.1.0.
+
+The text format is the human-facing default (unchanged from the
+original linter).  JSON is the stable machine format, including the
+published pass facts (static footprints).  SARIF is the interchange
+format code-review UIs ingest; CI uploads it as an artifact.  SARIF
+results carry the content-hashed finding id as a partial fingerprint,
+so SARIF consumers track findings across line churn exactly like the
+baseline does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .findings import LintReport
+
+__all__ = ["render_report", "render_json", "render_sarif"]
+
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+FINGERPRINT_KEY = "reproLintId/v1"
+
+
+def render_report(report: LintReport, fmt: str = "text") -> str:
+    """Serialize ``report`` in the named format."""
+    if fmt == "text":
+        return report.render()
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "sarif":
+        return render_sarif(report)
+    raise ValueError(f"unknown lint output format {fmt!r}")
+
+
+def render_json(report: LintReport) -> str:
+    report.finalize()
+    payload: dict[str, Any] = {
+        "modules_checked": list(report.modules_checked),
+        "rules_run": list(report.rules_run),
+        "passes_run": list(report.passes_run),
+        "ok": report.ok,
+        "has_errors": report.has_errors,
+        "findings": [f.as_dict() for f in report.findings],
+        "suppressed": [f.as_dict() for f in report.suppressed],
+        "facts": report.facts,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _rule_metadata(report: LintReport) -> list[dict[str, Any]]:
+    from .passes import all_passes
+
+    titles: dict[str, str] = {}
+    for cls in all_passes():
+        for rule_id in cls.reported_rules():
+            titles.setdefault(rule_id, cls.title)
+    rules = []
+    for rule_id in report.rules_run:
+        entry: dict[str, Any] = {"id": rule_id}
+        title = titles.get(rule_id)
+        if title:
+            entry["shortDescription"] = {"text": title}
+        rules.append(entry)
+    return rules
+
+
+def render_sarif(report: LintReport) -> str:
+    report.finalize()
+    results = []
+    for finding in report.findings + report.suppressed:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.file},
+                        "region": {
+                            "startLine": max(1, finding.line)
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {FINGERPRINT_KEY: finding.id},
+        }
+        if finding in report.suppressed:
+            result["suppressions"] = [{"kind": "external"}]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_metadata(report),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)

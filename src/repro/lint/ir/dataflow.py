@@ -1,0 +1,133 @@
+"""Worklist fixpoint analyses over the automaton CFG.
+
+Three shapes cover every semantic pass:
+
+* plain **reachability** (forward from the entry, or backward from a
+  target set) for the decide-reachability obligations;
+* **strongly connected components** (iterative Tarjan) for loop/cycle
+  reasoning — a node can repeat if and only if it sits in a nontrivial
+  SCC;
+* a generic **forward must-analysis** (intersection over predecessors)
+  for "queried/defined on every path" facts.
+
+All analyses are intraprocedural: ``yield from`` delegation is a single
+opaque step at this level, and the passes account for it explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from .cfg import CFG, CFGNode
+
+__all__ = [
+    "reachable",
+    "reaches_any",
+    "nontrivial_sccs",
+    "forward_must",
+]
+
+
+def reachable(
+    cfg: CFG, starts: Iterable[int], *, forward: bool = True
+) -> set[int]:
+    """Node indices reachable from ``starts`` following successor edges
+    (or predecessor edges when ``forward`` is ``False``)."""
+    seen: set[int] = set()
+    stack = [index for index in starts]
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        node = cfg.nodes[index]
+        stack.extend(node.succs if forward else node.preds)
+    return seen
+
+
+def reaches_any(cfg: CFG, targets: Iterable[int]) -> set[int]:
+    """Node indices from which at least one of ``targets`` is reachable
+    (the targets themselves included)."""
+    return reachable(cfg, targets, forward=False)
+
+
+def nontrivial_sccs(cfg: CFG) -> list[frozenset[int]]:
+    """Strongly connected components that can actually repeat: more
+    than one node, or a single node with a self-edge."""
+    index_of: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = 0
+    result: list[frozenset[int]] = []
+
+    for root in range(len(cfg.nodes)):
+        if root in index_of:
+            continue
+        # Iterative Tarjan: (node, iterator position) frames.
+        frames: list[tuple[int, int]] = [(root, 0)]
+        while frames:
+            node, pos = frames.pop()
+            if pos == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            succs = cfg.nodes[node].succs
+            advanced = False
+            for offset in range(pos, len(succs)):
+                succ = succs[offset]
+                if succ not in index_of:
+                    frames.append((node, offset + 1))
+                    frames.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            if low[node] == index_of[node]:
+                component: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in cfg.nodes[node].succs:
+                    result.append(frozenset(component))
+            if frames:
+                parent = frames[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return result
+
+
+def forward_must(
+    cfg: CFG, gen: Callable[[CFGNode], frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Facts guaranteed generated on *every* path from the entry to
+    just before each node.
+
+    ``gen(node)`` is the fact set a node generates (facts are never
+    killed — sufficient for must-defined/must-queried).  Unreachable
+    nodes keep the vacuous full set.
+    """
+    universe = frozenset().union(
+        *(gen(node) for node in cfg.nodes)
+    )
+    before: dict[int, frozenset[str]] = {
+        node.index: universe for node in cfg.nodes
+    }
+    before[cfg.entry] = frozenset()
+    worklist: deque[int] = deque([cfg.entry])
+    while worklist:
+        index = worklist.popleft()
+        node = cfg.nodes[index]
+        out = before[index] | gen(node)
+        for succ in node.succs:
+            narrowed = before[succ] & out
+            if narrowed != before[succ]:
+                before[succ] = narrowed
+                worklist.append(succ)
+    return before

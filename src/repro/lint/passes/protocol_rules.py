@@ -1,0 +1,78 @@
+"""The five original AST protocol rules, as registry passes.
+
+Each adapter wraps one :class:`repro.lint.static_rules.Rule` so the
+legacy rules participate in the pass registry (enable/disable, SARIF
+metadata, report ordering) without changing their logic or rule ids.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from ..static_rules import (
+    BoundedLoops,
+    CNoQuery,
+    DecideOnce,
+    NoCASInFaithful,
+    RegisterNaming,
+    Rule,
+)
+from .base import LintPass, PassContext, PassResult
+from .registry import register_pass
+
+__all__ = [
+    "CNoQueryPass",
+    "DecideOncePass",
+    "NoCASInFaithfulPass",
+    "BoundedLoopsPass",
+    "RegisterNamingPass",
+]
+
+
+class _RuleAdapter(LintPass):
+    """Run one legacy AST rule over every extracted automaton."""
+
+    rule_class: ClassVar[type[Rule]]
+
+    def run(self, ctx: PassContext) -> PassResult:
+        rule = self.rule_class()
+        result = PassResult()
+        for unit in ctx.units:
+            for view in unit.views:
+                result.findings.extend(rule.check(view, unit.schema))
+        return result
+
+
+@register_pass
+class CNoQueryPass(_RuleAdapter):
+    pass_id = "CNoQuery"
+    title = "C-processes never consult the failure detector"
+    rule_class = CNoQuery
+
+
+@register_pass
+class DecideOncePass(_RuleAdapter):
+    pass_id = "DecideOnce"
+    title = "every C-automaton decides exactly once, in tail position"
+    rule_class = DecideOnce
+
+
+@register_pass
+class NoCASInFaithfulPass(_RuleAdapter):
+    pass_id = "NoCASInFaithful"
+    title = "paper-faithful modules never yield CompareAndSwap"
+    rule_class = NoCASInFaithful
+
+
+@register_pass
+class BoundedLoopsPass(_RuleAdapter):
+    pass_id = "BoundedLoops"
+    title = "C-process spin loops observe shared state"
+    rule_class = BoundedLoops
+
+
+@register_pass
+class RegisterNamingPass(_RuleAdapter):
+    pass_id = "RegisterNaming"
+    title = "register names stay inside the declared families"
+    rule_class = RegisterNaming

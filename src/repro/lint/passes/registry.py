@@ -1,0 +1,77 @@
+"""Pluggable pass registry.
+
+Passes self-register with the :func:`register_pass` decorator;
+registration order is the default execution order.  Third-party code
+can register additional passes before calling
+:func:`repro.lint.lint_algorithms` — see ``docs/static_analysis.md``
+for the contract.
+"""
+
+from __future__ import annotations
+
+from ...errors import SpecificationError
+from .base import LintPass
+
+__all__ = [
+    "register_pass",
+    "all_passes",
+    "pass_by_id",
+    "resolve_passes",
+]
+
+_REGISTRY: dict[str, type[LintPass]] = {}
+
+
+def register_pass(cls: type[LintPass]) -> type[LintPass]:
+    """Class decorator: add a pass to the registry (unique ids only)."""
+    if not cls.pass_id:
+        raise SpecificationError(
+            f"{cls.__name__} declares no pass_id"
+        )
+    if cls.pass_id in _REGISTRY:
+        raise SpecificationError(
+            f"duplicate lint pass id {cls.pass_id!r}"
+        )
+    _REGISTRY[cls.pass_id] = cls
+    return cls
+
+
+def all_passes() -> tuple[type[LintPass], ...]:
+    """Registered pass classes, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def pass_by_id(pass_id: str) -> type[LintPass]:
+    try:
+        return _REGISTRY[pass_id]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown lint pass {pass_id!r}; known: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def resolve_passes(
+    *,
+    enable: tuple[str, ...] | None = None,
+    disable: tuple[str, ...] | None = None,
+) -> list[LintPass]:
+    """Instantiate the selected passes in registry order.
+
+    ``enable`` restricts the run to exactly the named passes;
+    ``disable`` drops passes from the (possibly restricted) set.
+    Unknown ids raise :class:`~repro.errors.SpecificationError` —
+    a misspelled pass name is an analyzer-usage bug, not a clean run.
+    """
+    for pass_id in (enable or ()) + (disable or ()):
+        pass_by_id(pass_id)  # validate eagerly
+    selected = []
+    enabled = set(enable) if enable is not None else None
+    disabled = set(disable or ())
+    for cls in _REGISTRY.values():
+        if enabled is not None and cls.pass_id not in enabled:
+            continue
+        if cls.pass_id in disabled:
+            continue
+        selected.append(cls())
+    return selected

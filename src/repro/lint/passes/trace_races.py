@@ -1,0 +1,42 @@
+"""The historical strict-mode trace race analysis, as a battery pass.
+
+Runs :func:`repro.lint.trace_rules.analyze_trace` over every battery
+entry marked ``race_check`` — the reference runs executed inside their
+declared concurrency envelopes, which must therefore be free of
+``LostUpdate`` and ``SnapshotRace`` hazards.  (The same algorithms
+*outside* their envelopes do race; the test suite pins that down.)
+"""
+
+from __future__ import annotations
+
+from ..findings import Finding
+from ..trace_rules import analyze_trace
+from .base import LintPass, PassContext, PassResult
+from .registry import register_pass
+
+__all__ = ["TraceRaces"]
+
+
+@register_pass
+class TraceRaces(LintPass):
+    pass_id = "TraceRaces"
+    title = "reference runs are race-free inside their envelopes"
+    evidence_required = ("ast", "battery")
+    rule_ids = ("LostUpdate", "SnapshotRace")
+
+    def run(self, ctx: PassContext) -> PassResult:
+        result = PassResult()
+        for run in ctx.battery or ():
+            if not run.race_check or run.result.trace is None:
+                continue
+            for finding in analyze_trace(run.result.trace):
+                result.findings.append(
+                    Finding(
+                        rule=finding.rule,
+                        file=f"<trace:{run.label}>",
+                        line=finding.line,
+                        process_kind=finding.process_kind,
+                        message=finding.message,
+                    )
+                )
+        return result

@@ -21,7 +21,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from types import ModuleType
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..errors import SpecificationError
 from ..runtime import ops
@@ -155,19 +155,22 @@ def _resolve_register(
     return None
 
 
-def _classify_yield(
+def classify_yield(
     node: ast.expr, namespace: dict[str, Any]
-) -> tuple[type | None, ResolvedRegister | None]:
-    """(op class, register operand) of a plain ``yield`` expression."""
+) -> tuple[type | None, ResolvedRegister | None, ast.expr | None]:
+    """(op class, resolved register, register operand AST) of a plain
+    ``yield`` expression.  The operand AST is returned even when the
+    register text could not be fully resolved, so structural checks
+    (e.g. ownership of an f-string's index component) can inspect it."""
     inner = node.value if isinstance(node, ast.Yield) else None
     if inner is None or not isinstance(inner, ast.Call):
-        return None, None
+        return None, None, None
     op_class = resolve_expression(inner.func, namespace)
     if not (isinstance(op_class, type) and op_class in OP_CLASSES):
-        return None, None
+        return None, None, None
     register = None
+    operand: ast.expr | None = None
     if op_class in _REGISTER_OPS:
-        operand: ast.expr | None = None
         if inner.args:
             operand = inner.args[0]
         else:
@@ -177,6 +180,14 @@ def _classify_yield(
                     operand = keyword.value
         if operand is not None:
             register = _resolve_register(operand, namespace)
+    return op_class, register, operand
+
+
+def _classify_yield(
+    node: ast.expr, namespace: dict[str, Any]
+) -> tuple[type | None, ResolvedRegister | None]:
+    """(op class, register operand) of a plain ``yield`` expression."""
+    op_class, register, _ = classify_yield(node, namespace)
     return op_class, register
 
 
@@ -185,7 +196,7 @@ def _classify_yield(
 _SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
 
-def _own_scope_nodes(func: ast.AST):
+def _own_scope_nodes(func: ast.AST) -> Iterator[ast.AST]:
     """All nodes in ``func``'s own scope (nested defs excluded)."""
     stack = list(ast.iter_child_nodes(func))
     while stack:
@@ -250,12 +261,16 @@ def _automaton_generator(func: ast.AST, dotted: str) -> ast.AST:
 _BLOCK_FIELDS = ("body", "orelse", "finalbody", "handlers")
 
 
-def _statement_paths(func: ast.AST):
+def _statement_paths(
+    func: ast.AST,
+) -> Iterator[tuple[ast.stmt, tuple]]:
     """Yield ``(statement, path)`` for every statement in ``func``'s own
     scope, where ``path`` is the ``(parent, block, index)`` chain from
     the function body down to the statement."""
 
-    def walk(parent: ast.AST | None, block: list, path: tuple):
+    def walk(
+        parent: ast.AST | None, block: list, path: tuple
+    ) -> Iterator[tuple[ast.stmt, tuple]]:
         for index, statement in enumerate(block):
             here = path + ((parent, block, index),)
             yield statement, here
@@ -274,7 +289,9 @@ def _statement_paths(func: ast.AST):
     yield from walk(func, list(getattr(func, "body", [])), ())
 
 
-def _yields_in_statement(statement: ast.stmt):
+def _yields_in_statement(
+    statement: ast.stmt,
+) -> Iterator[ast.Yield | ast.YieldFrom]:
     """Yield expressions inside one statement, nested defs excluded."""
     if isinstance(statement, _SCOPE_BARRIERS + (ast.ClassDef,)):
         return
@@ -288,7 +305,9 @@ def _yields_in_statement(statement: ast.stmt):
         stack.extend(ast.iter_child_nodes(node))
 
 
-def _statement_own_yields(statement: ast.stmt):
+def _statement_own_yields(
+    statement: ast.stmt,
+) -> Iterator[ast.Yield | ast.YieldFrom]:
     """Yields belonging to the *header* of a compound statement or to a
     simple statement — i.e. not inside its sub-blocks."""
     nested: set[int] = set()
@@ -310,12 +329,18 @@ def _statement_own_yields(statement: ast.stmt):
             yield node
 
 
+#: Public aliases for the IR layer (:mod:`repro.lint.ir.cfg`), which
+#: classifies yields per CFG node using the same machinery the flat
+#: extraction uses.
+statement_own_yields = _statement_own_yields
+
+
 # -- public API -----------------------------------------------------------
 
 
 def extract_automata(
     tree: ast.Module,
-    schema,
+    schema: Any,
     *,
     module: ModuleType | None = None,
     namespace: dict[str, Any] | None = None,

@@ -1,17 +1,21 @@
-"""Lint orchestration: run every rule over every algorithm module.
+"""Lint orchestration: compile IR, resolve passes, run them in order.
 
-The static pass walks :data:`repro.algorithms.__all__`, pairs each
-module with its declared :class:`~repro.lint.schema.ModuleSchema` from
-:data:`repro.algorithms.LINT_SCHEMAS`, and applies the five protocol
-rules.  A module without a schema (or a schema without a module) is
-itself a finding — the registry must stay complete for the lint gate to
-mean anything.
+The runner walks :data:`repro.algorithms.__all__`, pairs each module
+with its declared :class:`~repro.lint.schema.ModuleSchema` from
+:data:`repro.algorithms.LINT_SCHEMAS`, compiles every declared
+automaton into CFG IR with a static register footprint
+(:mod:`repro.lint.ir`), and hands the resulting
+:class:`~repro.lint.passes.PassContext` to the registered passes in
+order.  A module without a schema (or a schema without a module) is
+itself a finding — the registry must stay complete for the lint gate
+to mean anything.
 
-The strict pass additionally executes a small battery of traced runs
-*inside their declared concurrency envelopes* and requires them to be
-race-free under :func:`~repro.lint.trace_rules.analyze_trace`.  (Outside
-the envelope the same algorithms do exhibit hazards; the test suite
-demonstrates the detector firing on exactly those runs.)
+Evidence gating: passes declaring ``"battery"`` evidence only run
+under ``--strict``; the traced battery
+(:func:`repro.lint.battery.battery_runs`) is executed once, lazily,
+the first time a pass needs it.  Passes requiring unavailable
+evidence are *skipped*, not failed, and do not appear in
+``rules_run``/``passes_run``.
 """
 
 from __future__ import annotations
@@ -19,54 +23,96 @@ from __future__ import annotations
 import ast
 import importlib
 from pathlib import Path
+from types import ModuleType
 
 from .findings import Finding, LintReport
+from .ir import build_cfg, infer_footprint
+from .passes import (
+    AutomatonIR,
+    ModuleUnit,
+    PassContext,
+    resolve_passes,
+)
 from .protocol import extract_automata
+from .schema import ModuleSchema
 from .static_rules import ALL_RULES
-from .trace_rules import analyze_trace
 
-#: Rule ids of the static pass, in reporting order.
+#: Rule ids of the original five AST protocol rules, in order.
 STATIC_RULE_IDS = tuple(rule.rule_id for rule in ALL_RULES)
-#: Rule ids of the dynamic (strict) pass.
-DYNAMIC_RULE_IDS = ("LostUpdate", "SnapshotRace")
+#: Rule ids of the semantic CFG passes (always-on, AST evidence).
+SEMANTIC_RULE_IDS = (
+    "ReachDecide",
+    "SingleWriter",
+    "WriteOnce",
+    "QueryBeforeUse",
+    "StaleAdvice",
+    "StaticFootprints",
+)
+#: Rule ids that require the strict battery.
+DYNAMIC_RULE_IDS = ("FootprintAudit", "LostUpdate", "SnapshotRace")
 
 
-def lint_module(module, schema) -> list[Finding]:
-    """Apply the five static rules to one imported algorithm module."""
-    file = getattr(module, "__file__", None) or "<module>"
-    source = Path(file).read_text()
-    tree = ast.parse(source)
-    views = extract_automata(
-        tree,
-        schema,
-        module=module,
-        file=file,
-        module_name=module.__name__,
-    )
+def lint_module(module: ModuleType, schema: ModuleSchema) -> list[Finding]:
+    """Apply the five legacy AST rules to one imported algorithm module.
+
+    Kept as the lightweight single-module entry point; the full pass
+    pipeline (IR, semantic passes, battery) runs via
+    :func:`lint_algorithms`.
+    """
+    unit = _build_unit(module.__name__.rsplit(".", 1)[-1], module, schema)
     findings: list[Finding] = []
     for rule_class in ALL_RULES:
         rule = rule_class()
-        for view in views:
+        for view in unit.views:
             findings.extend(rule.check(view, schema))
     return findings
 
 
-def lint_algorithms(*, strict: bool = False) -> LintReport:
-    """Lint every module of :mod:`repro.algorithms`; optionally run the
-    strict dynamic battery."""
+def _build_unit(
+    name: str, module: ModuleType, schema: ModuleSchema
+) -> ModuleUnit:
+    file = getattr(module, "__file__", None) or "<module>"
+    source = Path(file).read_text()
+    tree = ast.parse(source)
+    namespace = dict(vars(module))
+    views = extract_automata(
+        tree,
+        schema,
+        namespace=namespace,
+        file=file,
+        module_name=module.__name__,
+    )
+    irs = {
+        view.name: AutomatonIR(
+            view=view,
+            cfg=build_cfg(view.node, namespace, name=view.name),
+            footprint=infer_footprint(view),
+        )
+        for view in views
+    }
+    return ModuleUnit(
+        name=name,
+        module=module,
+        schema=schema,
+        file=file,
+        tree=tree,
+        views=views,
+        irs=irs,
+    )
+
+
+def build_units() -> tuple[list[ModuleUnit], list[Finding]]:
+    """Compile every algorithm module; schema drift becomes findings."""
     from .. import algorithms
 
     schemas = dict(algorithms.LINT_SCHEMAS)
-    report = LintReport(
-        modules_checked=tuple(algorithms.__all__),
-        rules_run=STATIC_RULE_IDS
-        + (DYNAMIC_RULE_IDS if strict else ()),
-    )
+    units: list[ModuleUnit] = []
+    findings: list[Finding] = []
     for name in algorithms.__all__:
         schema = schemas.pop(name, None)
         module = importlib.import_module(f"repro.algorithms.{name}")
         if schema is None:
-            report.findings.append(
+            findings.append(
                 Finding(
                     rule="Schema",
                     file=getattr(module, "__file__", "<module>"),
@@ -77,9 +123,9 @@ def lint_algorithms(*, strict: bool = False) -> LintReport:
                 )
             )
             continue
-        report.extend(lint_module(module, schema))
+        units.append(_build_unit(name, module, schema))
     for name in schemas:
-        report.findings.append(
+        findings.append(
             Finding(
                 rule="Schema",
                 file="<registry>",
@@ -88,64 +134,55 @@ def lint_algorithms(*, strict: bool = False) -> LintReport:
                 message=f"LINT_SCHEMAS names unknown module {name!r}",
             )
         )
-    if strict:
-        for label, trace in _strict_battery():
-            for finding in analyze_trace(trace):
-                report.findings.append(
-                    Finding(
-                        rule=finding.rule,
-                        file=f"<trace:{label}>",
-                        line=finding.line,
-                        process_kind=finding.process_kind,
-                        message=finding.message,
-                    )
-                )
-    return report
+    return units, findings
 
 
-def _strict_battery():
-    """Traced reference runs that must be hazard-free: each algorithm is
-    executed inside the concurrency envelope it is specified for."""
-    from ..algorithms.kset_concurrent import kset_concurrent_factories
-    from ..algorithms.one_concurrent import one_concurrent_factories
-    from ..algorithms.s_helper import helper_c_factory, helper_s_factory
-    from ..core.system import System
-    from ..runtime import SeededRandomScheduler, execute, k_concurrent
-    from ..tasks import ConsensusTask
+def lint_algorithms(
+    *,
+    strict: bool = False,
+    enable: tuple[str, ...] | None = None,
+    disable: tuple[str, ...] | None = None,
+    baseline: frozenset[str] | None = None,
+) -> LintReport:
+    """Lint every module of :mod:`repro.algorithms`.
 
-    task = ConsensusTask(3)
-    system = System(
-        inputs=(0, 1, 1), c_factories=one_concurrent_factories(task)
-    )
-    result = execute(
-        system,
-        k_concurrent(SeededRandomScheduler(7), 1),
-        trace=True,
-        max_steps=50_000,
-    )
-    yield "one_concurrent@1", result.trace
+    Args:
+        strict: also execute the traced battery, unlocking the
+            battery-evidence passes (footprint audit, trace races).
+        enable: restrict the run to exactly these pass ids.
+        disable: drop these pass ids from the (restricted) set.
+        baseline: finding ids to suppress
+            (:func:`repro.lint.baseline.load_baseline`).
+    """
+    from .. import algorithms
 
-    system = System(
-        inputs=(3, 4, 5),
-        c_factories=kset_concurrent_factories(3, 2),
+    units, schema_findings = build_units()
+    passes = resolve_passes(enable=enable, disable=disable)
+    ctx = PassContext(units=units, strict=strict)
+    report = LintReport(
+        modules_checked=tuple(algorithms.__all__),
+        findings=schema_findings,
     )
-    result = execute(
-        system,
-        k_concurrent(SeededRandomScheduler(11), 1),
-        trace=True,
-        max_steps=50_000,
-    )
-    yield "kset_concurrent@1", result.trace
+    rules_run: list[str] = []
+    passes_run: list[str] = []
+    for lint_pass in passes:
+        if "battery" in lint_pass.evidence_required:
+            if not strict:
+                continue  # skipped: evidence unavailable
+            if ctx.battery is None:
+                from .battery import battery_runs
 
-    system = System(
-        inputs=(6, 7, 8),
-        c_factories=[helper_c_factory] * 3,
-        s_factories=[helper_s_factory] * 3,
-    )
-    result = execute(
-        system,
-        SeededRandomScheduler(13),
-        trace=True,
-        max_steps=50_000,
-    )
-    yield "s_helper", result.trace
+                ctx.battery = battery_runs()
+        result = lint_pass.run(ctx)
+        passes_run.append(lint_pass.pass_id)
+        rules_run.extend(lint_pass.reported_rules())
+        report.findings.extend(result.findings)
+        ctx.facts.update(result.facts)
+        report.facts.update(result.facts)
+    report.rules_run = tuple(rules_run)
+    report.passes_run = tuple(passes_run)
+    if baseline:
+        from .baseline import apply_baseline
+
+        apply_baseline(report, baseline)
+    return report.finalize()

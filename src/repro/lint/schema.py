@@ -26,10 +26,19 @@ class RegisterSchema:
             name matches if it starts with a declared prefix, and a
             snapshot prefix matches if it refines a declared prefix.
         exact: fully-spelled single-register names (e.g. ``"shelper/V"``).
+        single_writer: families (prefixes or exact names) under the
+            paper's single-writer discipline: every write must target
+            the writer's *own* register, ``fam/<own index>``.  Checked
+            by the ``SingleWriter`` pass.
+        write_once: families each process may write at most once per
+            run (no write inside a cycle, no two writes on one path).
+            Checked by the ``WriteOnce`` pass.
     """
 
     prefixes: tuple[str, ...] = ()
     exact: tuple[str, ...] = ()
+    single_writer: tuple[str, ...] = ()
+    write_once: tuple[str, ...] = ()
 
     @property
     def empty(self) -> bool:

@@ -55,7 +55,9 @@ class CNoQuery(Rule):
 
     rule_id = "CNoQuery"
 
-    def check(self, view, schema):
+    def check(
+        self, view: AutomatonView, schema: ModuleSchema
+    ) -> list[Finding]:
         if view.kind == "S":
             return []
         return [
@@ -83,7 +85,9 @@ class DecideOnce(Rule):
 
     rule_id = "DecideOnce"
 
-    def check(self, view, schema):
+    def check(
+        self, view: AutomatonView, schema: ModuleSchema
+    ) -> list[Finding]:
         decide_yields = [y for y in view.yields if y.op is ops.Decide]
         if view.kind == "S":
             return [
@@ -166,7 +170,9 @@ class NoCASInFaithful(Rule):
 
     rule_id = "NoCASInFaithful"
 
-    def check(self, view, schema):
+    def check(
+        self, view: AutomatonView, schema: ModuleSchema
+    ) -> list[Finding]:
         if not schema.faithful or view.name in schema.cas_allowlist:
             return []
         return [
@@ -195,7 +201,9 @@ class BoundedLoops(Rule):
 
     rule_id = "BoundedLoops"
 
-    def check(self, view, schema):
+    def check(
+        self, view: AutomatonView, schema: ModuleSchema
+    ) -> list[Finding]:
         if view.kind == "S":
             return []
         findings = []
@@ -239,7 +247,9 @@ class RegisterNaming(Rule):
 
     rule_id = "RegisterNaming"
 
-    def check(self, view, schema):
+    def check(
+        self, view: AutomatonView, schema: ModuleSchema
+    ) -> list[Finding]:
         findings = []
         for y in view.yields:
             if y.register is None:

@@ -178,7 +178,7 @@ class TraceAnalyzer:
 
     # -- event dispatch --------------------------------------------------
 
-    def feed(self, event) -> None:
+    def feed(self, event: Any) -> None:
         pid = event.pid
         state = self._state(pid)
         state.clock[pid] = state.clock.get(pid, 0) + 1

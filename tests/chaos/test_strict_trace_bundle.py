@@ -1,0 +1,94 @@
+"""Shrinking and replaying a *trace-hazard* witness.
+
+The one-concurrent algorithm is only specified for 1-concurrent
+schedules; under a plain round-robin scheduler two processes overlap
+and the strict trace analyzer flags a ``SnapshotRace`` — while the
+run's outputs still satisfy 2-set-agreement, so nothing but the strict
+check sees the problem.  This is the end-to-end contract for hazard
+witnesses: ``shrink_cell(strict_traces=True)`` reproduces and shrinks
+the hazard, the bundle records the strict flag, and the replay applies
+the same analysis and reproduces the same outcome class.
+"""
+
+import pytest
+
+from repro.analysis.verify import verify_run
+from repro.chaos import (
+    OUTCOME_HAZARD,
+    OUTCOME_OK,
+    CellSpec,
+    bundle_from_shrink,
+    load_bundle,
+    replay_bundle,
+    run_cell,
+    save_bundle,
+    shrink_cell,
+)
+from repro.chaos.registry import build_task
+from repro.errors import TraceHazard
+
+
+def hazard_cell():
+    return CellSpec(
+        task={"family": "set-agreement", "n": 3, "k": 2},
+        detector={"family": "none"},
+        algorithm="one-concurrent",
+        pattern=(None, None, None),
+        scheduler={"kind": "round-robin"},
+        inputs=(0, 1, None),
+        max_steps=5_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    return shrink_cell(
+        hazard_cell(), max_trials=200, strict_traces=True
+    )
+
+
+class TestStrictShrink:
+    def test_hazard_is_invisible_without_strict_traces(self):
+        record = run_cell(hazard_cell())
+        assert record.outcome == OUTCOME_OK
+
+    def test_strict_run_classifies_as_hazard(self):
+        record = run_cell(hazard_cell(), strict_traces=True)
+        assert record.outcome == OUTCOME_HAZARD
+        assert "SnapshotRace" in record.detail
+
+    def test_shrink_preserves_the_hazard_outcome(self, shrunk):
+        assert shrunk.outcome == OUTCOME_HAZARD
+        assert shrunk.strict_traces is True
+        assert "SnapshotRace" in shrunk.detail
+        assert shrunk.final_schedule_len <= shrunk.original_schedule_len
+
+    def test_bundle_roundtrip_reproduces_the_hazard(
+        self, shrunk, tmp_path
+    ):
+        bundle = bundle_from_shrink(shrunk, campaign="strict-demo")
+        assert bundle["strict_traces"] is True
+        path = save_bundle(tmp_path / "hazard.json", bundle)
+        replay = replay_bundle(load_bundle(path))
+        assert replay.reproduced
+        assert replay.record.outcome == OUTCOME_HAZARD
+        assert "SnapshotRace" in replay.record.detail
+
+    def test_replay_without_strict_flag_would_miss_it(self, shrunk):
+        # The recorded flag is load-bearing: the same bundle replayed
+        # without it reports a clean run.
+        bundle = bundle_from_shrink(shrunk)
+        bundle["strict_traces"] = False
+        assert replay_bundle(bundle).record.outcome == OUTCOME_OK
+
+    def test_shrunk_witness_raises_trace_hazard_under_verify_run(
+        self, shrunk
+    ):
+        # Satellite contract: the shrunk bundle's run, pushed through
+        # the verifier directly, raises the expected TraceHazard.
+        record = run_cell(shrunk.cell)
+        assert record.result is not None
+        task = build_task(shrunk.cell.task)
+        verify_run(record.result, task, strict=False)  # safety holds
+        with pytest.raises(TraceHazard, match="SnapshotRace"):
+            verify_run(record.result, task, strict=True)

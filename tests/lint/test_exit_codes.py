@@ -1,0 +1,146 @@
+"""The lint exit-code convention CI keys on: 0 clean (or advisory
+warnings only), 1 error findings, 2 analyzer failure."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.lint.passes.base import LintPass, PassResult
+from repro.lint.passes.registry import _REGISTRY, register_pass
+
+
+@pytest.fixture
+def temporary_pass():
+    """Register a throwaway pass class, removing it afterwards."""
+    registered = []
+
+    def factory(cls):
+        register_pass(cls)
+        registered.append(cls.pass_id)
+        return cls
+
+    yield factory
+    for pass_id in registered:
+        del _REGISTRY[pass_id]
+
+
+class TestExitCodes:
+    def test_clean_run_exits_0(self, capsys):
+        assert main(["lint"]) == 0
+
+    def test_error_findings_exit_1(self, capsys, temporary_pass):
+        @temporary_pass
+        class AlwaysFails(LintPass):
+            pass_id = "TestAlwaysFails"
+            title = "always reports one error"
+
+            def run(self, ctx):
+                result = PassResult()
+                result.findings.append(
+                    self.finding(
+                        file="<synthetic>",
+                        line=1,
+                        kind="-",
+                        message="deliberate error finding",
+                    )
+                )
+                return result
+
+        assert main(["lint", "--enable", "TestAlwaysFails"]) == 1
+        out = capsys.readouterr().out
+        assert "deliberate error finding" in out
+
+    def test_warning_findings_exit_0(self, capsys, temporary_pass):
+        @temporary_pass
+        class AlwaysWarns(LintPass):
+            pass_id = "TestAlwaysWarns"
+            title = "always reports one warning"
+            default_severity = "warning"
+
+            def run(self, ctx):
+                result = PassResult()
+                result.findings.append(
+                    self.finding(
+                        file="<synthetic>",
+                        line=1,
+                        kind="-",
+                        message="advisory only",
+                    )
+                )
+                return result
+
+        assert main(["lint", "--enable", "TestAlwaysWarns"]) == 0
+        out = capsys.readouterr().out
+        assert "advisory only" in out
+
+    def test_unknown_pass_is_analyzer_error_exit_2(self, capsys):
+        assert main(["lint", "--enable", "NoSuchPass"]) == 2
+        err = capsys.readouterr().err
+        assert "analyzer error" in err
+        assert "NoSuchPass" in err
+
+    def test_crashing_pass_exit_2(self, capsys, temporary_pass):
+        @temporary_pass
+        class AlwaysCrashes(LintPass):
+            pass_id = "TestAlwaysCrashes"
+            title = "always raises"
+
+            def run(self, ctx):
+                raise RuntimeError("synthetic analyzer defect")
+
+        assert main(["lint", "--enable", "TestAlwaysCrashes"]) == 2
+        err = capsys.readouterr().err
+        assert "analyzer error" in err
+
+    def test_unreadable_baseline_exit_2(self, capsys, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json at all")
+        assert main(["lint", "--baseline", str(path)]) == 2
+        assert "analyzer error" in capsys.readouterr().err
+
+    def test_baseline_suppression_restores_exit_0(
+        self, capsys, tmp_path, temporary_pass
+    ):
+        @temporary_pass
+        class AlwaysFails(LintPass):
+            pass_id = "TestBaselined"
+            title = "error finding to be baselined"
+
+            def run(self, ctx):
+                result = PassResult()
+                result.findings.append(
+                    self.finding(
+                        file="<synthetic>",
+                        line=1,
+                        kind="-",
+                        message="known accepted defect",
+                    )
+                )
+                return result
+
+        path = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    "--enable",
+                    "TestBaselined",
+                    "--write-baseline",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    "--enable",
+                    "TestBaselined",
+                    "--baseline",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "suppressed by baseline" in out

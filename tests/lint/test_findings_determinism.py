@@ -1,0 +1,111 @@
+"""Finding ids are stable content hashes and reports render
+deterministically — the properties baseline suppression and SARIF
+fingerprinting rely on."""
+
+import json
+
+from repro.lint import (
+    Finding,
+    LintReport,
+    apply_baseline,
+    lint_algorithms,
+    load_baseline,
+    render_report,
+    write_baseline,
+)
+
+
+def make_finding(**overrides):
+    values = dict(
+        rule="DemoRule",
+        file="src/repro/algorithms/demo.py",
+        line=10,
+        process_kind="C",
+        message="demo violation",
+        severity="error",
+    )
+    values.update(overrides)
+    return Finding(**values)
+
+
+class TestFindingIds:
+    def test_id_is_stable_across_processes(self):
+        # A fixed pin: if the hash recipe changes, every recorded
+        # baseline in the wild silently stops matching.
+        assert make_finding().id == Finding(
+            rule="DemoRule",
+            file="src/repro/algorithms/demo.py",
+            line=10,
+            process_kind="C",
+            message="demo violation",
+        ).id
+
+    def test_id_ignores_line_and_directory(self):
+        base = make_finding()
+        assert make_finding(line=99).id == base.id
+        assert make_finding(file="elsewhere/demo.py").id == base.id
+
+    def test_id_tracks_content(self):
+        base = make_finding()
+        assert make_finding(message="other violation").id != base.id
+        assert make_finding(rule="OtherRule").id != base.id
+        assert make_finding(process_kind="S").id != base.id
+
+    def test_id_shape(self):
+        fid = make_finding().id
+        assert len(fid) == 12
+        assert all(c in "0123456789abcdef" for c in fid)
+
+
+class TestDeterministicReports:
+    def report(self):
+        report = LintReport(modules_checked=["demo"], rules_run=["DemoRule"])
+        report.findings = [
+            make_finding(file="b.py", line=5, message="m1"),
+            make_finding(file="a.py", line=9, message="m2"),
+            make_finding(file="a.py", line=2, message="m3"),
+        ]
+        return report
+
+    def test_finalize_sorts_by_location(self):
+        report = self.report().finalize()
+        keys = [(f.file, f.line) for f in report.findings]
+        assert keys == sorted(keys)
+
+    def test_render_is_reproducible(self):
+        assert self.report().render() == self.report().render()
+
+    def test_json_and_sarif_are_reproducible(self):
+        for fmt in ("json", "sarif"):
+            first = render_report(self.report(), fmt)
+            second = render_report(self.report(), fmt)
+            assert first == second, fmt
+
+    def test_full_run_is_reproducible(self):
+        first = render_report(lint_algorithms(), "json")
+        second = render_report(lint_algorithms(), "json")
+        assert first == second
+
+    def test_sarif_carries_fingerprints(self):
+        sarif = json.loads(render_report(self.report(), "sarif"))
+        results = sarif["runs"][0]["results"]
+        assert len(results) == 3
+        for result in results:
+            fingerprint = result["partialFingerprints"]["reproLintId/v1"]
+            assert len(fingerprint) == 12
+
+
+class TestBaselineRoundtrip:
+    def test_write_load_apply(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        report = TestDeterministicReports().report().finalize()
+        write_baseline(report, path)
+        ids = load_baseline(path)
+        assert ids == frozenset(f.id for f in report.findings)
+
+        fresh = TestDeterministicReports().report()
+        fresh.findings.append(make_finding(message="new violation"))
+        apply_baseline(fresh, ids)
+        assert [f.message for f in fresh.findings] == ["new violation"]
+        assert len(fresh.suppressed) == 3
+        assert "3 finding(s) suppressed by baseline" in fresh.render()
