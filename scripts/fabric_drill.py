@@ -1,0 +1,315 @@
+#!/usr/bin/env python
+"""Network-chaos drill: the fabric's robustness acceptance test.
+
+The fabric's headline claim mirrors the resilience layer's (and the
+paper's): *nothing that happens to the network is visible in the
+science*.  This drill proves it by running the same campaign once
+serially in-process and once per fault family through the fabric, with
+real worker subprocesses whose traffic is routed through the
+fault-injecting frame proxy (`repro.resilience.netchaos`) — and
+asserting every faulted report renders **byte-identical** to the
+serial baseline.
+
+Fault families drilled (one campaign each):
+
+    none        pass-through control arm (proxy in place, no faults)
+    drop        frames deleted at random → lost leases/results,
+                lease expiry, redispatch
+    delay       frames held back → stale results, reordering
+    duplicate   frames forwarded twice → idempotent result dedup
+                (run with a journal: the durable record must dedup too)
+    truncate    a frame torn mid-bytes, connection slammed shut →
+                torn-frame tolerance + worker reconnect
+    partition   one-way blackhole (worker→coordinator) → heartbeats
+                vanish, leases expire, suspicion benches the worker
+    sigkill     one worker SIGKILLed mid-campaign, a replacement
+                joins under the same name → disconnect requeue +
+                mid-campaign (re)join
+
+Each family runs two workers: one behind the chaos proxy ("chaotic"),
+one on a healthy direct link — the fabric must route around the bad
+link, never hang, and never let the fault reach the report.  The drill
+also asserts the faults *actually happened* (proxy counters, at least
+one lease expiry, at least one mid-campaign reconnect across the run),
+so it cannot pass vacuously.
+
+    PYTHONPATH=src python scripts/fabric_drill.py [--smoke] [--cells N]
+
+``--smoke`` drills the 24-cell smoke campaign with tightened timings
+(CI per-push); the default is the 200-cell standard campaign (nightly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.chaos import run_campaign, smoke_campaign, standard_campaign
+from repro.resilience import (
+    ChaosProxy,
+    FabricConfig,
+    FabricCoordinator,
+    FaultPlan,
+)
+
+FAMILIES = (
+    "none",
+    "drop",
+    "delay",
+    "duplicate",
+    "truncate",
+    "partition",
+    "sigkill",
+)
+
+
+def spawn_worker(
+    host: str, port: int, name: str, seed: int
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (str(SRC), env.get("PYTHONPATH"))
+        if part
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", f"{host}:{port}",
+            "--name", name,
+            "--seed", str(seed),
+            "--max-attempts", "60",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+
+
+def reap(workers: list[subprocess.Popen]) -> None:
+    for proc in workers:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def drill_family(
+    family: str,
+    spec,
+    cells: int,
+    *,
+    seed: int,
+    lease_s: float,
+    heartbeat_s: float,
+    journal_path: str | None,
+) -> tuple[str, object, object]:
+    """Run one faulted fabric campaign; returns
+    ``(rendered report, FabricStats, ProxyStats | None)``."""
+    coordinator = FabricCoordinator(
+        FabricConfig(
+            lease_s=lease_s,
+            heartbeat_s=heartbeat_s,
+            register_grace_s=30.0,
+            degrade_after_s=60.0,
+        )
+    )
+    chost, cport = coordinator.address
+    proxy = None
+    workers: list[subprocess.Popen] = []
+    completed = 0
+    killer: threading.Thread | None = None
+
+    def on_cell(record) -> None:
+        nonlocal completed
+        completed += 1
+
+    try:
+        if family == "sigkill":
+            # Both workers direct; murder one mid-campaign and bring a
+            # replacement back under the same name.
+            workers.append(spawn_worker(chost, cport, "victim", seed))
+            workers.append(spawn_worker(chost, cport, "healthy", seed))
+
+            def murder_and_replace() -> None:
+                threshold = max(2, cells // 4)
+                deadline = time.monotonic() + 600
+                while completed < threshold:
+                    if time.monotonic() > deadline:  # pragma: no cover
+                        return
+                    time.sleep(0.05)
+                os.kill(workers[0].pid, signal.SIGKILL)
+                workers.append(
+                    spawn_worker(chost, cport, "victim", seed)
+                )
+
+            killer = threading.Thread(target=murder_and_replace)
+            killer.start()
+        else:
+            plan = FaultPlan(
+                kind=family,
+                seed=seed,
+                rate=0.2,
+                delay_s=min(0.2, lease_s / 8),
+                after_frames=10,
+            )
+            proxy = ChaosProxy((chost, cport), plan)
+            phost, pport = proxy.start()
+            workers.append(spawn_worker(phost, pport, "chaotic", seed))
+            workers.append(spawn_worker(chost, cport, "healthy", seed))
+
+        report = run_campaign(
+            spec,
+            limit=cells,
+            backend="fabric",
+            fabric=coordinator,
+            journal=journal_path,
+            on_cell=on_cell,
+        )
+    finally:
+        if killer is not None:
+            killer.join(timeout=30)
+        if proxy is not None:
+            proxy.stop()
+        reap(workers)
+    return report.render(), report.fabric, (
+        proxy.stats if proxy is not None else None
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="24-cell smoke campaign with tightened timings (CI)",
+    )
+    parser.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        help="cell count (default: 24 smoke / 200 full)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        spec = smoke_campaign(seed=args.seed)
+        cells = args.cells or 24
+        lease_s, heartbeat_s = 2.0, 0.4
+    else:
+        spec = standard_campaign(seed=args.seed)
+        cells = args.cells or 200
+        lease_s, heartbeat_s = 5.0, 1.0
+
+    workdir = Path(tempfile.mkdtemp(prefix="fabric-drill-"))
+
+    print(
+        f"[baseline] serial in-process run "
+        f"({spec.name} campaign, {cells} cells)..."
+    )
+    baseline = run_campaign(spec, limit=cells).render()
+
+    total_expiries = 0
+    total_reconnects = 0
+    failures = 0
+    for family in FAMILIES:
+        journal_path = (
+            str(workdir / "duplicate.jsonl")
+            if family == "duplicate"
+            else None
+        )
+        t0 = time.monotonic()
+        rendered, stats, proxy_stats = drill_family(
+            family,
+            spec,
+            cells,
+            seed=args.seed + 7,
+            lease_s=lease_s,
+            heartbeat_s=heartbeat_s,
+            journal_path=journal_path,
+        )
+        wall = time.monotonic() - t0
+        total_expiries += stats.lease_expiries
+        total_reconnects += stats.reconnects
+        identical = rendered == baseline
+        injected = (
+            proxy_stats.faults_injected if proxy_stats is not None else 1
+        )
+        status = "ok" if identical else "REPORT DIFFERS"
+        if not identical:
+            failures += 1
+        print(
+            f"[{family:9}] {status:14} {wall:6.1f}s  {stats.summary()}"
+        )
+        if proxy_stats is not None:
+            print(f"            proxy: {proxy_stats}")
+        if not identical:
+            sys.stdout.writelines(
+                difflib.unified_diff(
+                    baseline.splitlines(keepends=True),
+                    rendered.splitlines(keepends=True),
+                    fromfile="serial baseline",
+                    tofile=f"fabric under {family}",
+                )
+            )
+        if stats.degraded:
+            print(
+                f"[{family:9}] DEGRADED: fabric fell back to the local "
+                f"pool — no real worker exercised the fault"
+            )
+            failures += 1
+        if family != "none" and proxy_stats is not None and injected == 0:
+            print(
+                f"[{family:9}] VACUOUS: proxy injected no faults "
+                f"(workload too small for the fault rate?)"
+            )
+            failures += 1
+        if journal_path:
+            # Physical line count (header + one record per cell):
+            # load_journal would dedup by index and hide double-appends.
+            raw = Path(journal_path).read_bytes().splitlines()
+            physical = len([line for line in raw if line.strip()])
+            if physical != cells + 1:
+                print(
+                    f"[{family:9}] JOURNAL NOT DEDUPED: "
+                    f"{physical - 1} records for {cells} cells"
+                )
+                failures += 1
+
+    if total_expiries < 1:
+        print("DRILL INCOMPLETE: no lease expiry was exercised")
+        failures += 1
+    if total_reconnects < 1:
+        print("DRILL INCOMPLETE: no mid-campaign reconnect was exercised")
+        failures += 1
+    if failures:
+        print(f"FAILED: {failures} problem(s)")
+        return 1
+    print(
+        f"OK: {len(FAMILIES)} fault families × {cells} cells all "
+        f"rendered byte-identical to the serial baseline "
+        f"({total_expiries} lease expiries, {total_reconnects} "
+        f"reconnects exercised)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

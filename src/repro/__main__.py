@@ -26,9 +26,17 @@ Commands:
                             storms, perturbed detector histories,
                             mutated schedules) and triage every cell;
                             resilience knobs: --journal, --resume,
-                            --deadline-s, --rss-mb, --retries
+                            --deadline-s, --rss-mb, --retries;
+                            dispatch backend: --backend
+                            auto|inproc|pool|fabric (fabric shards
+                            cells across socket-connected workers
+                            with lease-based at-least-once dispatch)
     chaos replay BUNDLE     deterministically re-execute a shrunk
                             failure bundle and compare outcomes
+    worker                  join a campaign fabric as a remote worker:
+                            python -m repro worker --connect HOST:PORT
+                            (reconnects with deterministic backoff;
+                            exits 0 on coordinator shutdown)
     bench                   run the tracked execution-core benchmark
                             suite and write BENCH_core.json
 
@@ -292,6 +300,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
 
 
+#: ``chaos run`` exit-code contract (also documented in its --help):
+#: 0 = campaign ok and complete; 1 = safety violations, invalid
+#: histories, or engine errors; 3 = no violations but at least one cell
+#: quarantined (timeout/oom/worker_crash/flaky/partition) — coverage
+#: was lost, CI must not silently pass; 75 = interrupted but journaled
+#: (rerun with --resume).
+EXIT_QUARANTINED = 3
+
+
+def chaos_exit_code(report) -> int:
+    """Map a campaign report onto the ``chaos run`` exit contract."""
+    if not report.ok:
+        return 1
+    if not report.complete:
+        return EXIT_QUARANTINED
+    return 0
+
+
 def _cmd_chaos_run(args: argparse.Namespace) -> int:
     from .chaos import (
         bundle_from_shrink,
@@ -303,7 +329,13 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         standard_campaign,
     )
     from .errors import CampaignInterrupted
-    from .resilience import EXIT_RESUMABLE, CellBudget, RetryPolicy
+    from .resilience import (
+        EXIT_RESUMABLE,
+        CellBudget,
+        FabricConfig,
+        RetryPolicy,
+        parse_endpoint,
+    )
 
     if args.specimen:
         spec = specimen_campaign(seed=args.seed)
@@ -322,6 +354,31 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     retry = None
     if args.retries is not None:
         retry = RetryPolicy(max_retries=args.retries, seed=args.seed)
+    fabric = None
+    if args.backend == "fabric":
+        from .resilience import FabricCoordinator
+
+        host, port = parse_endpoint(args.listen)
+        # Bind before running so the (possibly ephemeral) port is
+        # printed while workers can still be pointed at it; fabric
+        # diagnostics go to stderr so stdout stays byte-identical to a
+        # serial run.
+        fabric = FabricCoordinator(
+            FabricConfig(
+                host=host,
+                port=port,
+                lease_s=args.lease_s,
+                register_grace_s=args.register_grace_s,
+            )
+        )
+        bound_host, bound_port = fabric.address
+        print(
+            f"fabric: coordinator listening on "
+            f"{bound_host}:{bound_port} — connect workers with: "
+            f"python -m repro worker --connect "
+            f"{bound_host}:{bound_port}",
+            file=sys.stderr,
+        )
     try:
         with _graceful_sigterm():
             report = run_campaign(
@@ -334,6 +391,8 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                 journal=args.journal,
                 resume=args.resume,
                 pool=args.pool,
+                backend=args.backend,
+                fabric=fabric,
                 inject_worker_kill=args.inject_worker_kill,
             )
     except CampaignInterrupted as exc:
@@ -355,6 +414,8 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
             )
         return EXIT_RESUMABLE
     print(report.render())
+    if report.fabric is not None:
+        print(f"fabric: {report.fabric.summary()}", file=sys.stderr)
 
     if args.specimen:
         # A specimen campaign is *supposed* to fail: shrink the first
@@ -373,7 +434,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
             path = save_bundle(args.bundle, bundle)
             print(f"repro bundle written to {path}")
         return 0
-    return 0 if report.ok and report.complete else 1
+    return chaos_exit_code(report)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -382,6 +443,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         BENCH_SCHEMA,
         compare_against_baseline,
+        fabric_overhead_problems,
         load_baseline,
         render,
         run_benchmarks,
@@ -390,7 +452,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     results = run_benchmarks(smoke=args.smoke, workers=args.workers)
     print(render(results))
-    overhead_problems = supervised_overhead_problems(results)
+    overhead_problems = supervised_overhead_problems(
+        results
+    ) + fabric_overhead_problems(results)
     for problem in overhead_problems:
         print(f"OVERHEAD: {problem}")
     payload = {
@@ -426,6 +490,27 @@ def _cmd_chaos_replay(args: argparse.Namespace) -> int:
     replay = replay_bundle(args.bundle)
     print(replay.summary())
     return 0 if replay.reproduced else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .resilience import parse_endpoint, run_worker
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    log = None
+    if args.verbose:
+        log = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    return run_worker(
+        host,
+        port,
+        name=args.name,
+        seed=args.seed,
+        max_attempts=args.max_attempts,
+        log=log,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -590,7 +675,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
 
-    p = chaos_sub.add_parser("run", help="sweep a chaos campaign")
+    p = chaos_sub.add_parser(
+        "run",
+        help="sweep a chaos campaign",
+        description="Sweep a fault-injection campaign and triage "
+        "every cell.",
+        epilog=(
+            "exit codes: 0 = campaign ok and complete; "
+            "1 = safety violations, invalid histories, or engine "
+            "errors; 3 = no violations but at least one cell was "
+            "quarantined (timeout/oom/worker_crash/flaky/partition) — "
+            "coverage was lost, so CI cannot silently pass; "
+            "75 = interrupted with progress journaled (rerun with "
+            "--resume)."
+        ),
+    )
     p.add_argument(
         "--smoke",
         action="store_true",
@@ -676,6 +775,39 @@ def main(argv: list[str] | None = None) -> int:
         help="fault drill: SIGKILL the worker assigned this cell index "
         "on its first attempt (the report must come out identical)",
     )
+    p.add_argument(
+        "--backend",
+        choices=["auto", "inproc", "pool", "fabric"],
+        default="auto",
+        help="dispatch substrate: in-process, local worker pool, or "
+        "the multi-host fabric (lease-based at-least-once dispatch "
+        "over sockets; degrades to the local pool if no worker "
+        "registers); reports are byte-identical across backends",
+    )
+    p.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help="with --backend fabric: coordinator listen address "
+        "(port 0 picks an ephemeral port, printed to stderr); bind "
+        "0.0.0.0 to accept remote workers (default: %(default)s)",
+    )
+    p.add_argument(
+        "--lease-s",
+        type=float,
+        default=5.0,
+        help="with --backend fabric: per-cell lease deadline; "
+        "heartbeats renew it, silence past it requeues the cell "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--register-grace-s",
+        type=float,
+        default=5.0,
+        help="with --backend fabric: how long to wait for the first "
+        "worker before degrading to local execution "
+        "(default: %(default)s)",
+    )
     p.set_defaults(func=_cmd_chaos_run)
 
     p = chaos_sub.add_parser(
@@ -683,6 +815,48 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("bundle", help="path to a bundle JSON file")
     p.set_defaults(func=_cmd_chaos_replay)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a campaign fabric as a remote worker",
+        description="Connect to a fabric coordinator, serve leased "
+        "campaign cells (heartbeating each lease), and reconnect "
+        "with capped deterministic backoff when the link drops.",
+        epilog="exit codes: 0 = coordinator sent shutdown (campaign "
+        "done); 1 = gave up after --max-attempts consecutive failed "
+        "connection attempts.",
+    )
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="coordinator address (see 'chaos run --backend fabric')",
+    )
+    p.add_argument(
+        "--name",
+        default=None,
+        help="stable worker name (default: worker-<pid>); reconnects "
+        "under the same name are attributed as reconnects",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="determinism seed for the reconnect-backoff jitter",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=30,
+        help="consecutive failed connection attempts before giving "
+        "up (default: %(default)s)",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log connects, reconnects, and shutdown to stderr",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "bench", help="run the tracked execution-core benchmarks"

@@ -32,11 +32,18 @@ RATE_KEYS = {
     "explorer_symmetry_kset": "explored_per_s",
     "campaign_smoke": "cells_per_s",
     "campaign_supervised": "cells_per_s",
+    "campaign_fabric_loopback": "cells_per_s",
 }
 
 #: Maximum tolerated supervised-pool slowdown vs the raw
 #: ``ProcessPoolExecutor`` on the same cells (fraction of raw rate).
 SUPERVISED_OVERHEAD_MAX = 0.10
+
+#: Maximum tolerated loopback-fabric slowdown vs the supervised pool
+#: on the same cells (fraction of supervised rate).  The fabric adds
+#: framing, leases, and heartbeats per cell; none of that may cost
+#: more than this.
+FABRIC_OVERHEAD_MAX = 0.15
 
 
 # -- workloads -----------------------------------------------------------
@@ -230,6 +237,77 @@ def _bench_campaign_pools(cells: int, workers: int) -> dict[str, Any]:
     }
 
 
+def _bench_campaign_fabric(cells: int, workers: int) -> dict[str, Any]:
+    """Loopback fabric vs the supervised pool on identical cells: the
+    lease/heartbeat/framing machinery must cost less than
+    :data:`FABRIC_OVERHEAD_MAX` of supervised throughput.  Worker
+    interpreters are spawned and registered *before* the fabric's timed
+    region (via ``wait_for_workers``), so the measurement is
+    steady-state dispatch overhead, not Python start-up — the
+    supervised side pays only cheap ``multiprocessing`` forks, the
+    fabric side would otherwise pay two full CLI imports."""
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from .chaos import run_campaign, smoke_campaign
+    from .resilience import FabricConfig, FabricCoordinator
+
+    spec = smoke_campaign()
+    t0 = time.perf_counter()
+    supervised = run_campaign(spec, limit=cells, workers=workers)
+    supervised_wall = time.perf_counter() - t0
+
+    coordinator = FabricCoordinator(FabricConfig())
+    host, port = coordinator.address
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH")) if part
+    )
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--connect", f"{host}:{port}",
+                "--name", f"bench-{i}",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        for i in range(workers)
+    ]
+    try:
+        coordinator.wait_for_workers(len(procs), timeout_s=30.0)
+        t0 = time.perf_counter()
+        fabric = run_campaign(
+            spec, limit=cells, backend="fabric", fabric=coordinator
+        )
+        fabric_wall = time.perf_counter() - t0
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    assert fabric.render() == supervised.render()  # byte-identical
+    supervised_rate = len(supervised.records) / supervised_wall
+    fabric_rate = len(fabric.records) / fabric_wall
+    return {
+        "wall_s": fabric_wall,
+        "cells_per_s": fabric_rate,
+        "supervised_cells_per_s": supervised_rate,
+        "supervised_wall_s": supervised_wall,
+        "overhead_frac": 1.0 - fabric_rate / supervised_rate,
+        "cells": len(fabric.records),
+        "workers": workers,
+        "fabric": fabric.fabric.summary() if fabric.fabric else "",
+    }
+
+
 def supervised_overhead_problems(
     results: Mapping[str, Mapping[str, Any]],
     *,
@@ -245,6 +323,27 @@ def supervised_overhead_problems(
         return [
             f"campaign_supervised: supervised pool is "
             f"{overhead:.1%} slower than the raw pool "
+            f"(budget: {max_overhead:.0%})"
+        ]
+    return []
+
+
+def fabric_overhead_problems(
+    results: Mapping[str, Mapping[str, Any]],
+    *,
+    max_overhead: float = FABRIC_OVERHEAD_MAX,
+) -> list[str]:
+    """Gate the loopback fabric's measured overhead against the
+    supervised pool from the same run (empty list = within budget or
+    not run)."""
+    metrics = results.get("campaign_fabric_loopback")
+    if not metrics or "overhead_frac" not in metrics:
+        return []
+    overhead = metrics["overhead_frac"]
+    if overhead > max_overhead:
+        return [
+            f"campaign_fabric_loopback: fabric dispatch is "
+            f"{overhead:.1%} slower than the supervised pool "
             f"(budget: {max_overhead:.0%})"
         ]
     return []
@@ -288,6 +387,9 @@ def run_benchmarks(
         ),
         "campaign_smoke": lambda: _bench_campaign(cells, workers),
         "campaign_supervised": lambda: _bench_campaign_pools(
+            cells, max(2, workers)
+        ),
+        "campaign_fabric_loopback": lambda: _bench_campaign_fabric(
             cells, max(2, workers)
         ),
     }

@@ -36,6 +36,7 @@ from .bundle import (
     save_bundle,
 )
 from .campaign import (
+    BACKENDS,
     OUTCOME_BUDGET,
     OUTCOME_DEADLOCK,
     OUTCOME_ERROR,
@@ -44,6 +45,7 @@ from .campaign import (
     OUTCOME_INVALID_HISTORY,
     OUTCOME_OK,
     OUTCOME_OOM,
+    OUTCOME_PARTITION,
     OUTCOME_SAFETY,
     OUTCOME_SCHEDULE,
     OUTCOME_TIMEOUT,
@@ -77,6 +79,7 @@ __all__ = [
     "load_bundle",
     "replay_bundle",
     "save_bundle",
+    "BACKENDS",
     "OUTCOME_BUDGET",
     "OUTCOME_DEADLOCK",
     "OUTCOME_ERROR",
@@ -85,6 +88,7 @@ __all__ = [
     "OUTCOME_INVALID_HISTORY",
     "OUTCOME_OK",
     "OUTCOME_OOM",
+    "OUTCOME_PARTITION",
     "OUTCOME_SAFETY",
     "OUTCOME_SCHEDULE",
     "OUTCOME_TIMEOUT",

@@ -72,10 +72,24 @@ OUTCOME_TIMEOUT = "timeout"
 OUTCOME_OOM = "oom"
 OUTCOME_WORKER_CRASH = "worker_crash"
 OUTCOME_FLAKY = "flaky"
+#: Fabric quarantine: the cell was leased out past the redispatch
+#: budget without any worker ever delivering a result (one-way
+#: partition, blackholed workers) — lost coverage, surfaced instead of
+#: hanging the campaign.
+OUTCOME_PARTITION = "partition"
 
 QUARANTINE_OUTCOMES = frozenset(
-    {OUTCOME_TIMEOUT, OUTCOME_OOM, OUTCOME_WORKER_CRASH, OUTCOME_FLAKY}
+    {
+        OUTCOME_TIMEOUT,
+        OUTCOME_OOM,
+        OUTCOME_WORKER_CRASH,
+        OUTCOME_FLAKY,
+        OUTCOME_PARTITION,
+    }
 )
+
+#: ``run_campaign`` dispatch backends (see its docstring).
+BACKENDS = ("auto", "inproc", "pool", "fabric")
 
 #: Extra times past stabilization over which histories are validated.
 HISTORY_VALIDATION_SLACK = 16
@@ -167,10 +181,17 @@ class CellRecord:
 
 @dataclass
 class CampaignReport:
-    """Structured outcome of a whole campaign."""
+    """Structured outcome of a whole campaign.
+
+    ``fabric`` carries the coordinator's
+    :class:`~repro.resilience.fabric.FabricStats` when the run used the
+    fabric backend — the evidence of absorbed faults lives there
+    because, by design, it must not be visible in the rendered report.
+    """
 
     name: str
     records: list[CellRecord]
+    fabric: Any = None
 
     @property
     def counts(self) -> Counter:
@@ -451,6 +472,62 @@ def _run_jobs_raw(
             pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _run_jobs_fabric(
+    spec: CampaignSpec,
+    cells: Sequence[CellSpec],
+    remaining: list[tuple[int, tuple]],
+    fingerprint: str,
+    record_result: Callable[[int, CellRecord], None],
+    run_supervised: Callable[[list[tuple[int, tuple]], int | None], None],
+    fabric: Any,
+) -> Any:
+    """Dispatch ``remaining`` through a fabric coordinator; degrade any
+    leftover (no workers / all workers lost) to the local supervised
+    pool.  Returns the coordinator's :class:`~repro.resilience.fabric.
+    FabricStats`."""
+    from ..resilience.fabric import FabricConfig, FabricCoordinator
+
+    if isinstance(fabric, FabricCoordinator):
+        coordinator = fabric
+    elif isinstance(fabric, FabricConfig) or fabric is None:
+        coordinator = FabricCoordinator(fabric)
+    else:
+        raise ResilienceError(
+            f"fabric must be a FabricCoordinator or FabricConfig, "
+            f"got {type(fabric).__name__}"
+        )
+
+    def on_message(index: int, message: Mapping[str, Any]) -> None:
+        record_result(
+            index,
+            CellRecord(
+                cells[index],
+                str(message.get("outcome", OUTCOME_ERROR)),
+                detail=str(message.get("detail", "")),
+                steps=int(message.get("steps", 0)),
+                attempts=int(message.get("attempts", 1)),
+            ),
+        )
+
+    try:
+        leftover = coordinator.run(
+            [(index, cells[index].to_json()) for index, _ in remaining],
+            on_message,
+            campaign=spec.name,
+            fingerprint=fingerprint,
+            strict_traces=spec.strict_traces,
+        )
+    finally:
+        coordinator.close()
+    if leftover:
+        payloads = dict(remaining)
+        run_supervised(
+            [(index, payloads[index]) for index in sorted(leftover)],
+            None,
+        )
+    return coordinator.stats
+
+
 def run_campaign(
     spec: CampaignSpec,
     *,
@@ -462,6 +539,8 @@ def run_campaign(
     journal: str | None = None,
     resume: str | None = None,
     pool: str = "supervised",
+    backend: str = "auto",
+    fabric: Any = None,
     inject_worker_kill: int | None = None,
 ) -> CampaignReport:
     """Run (up to ``limit`` cells of) a campaign to a structured report.
@@ -489,11 +568,31 @@ def run_campaign(
     pinned to the exact enumerated campaign).  SIGINT/SIGTERM during a
     run raises :class:`~repro.errors.CampaignInterrupted` after workers
     are stopped and the journal is flushed.
+
+    ``backend`` selects the dispatch substrate:
+
+    * ``"auto"`` (default) — serial in-process, unless ``workers`` > 1
+      or a budget/fault-injection knob requires a pool.
+    * ``"inproc"`` — force serial in-process execution.
+    * ``"pool"`` — force the local worker pool (supervised, or the
+      legacy raw one with ``pool="raw"``).
+    * ``"fabric"`` — shard cells across socket-connected remote workers
+      via a :class:`~repro.resilience.fabric.FabricCoordinator` with
+      lease-based at-least-once dispatch and idempotent result dedup
+      (pass ``fabric`` as a :class:`~repro.resilience.fabric.
+      FabricConfig`, a pre-bound coordinator, or ``None`` for loopback
+      defaults).  If no worker ever registers — or every worker
+      vanishes past the degrade window — the remaining cells run
+      through the local supervised pool instead, and
+      ``report.fabric.degraded`` records that it happened.  Either
+      way the report is byte-identical to a serial run.
     """
     if workers is None:
         workers = spec.workers
     if pool not in ("supervised", "raw"):
         raise ResilienceError(f"unknown pool kind: {pool!r}")
+    if backend not in BACKENDS:
+        raise ResilienceError(f"unknown backend: {backend!r}")
     cell_iter = spec.cells()
     if limit is not None:
         cell_iter = itertools.islice(cell_iter, limit)
@@ -561,35 +660,53 @@ def run_campaign(
         for index in range(len(cells))
         if index not in records
     ]
+    fabric_stats = None
+
+    def run_supervised(
+        jobs: list[tuple[int, tuple]], kill_index: int | None
+    ) -> None:
+        supervised = SupervisedPool(
+            _run_cell_guarded,
+            workers=max(1, workers),
+            budget=budget,
+            retry=retry,
+            kill_job_index=kill_index,
+        )
+
+        def on_job(job: JobResult) -> None:
+            record_result(
+                job.index, _record_from_job(cells[job.index], job)
+            )
+
+        supervised.run(jobs, on_result=on_job)
+
     try:
         emit_ready()  # journal-replayed prefix first, in order
         use_pool = (
-            workers > 1
+            backend == "pool"
+            or workers > 1
             or budget is not None
             or inject_worker_kill is not None
-        )
+        ) and backend != "inproc"
         if not remaining:
             pass
+        elif backend == "fabric":
+            fabric_stats = _run_jobs_fabric(
+                spec,
+                cells,
+                remaining,
+                fingerprint,
+                record_result,
+                run_supervised,
+                fabric,
+            )
         elif use_pool and pool == "raw":
             _run_jobs_raw(
                 remaining, max(1, workers), record_result,
                 inject_worker_kill,
             )
         elif use_pool:
-            supervised = SupervisedPool(
-                _run_cell_guarded,
-                workers=max(1, workers),
-                budget=budget,
-                retry=retry,
-                kill_job_index=inject_worker_kill,
-            )
-
-            def on_job(job: JobResult) -> None:
-                record_result(
-                    job.index, _record_from_job(cells[job.index], job)
-                )
-
-            supervised.run(remaining, on_result=on_job)
+            run_supervised(remaining, inject_worker_kill)
         else:
             for index, payload in remaining:
                 record_result(index, _run_cell_guarded(payload))
@@ -605,7 +722,9 @@ def run_campaign(
         if journal_writer is not None:
             journal_writer.close()
     return CampaignReport(
-        spec.name, [records[index] for index in range(len(cells))]
+        spec.name,
+        [records[index] for index in range(len(cells))],
+        fabric=fabric_stats,
     )
 
 

@@ -14,7 +14,18 @@ interrupted run resumes exactly where it stopped.
 * :mod:`~repro.resilience.budget` — in-worker wall-clock and RSS
   watchdogs with distinct kill exit codes.
 * :mod:`~repro.resilience.journal` — append-only JSONL campaign
-  journals with fingerprint-pinned resume.
+  journals with fingerprint-pinned resume and idempotent appends.
+* :mod:`~repro.resilience.transport` — length-prefixed JSON frames,
+  the fabric's wire protocol (torn frames are survivable, not errors).
+* :mod:`~repro.resilience.fabric` — the multi-host coordinator:
+  lease-based at-least-once dispatch, idempotent result dedup,
+  worker suspicion, graceful degradation to the local pool.
+* :mod:`~repro.resilience.worker` — the remote worker agent
+  (``python -m repro worker --connect HOST:PORT``) with deterministic
+  reconnect backoff and heartbeat-renewed leases.
+* :mod:`~repro.resilience.netchaos` — the fault-injecting frame proxy
+  the fabric drill routes real traffic through (drop / delay /
+  duplicate / truncate / partition).
 """
 
 from .budget import (
@@ -24,6 +35,12 @@ from .budget import (
     CellBudget,
     current_rss_mb,
 )
+from .fabric import (
+    PARTITION_KIND,
+    FabricConfig,
+    FabricCoordinator,
+    FabricStats,
+)
 from .journal import (
     JOURNAL_FORMAT,
     JOURNAL_VERSION,
@@ -32,7 +49,9 @@ from .journal import (
     atomic_write_text,
     campaign_fingerprint,
     load_journal,
+    record_fingerprint,
 )
+from .netchaos import FAULT_KINDS, ChaosProxy, FaultPlan, ProxyStats
 from .supervisor import (
     EXIT_RESUMABLE,
     FAIL_CRASH,
@@ -46,8 +65,39 @@ from .supervisor import (
     backoff_schedule,
     triage,
 )
+from .transport import (
+    FrameConnection,
+    FrameDecoder,
+    TransportClosed,
+    TransportError,
+    connect_framed,
+    encode_frame,
+    parse_endpoint,
+    split_frames,
+)
+from .worker import WorkerStats, reconnect_delay_s, run_worker
 
 __all__ = [
+    "PARTITION_KIND",
+    "FabricConfig",
+    "FabricCoordinator",
+    "FabricStats",
+    "FAULT_KINDS",
+    "ChaosProxy",
+    "FaultPlan",
+    "ProxyStats",
+    "record_fingerprint",
+    "FrameConnection",
+    "FrameDecoder",
+    "TransportClosed",
+    "TransportError",
+    "connect_framed",
+    "encode_frame",
+    "parse_endpoint",
+    "split_frames",
+    "WorkerStats",
+    "reconnect_delay_s",
+    "run_worker",
     "EXIT_OOM",
     "EXIT_TIMEOUT",
     "BudgetWatchdog",

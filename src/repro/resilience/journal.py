@@ -73,17 +73,37 @@ def campaign_fingerprint(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def record_fingerprint(record: Mapping[str, Any]) -> str:
+    """Canonical dedup key of one journal record: sha256 over its
+    sorted JSON.  Retried and redispatched cells are deterministic
+    re-executions, so their records hash identically — the fabric's
+    at-least-once delivery becomes exactly-once durability."""
+    payload = json.dumps(
+        dict(record), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 class CampaignJournal:
-    """Append-only writer; durable after every :meth:`append_cell`."""
+    """Append-only writer; durable after every :meth:`append_cell`.
+
+    Appends are *idempotent by fingerprint*: every record line carries
+    a dedup key, the writer remembers the keys it has seen (including
+    across :meth:`reopen`, which reloads them from disk), and a
+    duplicate :meth:`append_idempotent` is a no-op.  At-least-once
+    producers — supervised retries, fabric redispatches — can therefore
+    all write through the same journal without double-counting."""
 
     def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self._handle = None
+        self._seen: set[str] = set()
 
     def open(self, header: Mapping[str, Any]) -> "CampaignJournal":
         """Create/truncate the journal and write its header line."""
         self._handle = open(self.path, "w", encoding="utf-8")
+        self._seen = set()
         self._append(
             {
                 "kind": "header",
@@ -95,16 +115,50 @@ class CampaignJournal:
         return self
 
     def reopen(self) -> "CampaignJournal":
-        """Continue appending to an existing journal (resume mode)."""
+        """Continue appending to an existing journal (resume mode),
+        reloading the already-written fingerprints so idempotence
+        holds across the interruption."""
+        _, cells = load_journal(self.path)
+        self._seen = {
+            line["fingerprint"]
+            for line in cells.values()
+            if "fingerprint" in line
+        }
         self._handle = open(self.path, "a", encoding="utf-8")
         return self
 
     def _append(self, line: Mapping[str, Any]) -> None:
         assert self._handle is not None, "journal not opened"
-        self._handle.write(json.dumps(line, separators=(",", ":")) + "\n")
+        # ensure_ascii=False: details may carry non-ASCII (detector
+        # names, ψ-stabilization notes), and emitting real UTF-8 means
+        # a crash can tear the tail *inside* a multibyte sequence —
+        # load_journal treats that as a torn line, not corruption.
+        self._handle.write(
+            json.dumps(line, ensure_ascii=False, separators=(",", ":"))
+            + "\n"
+        )
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
+
+    def append_idempotent(
+        self, fingerprint: str, record: Mapping[str, Any]
+    ) -> bool:
+        """Durably append ``record`` unless a record with this
+        ``fingerprint`` was already written (in this session or, after
+        :meth:`reopen`, a previous one).  Returns True when the record
+        was actually appended.
+
+        This is *the* dedup API: callers must not re-derive their own
+        keys ad hoc — pass :func:`record_fingerprint` of the identity-
+        determining fields (the fabric uses the cell spec; attempt
+        counters and timings stay out of the key).
+        """
+        if fingerprint in self._seen:
+            return False
+        self._seen.add(fingerprint)
+        self._append({**dict(record), "fingerprint": fingerprint})
+        return True
 
     def append_cell(
         self,
@@ -115,8 +169,15 @@ class CampaignJournal:
         steps: int,
         attempts: int,
         cell_json: Mapping[str, Any],
-    ) -> None:
-        self._append(
+    ) -> bool:
+        """Append one completed campaign cell (idempotently: the dedup
+        key is the cell's index + spec, so a redispatched or retried
+        cell lands in the journal exactly once)."""
+        fingerprint = record_fingerprint(
+            {"index": index, "cell": dict(cell_json)}
+        )
+        return self.append_idempotent(
+            fingerprint,
             {
                 "kind": "cell",
                 "index": index,
@@ -125,7 +186,7 @@ class CampaignJournal:
                 "steps": steps,
                 "attempts": attempts,
                 "cell": dict(cell_json),
-            }
+            },
         )
 
     def close(self) -> None:
@@ -151,17 +212,20 @@ def load_journal(
     """
     path = Path(path)
     try:
-        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        raw_lines = path.read_bytes().splitlines()
     except OSError as exc:
         raise ResilienceError(f"cannot read journal {path}: {exc}") from exc
     header: dict[str, Any] | None = None
     cells: dict[int, dict[str, Any]] = {}
-    for lineno, raw in enumerate(raw_lines):
-        if not raw.strip():
+    for lineno, raw_bytes in enumerate(raw_lines):
+        if not raw_bytes.strip():
             continue
         try:
-            line = json.loads(raw)
-        except json.JSONDecodeError as exc:
+            # Decode per line: a crash can tear the tail *inside* a
+            # UTF-8 multibyte sequence, which must read as a torn line,
+            # not as a corrupt journal.
+            line = json.loads(raw_bytes.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             if lineno == len(raw_lines) - 1:
                 break  # torn trailing line: the crash we exist to survive
             raise ResilienceError(

@@ -1,0 +1,323 @@
+"""Self-chaos for the fabric: a fault-injecting in-process TCP proxy.
+
+The fabric's robustness claims are only as good as the faults they
+were drilled against, so the drill does not mock the network — it
+routes real worker connections through this proxy and lets it misbehave
+at frame granularity.  The proxy understands exactly one thing about
+the traffic: the length-prefixed frame boundary
+(:func:`~repro.resilience.transport.split_frames`).  It never parses
+payloads, so every fault it injects is one the transport/fabric layers
+must survive without semantic help.
+
+Fault families (one :class:`FaultPlan` per run of the drill):
+
+* ``none`` — pass-through (the control arm).
+* ``drop`` — delete a deterministic fraction of frames.  A dropped
+  lease dispatch strands the coordinator's lease until it expires; a
+  dropped result forces a redispatch + duplicate-result dedup; a
+  dropped heartbeat is absorbed by the heartbeat/lease ratio.
+* ``delay`` — hold frames for a bounded pseudo-random time before
+  forwarding (reordering across connections, stale results).
+* ``duplicate`` — forward a fraction of frames twice (at-least-once
+  delivery made literal; exercises idempotent result dedup).
+* ``truncate`` — after a budgeted number of frames, forward only a
+  prefix of the next frame and slam both directions shut: the classic
+  crash-mid-send.  Workers must reconnect; the coordinator must treat
+  the torn frame as a crash, never as data.
+* ``partition`` — after a budgeted number of frames, silently blackhole
+  one direction while the other keeps flowing (the asymmetric link of
+  the message-and-failure-pattern models): heartbeats vanish, leases
+  expire, cells get redispatched.
+
+All randomness is ``Random(f"{seed}:{connection}:{direction}")`` —
+per-connection, per-direction, deterministic — so a drill failure
+replays.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from random import Random
+
+from .transport import TransportError, split_frames
+
+FAULT_KINDS = (
+    "none",
+    "drop",
+    "delay",
+    "duplicate",
+    "truncate",
+    "partition",
+)
+
+#: Direction labels, seen from the worker: ``up`` = worker→coordinator
+#: (registrations, heartbeats, results), ``down`` = coordinator→worker
+#: (welcomes, leases, shutdowns).
+UP, DOWN = "up", "down"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One fault family, parameterized and seeded.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        seed: determinism seed for every per-frame decision.
+        rate: fraction of frames affected (``drop`` / ``delay`` /
+            ``duplicate``).
+        delay_s: maximum hold time for ``delay``.
+        after_frames: per-connection frame budget before ``truncate``
+            fires / ``partition`` begins.
+        direction: which direction ``partition`` blackholes (``drop``,
+            ``delay``, ``duplicate`` apply to both directions).
+    """
+
+    kind: str = "none"
+    seed: int = 0
+    rate: float = 0.15
+    delay_s: float = 0.08
+    after_frames: int = 12
+    direction: str = UP
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.direction not in (UP, DOWN):
+            raise ValueError(f"direction must be {UP!r} or {DOWN!r}")
+
+
+@dataclass
+class ProxyStats:
+    """What the proxy actually did — the drill asserts faults were
+    really injected, not just survived vacuously."""
+
+    connections: int = 0
+    frames_forwarded: int = 0
+    frames_dropped: int = 0
+    frames_duplicated: int = 0
+    frames_delayed: int = 0
+    truncations: int = 0
+    partitioned_frames: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        return (
+            self.frames_dropped
+            + self.frames_duplicated
+            + self.frames_delayed
+            + self.truncations
+            + self.partitioned_frames
+        )
+
+
+class _Pipe(threading.Thread):
+    """One direction of one proxied connection."""
+
+    def __init__(
+        self,
+        proxy: "ChaosProxy",
+        src: socket.socket,
+        dst: socket.socket,
+        conn_id: int,
+        direction: str,
+    ) -> None:
+        super().__init__(
+            name=f"netchaos-{conn_id}-{direction}", daemon=True
+        )
+        self.proxy = proxy
+        self.src = src
+        self.dst = dst
+        self.direction = direction
+        self.rng = Random(f"{proxy.plan.seed}:{conn_id}:{direction}")
+        self.frame_no = 0
+        self.partitioned = False
+
+    def run(self) -> None:
+        plan = self.proxy.plan
+        stats = self.proxy.stats
+        buffer = b""
+        try:
+            while not self.proxy.stopping.is_set():
+                try:
+                    data = self.src.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    break
+                buffer += data
+                try:
+                    frames, buffer = split_frames(buffer)
+                except TransportError:
+                    # Not our protocol (or already-torn bytes): pass
+                    # raw and let the endpoint decide.
+                    frames, buffer = [buffer], b""
+                for frame in frames:
+                    self.frame_no += 1
+                    if not self._forward(frame, plan, stats):
+                        return  # truncation closed the connection
+        finally:
+            self._shut(self.src)
+            self._shut(self.dst)
+
+    # -- per-frame fault decision ---------------------------------------
+
+    def _forward(self, frame: bytes, plan: FaultPlan, stats) -> bool:
+        if self.partitioned:
+            with self.proxy.lock:
+                stats.partitioned_frames += 1
+            return True  # swallow silently, keep draining the source
+        if plan.kind == "drop" and self.rng.random() < plan.rate:
+            with self.proxy.lock:
+                stats.frames_dropped += 1
+            return True
+        if plan.kind == "delay" and self.rng.random() < plan.rate:
+            with self.proxy.lock:
+                stats.frames_delayed += 1
+            time.sleep(plan.delay_s * self.rng.random())
+        if (
+            plan.kind == "truncate"
+            and self.frame_no > plan.after_frames
+        ):
+            with self.proxy.lock:
+                stats.truncations += 1
+            torn = frame[: max(1, len(frame) // 2)]
+            try:
+                self.dst.sendall(torn)
+            except OSError:
+                pass
+            return False  # run() shuts both sockets: crash-mid-send
+        if (
+            plan.kind == "partition"
+            and self.direction == plan.direction
+            and self.frame_no > plan.after_frames
+        ):
+            self.partitioned = True
+            with self.proxy.lock:
+                stats.partitioned_frames += 1
+            return True
+        copies = 1
+        if plan.kind == "duplicate" and self.rng.random() < plan.rate:
+            with self.proxy.lock:
+                stats.frames_duplicated += 1
+            copies = 2
+        try:
+            for _ in range(copies):
+                self.dst.sendall(frame)
+        except OSError:
+            return False
+        with self.proxy.lock:
+            stats.frames_forwarded += 1
+        return True
+
+    @staticmethod
+    def _shut(sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+class ChaosProxy:
+    """Accept on one address, forward (faultily) to another.
+
+    Usage::
+
+        proxy = ChaosProxy(target=coordinator.address,
+                           plan=FaultPlan(kind="drop", seed=7))
+        host, port = proxy.start()
+        # point workers at (host, port) instead of the coordinator
+        ...
+        proxy.stop()
+
+    The proxy accepts any number of sequential or concurrent
+    connections (workers reconnect through it after faults), each
+    pumped by a pair of daemon threads.
+    """
+
+    def __init__(
+        self,
+        target: tuple[str, int],
+        plan: FaultPlan | None = None,
+        *,
+        listen: tuple[str, int] = ("127.0.0.1", 0),
+    ) -> None:
+        self.target = target
+        self.plan = plan or FaultPlan()
+        self.stats = ProxyStats()
+        self.stopping = threading.Event()
+        self.lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind(listen)
+        self._listener.listen(16)
+        self._accept_thread: threading.Thread | None = None
+        self._pipes: list[_Pipe] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> tuple[str, int]:
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="netchaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def _accept_loop(self) -> None:
+        conn_id = 0
+        while not self.stopping.is_set():
+            try:
+                inbound, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                outbound = socket.create_connection(
+                    self.target, timeout=5.0
+                )
+            except OSError:
+                _Pipe._shut(inbound)
+                continue
+            for sock in (inbound, outbound):
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            conn_id += 1
+            with self.lock:
+                self.stats.connections += 1
+            up = _Pipe(self, inbound, outbound, conn_id, UP)
+            down = _Pipe(self, outbound, inbound, conn_id, DOWN)
+            self._pipes += [up, down]
+            up.start()
+            down.start()
+
+    def stop(self) -> None:
+        self.stopping.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        for pipe in self._pipes:
+            _Pipe._shut(pipe.src)
+            _Pipe._shut(pipe.dst)
+        for pipe in self._pipes:
+            pipe.join(timeout=1.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

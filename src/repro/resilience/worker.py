@@ -1,0 +1,274 @@
+"""Fabric worker agent: ``python -m repro worker --connect HOST:PORT``.
+
+A worker is the fabric's crash-prone helper: it dials the coordinator,
+registers, and then serves leases — receive a cell, execute it, send
+the result, heartbeat the lease the whole time.  Everything about it
+is built for an unreliable link:
+
+* **Reconnect with capped exponential backoff + deterministic
+  jitter.**  The delay schedule is a pure function of ``(seed, worker
+  name, attempt)`` — the same :class:`~repro.resilience.supervisor.
+  RetryPolicy` arithmetic the supervised pool uses — so reconnect
+  storms decorrelate across workers without losing reproducibility.
+* **Heartbeats from a side thread.**  Cell execution is synchronous in
+  the main loop (at most one lease is ever in flight per worker), and
+  a daemon thread renews the lease every ``heartbeat_s`` so a
+  long-running cell is never mistaken for a lost one.  The framed
+  connection serializes sends, so the two threads share the socket
+  safely.
+* **Results are expendable.**  If the link dies before a result frame
+  lands, the worker just reconnects; the coordinator's lease machinery
+  redispatches the cell and its dedup drops whichever execution
+  reports second.  Cells are pure functions of their spec, so a
+  re-execution is indistinguishable from a retransmission.
+
+The agent is deliberately stateless across connections: the campaign
+fingerprint in the coordinator's welcome is remembered only to refuse
+cross-campaign confusion after a reconnect lands on a *different*
+coordinator behind the same address.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from .supervisor import RetryPolicy
+from .transport import (
+    FrameConnection,
+    TransportClosed,
+    TransportError,
+    connect_framed,
+)
+
+#: Reconnect backoff: same deterministic-jitter arithmetic as job
+#: retries, but sized for link flaps rather than cell re-runs.
+RECONNECT_POLICY = RetryPolicy(
+    max_retries=0,  # unused for reconnects; delay_s() is what we share
+    backoff_base_s=0.1,
+    backoff_factor=2.0,
+    backoff_cap_s=5.0,
+    jitter=0.5,
+)
+
+
+def reconnect_delay_s(seed: int, name: str, attempt: int) -> float:
+    """Delay before reconnect ``attempt`` — a pure function of
+    ``(seed, worker name, attempt)``, capped exponential with
+    deterministic jitter (tested across process boundaries)."""
+    policy = dataclasses.replace(RECONNECT_POLICY, seed=seed)
+    # RetryPolicy.delay_s seeds its jitter on (seed, job, attempt);
+    # reuse it with a stable per-name pseudo-index so distinct workers
+    # get distinct-but-reproducible schedules.
+    job_index = sum(name.encode("utf-8")) % 1_000_003
+    return policy.delay_s(job_index, min(attempt, 16))
+
+
+@dataclass
+class WorkerStats:
+    """Counters mirrored by tests and the chaos drill."""
+
+    connects: int = 0
+    reconnects: int = 0
+    cells_executed: int = 0
+    results_sent: int = 0
+    results_lost: int = 0
+
+
+class _Heartbeater:
+    """Daemon thread renewing the in-flight lease every period."""
+
+    def __init__(self, conn: FrameConnection, period_s: float) -> None:
+        self._conn = conn
+        self._period_s = max(0.05, period_s)
+        self._lock = threading.Lock()
+        self._leases: set[int] = set()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._beat, name="fabric-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def hold(self, index: int) -> None:
+        with self._lock:
+            self._leases.add(index)
+
+    def release(self, index: int) -> None:
+        with self._lock:
+            self._leases.discard(index)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._period_s):
+            with self._lock:
+                leases = sorted(self._leases)
+            if not leases:
+                # Idle workers stay silent: leases are what heartbeats
+                # renew, and unread idle chatter in the coordinator's
+                # buffer can turn its close into a RST that destroys
+                # the queued shutdown frame.
+                continue
+            try:
+                self._conn.send({"type": "heartbeat", "leases": leases})
+            except TransportClosed:
+                return  # main loop notices on its next recv
+
+
+def _execute_cell(
+    cell_json: Mapping[str, Any], strict_traces: bool
+) -> dict[str, Any]:
+    """Run one cell to a result message (imports deferred so the
+    resilience layer keeps no import-time dependency on the chaos
+    engine)."""
+    from ..chaos.campaign import CellSpec, _run_cell_guarded
+
+    record = _run_cell_guarded(
+        (CellSpec.from_json(cell_json), strict_traces)
+    )
+    return {
+        "type": "result",
+        "index": -1,  # caller fills in
+        "outcome": record.outcome,
+        "detail": record.detail,
+        "steps": record.steps,
+        "attempts": record.attempts,
+    }
+
+
+def serve_connection(
+    conn: FrameConnection,
+    stats: WorkerStats,
+    *,
+    execute: Callable[[Mapping[str, Any], bool], dict[str, Any]] =
+        _execute_cell,
+    expected_fingerprint: str | None = None,
+) -> tuple[bool, str]:
+    """Serve leases on one established connection until shutdown or
+    link death.  Returns ``(shutdown, campaign fingerprint)`` —
+    ``shutdown`` True means the coordinator said we are done."""
+    welcome = conn.recv(timeout=10.0)
+    if welcome is None or welcome.get("type") != "welcome":
+        raise TransportClosed("no welcome from coordinator")
+    fingerprint = str(welcome.get("fingerprint", ""))
+    if expected_fingerprint is not None and fingerprint and (
+        fingerprint != expected_fingerprint
+    ):
+        raise TransportError(
+            "coordinator fingerprint changed across reconnect "
+            "(different campaign behind the same address)"
+        )
+    strict_traces = bool(welcome.get("strict_traces", False))
+    heartbeat_s = float(welcome.get("heartbeat_s", 1.0))
+    heartbeater = _Heartbeater(conn, heartbeat_s)
+    heartbeater.start()
+    try:
+        while True:
+            message = conn.recv(timeout=heartbeat_s)
+            if message is None:
+                continue  # idle tick; heartbeater keeps us visible
+            kind = message.get("type")
+            if kind == "shutdown":
+                return True, fingerprint
+            if kind != "lease":
+                continue
+            index = int(message["index"])
+            heartbeater.hold(index)
+            try:
+                result = execute(message["cell"], strict_traces)
+            finally:
+                heartbeater.release(index)
+            result["index"] = index
+            stats.cells_executed += 1
+            try:
+                conn.send(result)
+                stats.results_sent += 1
+            except TransportClosed:
+                # The execution is not wasted science — the cell is
+                # deterministic and the coordinator will redispatch —
+                # but this link is done.
+                stats.results_lost += 1
+                raise
+    finally:
+        heartbeater.stop()
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    name: str | None = None,
+    seed: int = 0,
+    max_attempts: int = 30,
+    stats: WorkerStats | None = None,
+    execute: Callable[[Mapping[str, Any], bool], dict[str, Any]] =
+        _execute_cell,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Worker main loop: connect/serve/reconnect until the coordinator
+    shuts us down (exit 0) or ``max_attempts`` consecutive failed
+    connection attempts (exit 1)."""
+    stats = stats if stats is not None else WorkerStats()
+    name = name or f"worker-{os.getpid()}"
+    say = log or (lambda message: None)
+    incarnation = 0
+    failures = 0
+    fingerprint: str | None = None
+    while True:
+        try:
+            conn = connect_framed(host, port, timeout=5.0)
+        except OSError as exc:
+            failures += 1
+            if failures >= max_attempts:
+                say(
+                    f"{name}: giving up after {failures} failed "
+                    f"connection attempts ({exc})"
+                )
+                return 1
+            delay = reconnect_delay_s(seed, name, failures)
+            say(
+                f"{name}: connect to {host}:{port} failed ({exc}); "
+                f"retrying in {delay:.2f}s"
+            )
+            time.sleep(delay)
+            continue
+        failures = 0
+        stats.connects += 1
+        if incarnation > 0:
+            stats.reconnects += 1
+        try:
+            with conn:
+                conn.send(
+                    {
+                        "type": "register",
+                        "name": name,
+                        "incarnation": incarnation,
+                        "pid": os.getpid(),
+                    }
+                )
+                shutdown, fingerprint = serve_connection(
+                    conn,
+                    stats,
+                    execute=execute,
+                    expected_fingerprint=fingerprint,
+                )
+                if shutdown:
+                    say(
+                        f"{name}: coordinator shutdown after "
+                        f"{stats.cells_executed} cell(s)"
+                    )
+                    return 0
+        except TransportClosed as exc:
+            say(f"{name}: link lost ({exc}); reconnecting")
+        except TransportError as exc:
+            say(f"{name}: protocol error ({exc}); reconnecting fresh")
+            fingerprint = None
+        incarnation += 1
+        time.sleep(reconnect_delay_s(seed, name, 1))

@@ -6,6 +6,8 @@ costs nothing; journal round-trips prove interrupted sweeps resume to
 byte-identical reports.
 """
 
+import multiprocessing
+
 import pytest
 
 from repro.chaos import run_campaign, smoke_campaign
@@ -180,3 +182,142 @@ class TestJournalResume:
         _, after = load_journal(journal)
         assert after == before  # nothing re-run, nothing re-journaled
         assert all(r.result is None for r in resumed.records)
+
+
+class TestIdempotentAppend:
+    def _journal(self, tmp_path):
+        from repro.resilience import CampaignJournal
+
+        return CampaignJournal(tmp_path / "j.jsonl").open(
+            {"campaign": "t", "fingerprint": "fp", "cells": 2}
+        )
+
+    def test_duplicate_fingerprint_is_a_noop(self, tmp_path):
+        from repro.resilience import record_fingerprint
+
+        record = {"kind": "cell", "index": 0, "outcome": "ok"}
+        key = record_fingerprint({"index": 0})
+        with self._journal(tmp_path) as journal:
+            assert journal.append_idempotent(key, record)
+            assert not journal.append_idempotent(key, record)
+        _, lines = load_journal(tmp_path / "j.jsonl")
+        assert list(lines) == [0]
+
+    def test_append_cell_dedups_redispatches(self, tmp_path):
+        with self._journal(tmp_path) as journal:
+            kwargs = dict(
+                outcome="ok",
+                detail="",
+                steps=3,
+                attempts=1,
+                cell_json={"seed": 7},
+            )
+            assert journal.append_cell(0, **kwargs)
+            # Same cell again (a fabric redispatch whose first result
+            # was delayed, not lost) — even with different attempt
+            # accounting, the durable record must stay single-entry.
+            assert not journal.append_cell(
+                0, **{**kwargs, "attempts": 2}
+            )
+            assert journal.append_cell(1, **kwargs)
+        raw = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(raw) == 3  # header + two distinct cells
+
+    def test_idempotence_survives_reopen(self, tmp_path):
+        from repro.resilience import CampaignJournal
+
+        kwargs = dict(
+            outcome="ok",
+            detail="",
+            steps=1,
+            attempts=1,
+            cell_json={"seed": 7},
+        )
+        with self._journal(tmp_path) as journal:
+            journal.append_cell(0, **kwargs)
+        with CampaignJournal(tmp_path / "j.jsonl").reopen() as journal:
+            assert not journal.append_cell(0, **kwargs)
+
+    def test_tail_torn_inside_multibyte_char_is_tolerated(self, tmp_path):
+        # A crash can cut the final line anywhere — including between
+        # the bytes of one UTF-8 code point.  That must read as a torn
+        # line, never as a corrupt journal.
+        path = tmp_path / "j.jsonl"
+        with self._journal(tmp_path) as journal:
+            journal.append_cell(
+                0,
+                outcome="ok",
+                detail="plain",
+                steps=1,
+                attempts=1,
+                cell_json={"seed": 7},
+            )
+            journal.append_cell(
+                1,
+                outcome="ok",
+                detail="ψ-stabilized ✓",
+                steps=1,
+                attempts=1,
+                cell_json={"seed": 8},
+            )
+        data = path.read_bytes()
+        psi = "ψ".encode("utf-8")
+        cut = data.rindex(psi) + 1  # one byte INTO the 2-byte ψ
+        path.write_bytes(data[:cut])
+        header, lines = load_journal(path)
+        assert set(lines) == {0}  # the torn record is simply gone
+        assert header["fingerprint"] == "fp"
+
+    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with self._journal(tmp_path) as journal:
+            journal.append_cell(
+                0,
+                outcome="ok",
+                detail="",
+                steps=1,
+                attempts=1,
+                cell_json={"seed": 7},
+            )
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines.insert(1, b'{"kind": "cell", "ind\xff\n')
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(ResilienceError, match="corrupt"):
+            load_journal(path)
+
+
+def _schedules_in_child(args):
+    """Computed in a spawned interpreter: must equal the parent's."""
+    policy, jobs = args
+    return [backoff_schedule(policy, job) for job in jobs]
+
+
+class TestBackoffDeterminism:
+    def test_schedule_is_pure(self):
+        policy = RetryPolicy(max_retries=4, seed=11)
+        assert backoff_schedule(policy, 3) == backoff_schedule(policy, 3)
+        assert backoff_schedule(policy, 3) != backoff_schedule(policy, 4)
+
+    def test_schedule_identical_across_process_boundaries(self):
+        # The jitter is str-seeded (SHA-512), so the same (seed, job,
+        # attempt) triple must yield bit-identical delays in a freshly
+        # spawned interpreter — no inherited hash randomization, no
+        # fork-shared RNG state.  Guards the pickling path: the policy
+        # travels to workers by value.
+        policy = RetryPolicy(max_retries=5, seed=11, jitter=0.5)
+        jobs = [0, 1, 17, 999_983]
+        parent = [backoff_schedule(policy, job) for job in jobs]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            (child,) = pool.map(_schedules_in_child, [(policy, jobs)])
+        assert child == parent
+
+    def test_reconnect_delay_identical_across_processes(self):
+        from repro.resilience import reconnect_delay_s
+
+        args = [(7, "w1", a) for a in range(1, 6)]
+        parent = [reconnect_delay_s(*a) for a in args]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            child = pool.starmap(reconnect_delay_s, args)
+        assert child == parent
