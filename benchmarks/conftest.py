@@ -13,6 +13,37 @@ benchmark run doubles as the experiment harness behind EXPERIMENTS.md.
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "kernel(which, warm=()): pin a bench case to one execution "
+        "kernel.  'compiled' clears the kernel's source cache and "
+        "pre-compiles the `warm` factories before the timed region, so "
+        "interp-vs-compiled comparisons measure steady state regardless "
+        "of which case ran first; 'interp' declares the case must never "
+        "touch the compiled kernel.",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _pin_kernel(request):
+    """Make every kernel-marked bench case start from the same cache
+    state: without this, whichever compiled case runs first pays
+    compilation inside its timed region while later cases ride the
+    warm cache, and the interp-vs-compiled deltas depend on collection
+    order."""
+    marker = request.node.get_closest_marker("kernel")
+    if marker is not None and marker.args and marker.args[0] == "compiled":
+        from repro.kernel import clear_cache, compile_automaton
+
+        clear_cache()
+        for factory in marker.kwargs.get("warm", ()):
+            compile_automaton(factory)
+    yield

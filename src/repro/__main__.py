@@ -30,13 +30,21 @@ Commands:
                             dispatch backend: --backend
                             auto|inproc|pool|fabric (fabric shards
                             cells across socket-connected workers
-                            with lease-based at-least-once dispatch)
+                            with lease-based at-least-once dispatch);
+                            execution kernel: --kernel interp|compiled
     chaos replay BUNDLE     deterministically re-execute a shrunk
                             failure bundle and compare outcomes
     worker                  join a campaign fabric as a remote worker:
                             python -m repro worker --connect HOST:PORT
                             (reconnects with deterministic backoff;
                             exits 0 on coordinator shutdown)
+    kernel                  compiled execution kernel: --dump NAME
+                            prints one automaton's generated source
+                            (content-hashed), --list surveys compiled
+                            vs fallback automata, --dump-all emits the
+                            CI source artifact; with no flags runs the
+                            kernel-vs-interpreter differential gate
+                            (--full for the nightly battery)
     bench                   run the tracked execution-core benchmark
                             suite and write BENCH_core.json
 
@@ -392,6 +400,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 pool=args.pool,
                 backend=args.backend,
+                kernel=args.kernel,
                 fabric=fabric,
                 inject_worker_kill=args.inject_worker_kill,
             )
@@ -437,6 +446,45 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     return chaos_exit_code(report)
 
 
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from . import kernel
+
+    if args.dump is not None:
+        try:
+            print(kernel.dump_source(args.dump))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        return 0
+    if args.dump_all:
+        print(kernel.dump_all())
+        return 0
+    if args.list:
+        kernel.warm_cache()
+        for module, name, program in kernel.iter_schema_programs():
+            if isinstance(program, kernel.UnsupportedAutomaton):
+                print(f"{module}.{name:40} interp-fallback ({program})")
+            else:
+                print(
+                    f"{module}.{name:40} compiled "
+                    f"sha256:{program.content_hash[:16]} "
+                    f"({program.n_sites} sites)"
+                )
+        return 0
+    # default: the differential gate
+    from .kernel.differential import run_differential
+
+    def progress(name: str) -> None:
+        if args.verbose:
+            print(f"  case {name}", file=sys.stderr)
+
+    report = run_differential(
+        smoke=not args.full, campaign=True, on_case=progress
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -444,6 +492,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         BENCH_SCHEMA,
         compare_against_baseline,
         fabric_overhead_problems,
+        kernel_speedup_problems,
         load_baseline,
         render,
         run_benchmarks,
@@ -452,9 +501,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     results = run_benchmarks(smoke=args.smoke, workers=args.workers)
     print(render(results))
-    overhead_problems = supervised_overhead_problems(
-        results
-    ) + fabric_overhead_problems(results)
+    overhead_problems = (
+        supervised_overhead_problems(results)
+        + fabric_overhead_problems(results)
+        + kernel_speedup_problems(results)
+    )
     for problem in overhead_problems:
         print(f"OVERHEAD: {problem}")
     payload = {
@@ -785,6 +836,15 @@ def main(argv: list[str] | None = None) -> int:
         "registers); reports are byte-identical across backends",
     )
     p.add_argument(
+        "--kernel",
+        choices=["interp", "compiled"],
+        default="interp",
+        help="execution kernel per cell: the interpreted executor, or "
+        "compiled step functions with per-automaton fallback (serial "
+        "in-process compiled runs batch cells into lockstep lanes); "
+        "reports are byte-identical across kernels",
+    )
+    p.add_argument(
         "--listen",
         metavar="HOST:PORT",
         default="127.0.0.1:0",
@@ -857,6 +917,47 @@ def main(argv: list[str] | None = None) -> int:
         help="log connects, reconnects, and shutdown to stderr",
     )
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "kernel",
+        help="compiled execution kernel: dump, list, differential gate",
+        description="Inspect the schema-to-Python compiled kernel and "
+        "run its kernel-vs-interpreter differential gate.",
+        epilog="exit codes (differential mode): 0 = all comparisons "
+        "byte-identical and footprints consistent; 1 = divergence.",
+    )
+    p.add_argument(
+        "--dump",
+        metavar="NAME",
+        default=None,
+        help="print the generated source (with content hash) for one "
+        "automaton or module, e.g. 's_helper' or "
+        "'kset_vector.kset_c_factory'",
+    )
+    p.add_argument(
+        "--dump-all",
+        action="store_true",
+        help="print every generated program plus interpreter-fallback "
+        "notes (the CI generated-source artifact)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="one line per declared automaton: compiled (hash, sites) "
+        "or interp-fallback (reason)",
+    )
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="differential mode: run the full battery (nightly) "
+        "instead of the smoke subset",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="differential mode: print each case to stderr",
+    )
+    p.set_defaults(func=_cmd_kernel)
 
     p = sub.add_parser(
         "bench", help="run the tracked execution-core benchmarks"

@@ -26,14 +26,37 @@ RATE_KEYS = {
     "executor_nop_n32": "steps_per_s",
     "executor_crashes": "steps_per_s",
     "executor_snapshot": "steps_per_s",
+    "executor_compiled_rw_n8": "steps_per_s",
+    "executor_compiled_nop_n32": "steps_per_s",
+    "executor_compiled_crashes": "steps_per_s",
+    "executor_compiled_snapshot": "steps_per_s",
     "explorer_figure4_d16": "explored_per_s",
     "explorer_por_figure4_d16": "explored_per_s",
     "explorer_por_deep_renaming": "explored_per_s",
     "explorer_symmetry_kset": "explored_per_s",
     "campaign_smoke": "cells_per_s",
+    "campaign_compiled": "cells_per_s",
     "campaign_supervised": "cells_per_s",
     "campaign_fabric_loopback": "cells_per_s",
 }
+
+#: Compiled-kernel benchmark → its interpreted counterpart in the same
+#: run.  Drives the side-by-side speedup column in :func:`render` and
+#: the in-run speedup gate in :func:`kernel_speedup_problems`.
+KERNEL_PAIRS = {
+    "executor_compiled_rw_n8": "executor_rw_n8",
+    "executor_compiled_nop_n32": "executor_nop_n32",
+    "executor_compiled_crashes": "executor_crashes",
+    "executor_compiled_snapshot": "executor_snapshot",
+    "campaign_compiled": "campaign_smoke",
+}
+
+#: Minimum same-run speedup of each ``executor_compiled_*`` benchmark
+#: over its interpreted counterpart.  Full runs measure 13-40x; the
+#: gate sits well below that so smoke runs on noisy CI hosts do not
+#: flap, while still catching a kernel that silently degrades to
+#: interpreter-like throughput.
+EXECUTOR_KERNEL_SPEEDUP_MIN = 5.0
 
 #: Maximum tolerated supervised-pool slowdown vs the raw
 #: ``ProcessPoolExecutor`` on the same cells (fraction of raw rate).
@@ -95,6 +118,45 @@ def _bench_executor(
         "wall_s": wall,
         "steps_per_s": result.steps / wall,
         "steps": result.steps,
+    }
+
+
+def _bench_executor_compiled(
+    factory, n: int, steps: int, *, pattern=None, sched=None
+) -> dict[str, Any]:
+    """Same workload shape as :func:`_bench_executor`, driven through
+    the compiled kernel.  The factory is compiled *before* the timed
+    region: the content-hash source cache makes compilation a one-time
+    cost in real workloads, so steady-state throughput is what the
+    benchmark tracks.  System and :class:`CompiledRun` construction stay
+    inside the timed region, mirroring the interpreted measurement."""
+    from .core import System
+    from .kernel import CompiledRun, compile_automaton
+    from .runtime import RoundRobinScheduler
+
+    compile_automaton(factory)  # warm the content-hash cache
+    t0 = time.perf_counter()
+    system = System(
+        inputs=tuple(range(n)),
+        c_factories=[factory] * n,
+        pattern=pattern,
+    )
+    run = CompiledRun(
+        system, sched or RoundRobinScheduler(), max_steps=steps
+    )
+    result = run.run()
+    wall = time.perf_counter() - t0
+    if run.fallback_pids:
+        raise RuntimeError(
+            f"bench workload fell back to the interpreter for "
+            f"{sorted(p.name for p in run.fallback_pids)}"
+        )
+    return {
+        "wall_s": wall,
+        "steps_per_s": result.steps / wall,
+        "steps": result.steps,
+        "kernel": "compiled",
+        "compiled_processes": len(run.compiled_pids),
     }
 
 
@@ -194,17 +256,22 @@ def _bench_explorer_symmetry(max_depth: int) -> dict[str, Any]:
     )
 
 
-def _bench_campaign(cells: int, workers: int) -> dict[str, Any]:
+def _bench_campaign(
+    cells: int, workers: int, *, kernel: str = "interp"
+) -> dict[str, Any]:
     from .chaos import run_campaign, smoke_campaign
 
     t0 = time.perf_counter()
-    report = run_campaign(smoke_campaign(), limit=cells, workers=workers)
+    report = run_campaign(
+        smoke_campaign(), limit=cells, workers=workers, kernel=kernel
+    )
     wall = time.perf_counter() - t0
     return {
         "wall_s": wall,
         "cells_per_s": len(report.records) / wall,
         "cells": len(report.records),
         "workers": workers,
+        "kernel": kernel,
         "counts": dict(report.counts),
     }
 
@@ -349,12 +416,49 @@ def fabric_overhead_problems(
     return []
 
 
+def kernel_speedup_problems(
+    results: Mapping[str, Mapping[str, Any]],
+    *,
+    min_speedup: float = EXECUTOR_KERNEL_SPEEDUP_MIN,
+) -> list[str]:
+    """Gate each ``executor_compiled_*`` benchmark against its
+    interpreted counterpart from the same run (empty list = every pair
+    meets :data:`EXECUTOR_KERNEL_SPEEDUP_MIN`, or the pair was not
+    run).  ``campaign_compiled`` is reported via :func:`render` but not
+    gated here — campaign cells spend most of their wall on system
+    construction and verdict classification, which the kernel does not
+    touch."""
+    problems: list[str] = []
+    for compiled_name, interp_name in KERNEL_PAIRS.items():
+        if not compiled_name.startswith("executor_"):
+            continue
+        compiled = results.get(compiled_name, {}).get("steps_per_s")
+        interp = results.get(interp_name, {}).get("steps_per_s")
+        if not compiled or not interp:
+            continue
+        speedup = compiled / interp
+        if speedup < min_speedup:
+            problems.append(
+                f"{compiled_name}: only {speedup:.1f}x over "
+                f"{interp_name} (minimum: {min_speedup:g}x)"
+            )
+    return problems
+
+
 def run_benchmarks(
     *, smoke: bool = False, workers: int = 1
 ) -> dict[str, dict[str, Any]]:
     """Run the suite; smoke mode shrinks workloads, not the name set."""
     exec_steps = 5_000 if smoke else 50_000
     snap_steps = 3_000 if smoke else 30_000
+    # Compiled executor cases run 10x the steps of their interpreted
+    # twins: at multi-M steps/s the interpreted budgets finish in
+    # single-digit milliseconds, where construction jitter swamps the
+    # steady-state rate.  Rates are compared, never wall totals, so the
+    # asymmetry is harmless (same reason smoke stays comparable to
+    # full).
+    compiled_steps = exec_steps * 10
+    compiled_snap_steps = snap_steps * 10
     depth = 12 if smoke else 16
     cells = 4 if smoke else 12
     from .core.failures import FailurePattern
@@ -375,6 +479,22 @@ def run_benchmarks(
         "executor_snapshot": lambda: _bench_executor(
             _snapper, 4, snap_steps
         ),
+        "executor_compiled_rw_n8": lambda: _bench_executor_compiled(
+            _reader_writer, 8, compiled_steps
+        ),
+        "executor_compiled_nop_n32": lambda: _bench_executor_compiled(
+            _spin, 32, compiled_steps
+        ),
+        "executor_compiled_crashes": lambda: _bench_executor_compiled(
+            _reader_writer,
+            6,
+            compiled_steps,
+            pattern=FailurePattern(6, (3, 40, None, 500, None, 9_000)),
+            sched=SeededRandomScheduler(7),
+        ),
+        "executor_compiled_snapshot": lambda: _bench_executor_compiled(
+            _snapper, 4, compiled_snap_steps
+        ),
         "explorer_figure4_d16": lambda: _bench_explorer(depth),
         "explorer_por_figure4_d16": lambda: _bench_explorer(
             depth, por=True
@@ -386,6 +506,9 @@ def run_benchmarks(
             12 if smoke else 16
         ),
         "campaign_smoke": lambda: _bench_campaign(cells, workers),
+        "campaign_compiled": lambda: _bench_campaign(
+            cells, 1, kernel="compiled"
+        ),
         "campaign_supervised": lambda: _bench_campaign_pools(
             cells, max(2, workers)
         ),
@@ -432,8 +555,15 @@ def render(results: Mapping[str, Mapping[str, Any]]) -> str:
     lines = []
     for name, metrics in results.items():
         rate_key = RATE_KEYS.get(name, "wall_s")
-        lines.append(
-            f"{name:24} {metrics.get(rate_key, 0.0):>12.0f} {rate_key}"
+        line = (
+            f"{name:28} {metrics.get(rate_key, 0.0):>12.0f} {rate_key}"
             f"  ({metrics['wall_s']:.2f}s)"
         )
+        interp_name = KERNEL_PAIRS.get(name)
+        if interp_name is not None:
+            reference = results.get(interp_name, {}).get(rate_key)
+            current = metrics.get(rate_key)
+            if reference and current:
+                line += f"  [{current / reference:.1f}x vs {interp_name}]"
+        lines.append(line)
     return "\n".join(lines)

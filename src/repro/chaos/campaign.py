@@ -91,6 +91,10 @@ QUARANTINE_OUTCOMES = frozenset(
 #: ``run_campaign`` dispatch backends (see its docstring).
 BACKENDS = ("auto", "inproc", "pool", "fabric")
 
+#: ``run_campaign`` execution kernels: the interpreted executor, or the
+#: compiled kernel (:mod:`repro.kernel`) with per-automaton fallback.
+KERNELS = ("interp", "compiled")
+
 #: Extra times past stabilization over which histories are validated.
 HISTORY_VALIDATION_SLACK = 16
 
@@ -328,16 +332,16 @@ def classify_result(
         return OUTCOME_HAZARD, str(exc)
 
 
-def run_cell(
+def _prepare_cell(
     cell: CellSpec,
-    *,
-    scheduler: Scheduler | None = None,
-    strict_traces: bool = False,
-) -> CellRecord:
-    """Execute one cell: build, validate the history, run, classify.
+) -> tuple[Any, Any, CellRecord | None]:
+    """Build a cell's (task, system) and validate its detector history.
 
-    ``scheduler`` overrides the cell's declared scheduler (the shrinker
-    uses this to substitute recording and explicit schedulers).
+    Returns ``(task, system, invalid_record)`` where ``invalid_record``
+    is the ready-made :class:`CellRecord` when history validation
+    failed (the run must not happen).  Shared by :func:`run_cell` and
+    the compiled lanes (:func:`repro.kernel.lanes.run_cells_compiled`),
+    so both kernels see literally the same systems.
     """
     task = build_task(cell.task)
     pattern = build_pattern(cell.pattern, task.n)
@@ -360,7 +364,7 @@ def run_cell(
             horizon=stab + HISTORY_VALIDATION_SLACK,
             stabilized_from=stab,
         ):
-            return CellRecord(
+            return task, system, CellRecord(
                 cell,
                 OUTCOME_INVALID_HISTORY,
                 detail=(
@@ -368,13 +372,18 @@ def run_cell(
                     f"history at stabilization {stab}"
                 ),
             )
-    result = execute(
-        system,
-        scheduler if scheduler is not None
-        else build_scheduler(cell.scheduler),
-        max_steps=cell.max_steps,
-        trace=True,
-    )
+    return task, system, None
+
+
+def _classify_record(
+    cell: CellSpec,
+    task: Any,
+    result: RunResult,
+    *,
+    strict_traces: bool,
+) -> CellRecord:
+    """Map one finished run onto its :class:`CellRecord` (shared by
+    both kernels so records render identically)."""
     outcome, detail = classify_result(
         result, task, strict_traces=strict_traces
     )
@@ -385,21 +394,67 @@ def run_cell(
     )
 
 
+def run_cell(
+    cell: CellSpec,
+    *,
+    scheduler: Scheduler | None = None,
+    strict_traces: bool = False,
+    kernel: str = "interp",
+) -> CellRecord:
+    """Execute one cell: build, validate the history, run, classify.
+
+    ``scheduler`` overrides the cell's declared scheduler (the shrinker
+    uses this to substitute recording and explicit schedulers).
+    ``kernel="compiled"`` runs through the compiled kernel
+    (:func:`repro.kernel.execute_compiled`), which falls back
+    per-automaton to the interpreter and produces byte-identical
+    records.
+    """
+    if kernel not in KERNELS:
+        raise ResilienceError(f"unknown kernel: {kernel!r}")
+    task, system, invalid = _prepare_cell(cell)
+    if invalid is not None:
+        return invalid
+    if kernel == "compiled":
+        from ..kernel import execute_compiled as _execute
+
+        runner = _execute
+    else:
+        runner = execute
+    result = runner(
+        system,
+        scheduler if scheduler is not None
+        else build_scheduler(cell.scheduler),
+        max_steps=cell.max_steps,
+        trace=True,
+    )
+    return _classify_record(
+        cell, task, result, strict_traces=strict_traces
+    )
+
+
 def _run_cell_guarded(args: tuple) -> CellRecord:
     """Module-level (picklable) cell runner shared by the serial and
     pool paths; a raising cell degrades to an ``"error"`` record instead
     of aborting the sweep.
 
-    ``args`` is ``(cell, strict_traces)`` or ``(cell, strict_traces,
-    kill_self)`` — the third element is the raw-pool fault drill: the
-    worker SIGKILLs itself *before* running the cell, simulating an OOM
-    killer / operator kill mid-sweep (resubmissions clear the flag).
+    ``args`` is ``(cell, strict_traces, *rest)``; ``rest`` may carry a
+    kernel name (``str``, e.g. ``"compiled"``) and/or the raw-pool
+    fault-drill flag (truthy non-str): the worker SIGKILLs itself
+    *before* running the cell, simulating an OOM killer / operator kill
+    mid-sweep (resubmissions clear the flag).
     """
     cell, strict_traces, *rest = args
-    if rest and rest[0]:
-        os.kill(os.getpid(), signal.SIGKILL)
+    kernel = "interp"
+    for extra in rest:
+        if isinstance(extra, str):
+            kernel = extra
+        elif extra:
+            os.kill(os.getpid(), signal.SIGKILL)
     try:
-        return run_cell(cell, strict_traces=strict_traces)
+        return run_cell(
+            cell, strict_traces=strict_traces, kernel=kernel
+        )
     except Exception as exc:  # noqa: BLE001 - triage, don't abort
         return CellRecord(
             cell, OUTCOME_ERROR, detail=f"{type(exc).__name__}: {exc}"
@@ -540,6 +595,7 @@ def run_campaign(
     resume: str | None = None,
     pool: str = "supervised",
     backend: str = "auto",
+    kernel: str = "interp",
     fabric: Any = None,
     inject_worker_kill: int | None = None,
 ) -> CampaignReport:
@@ -586,6 +642,16 @@ def run_campaign(
       through the local supervised pool instead, and
       ``report.fabric.degraded`` records that it happened.  Either
       way the report is byte-identical to a serial run.
+
+    ``kernel`` selects the execution kernel per cell: ``"interp"``
+    (default) or ``"compiled"`` (:mod:`repro.kernel` — compiled step
+    functions with per-automaton interpreter fallback, proven
+    byte-identical by the kernel differential harness).  The serial
+    in-process compiled path additionally batches all cells into
+    lockstep lanes (:func:`repro.kernel.lanes.run_cells_compiled`);
+    pool workers run compiled cells one at a time.  The fabric backend
+    does not accept ``kernel="compiled"``: its remote workers negotiate
+    only cell JSON, not kernel choice.
     """
     if workers is None:
         workers = spec.workers
@@ -593,6 +659,13 @@ def run_campaign(
         raise ResilienceError(f"unknown pool kind: {pool!r}")
     if backend not in BACKENDS:
         raise ResilienceError(f"unknown backend: {backend!r}")
+    if kernel not in KERNELS:
+        raise ResilienceError(f"unknown kernel: {kernel!r}")
+    if kernel != "interp" and backend == "fabric":
+        raise ResilienceError(
+            "backend='fabric' does not support kernel="
+            f"{kernel!r}: fabric workers negotiate cell JSON only"
+        )
     cell_iter = spec.cells()
     if limit is not None:
         cell_iter = itertools.islice(cell_iter, limit)
@@ -655,8 +728,9 @@ def run_campaign(
             )
         emit_ready()
 
+    payload_tail = () if kernel == "interp" else (kernel,)
     remaining = [
-        (index, (cells[index], spec.strict_traces))
+        (index, (cells[index], spec.strict_traces, *payload_tail))
         for index in range(len(cells))
         if index not in records
     ]
@@ -707,6 +781,14 @@ def run_campaign(
             )
         elif use_pool:
             run_supervised(remaining, inject_worker_kill)
+        elif kernel == "compiled":
+            from ..kernel.lanes import run_cells_compiled
+
+            run_cells_compiled(
+                [(index, payload[0]) for index, payload in remaining],
+                strict_traces=spec.strict_traces,
+                record_result=record_result,
+            )
         else:
             for index, payload in remaining:
                 record_result(index, _run_cell_guarded(payload))

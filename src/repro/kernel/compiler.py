@@ -1,0 +1,888 @@
+"""Schema-to-Python codegen: lower an automaton generator to a flat
+step function dispatched by an integer program counter.
+
+The interpreted executor drives each automaton as a Python generator:
+every step pays a ``send`` through the generator machinery, an exact-type
+dispatch over the yielded operation object, and the allocation of that
+operation object itself.  This module compiles the *source* of an
+automaton into a specialized closure that performs the same steps with
+none of that overhead:
+
+* each ``yield`` becomes a numbered *suspension site*; the generated
+  step function resumes at the site recorded in ``_K_pc``, performs the
+  pending operation inline (``_K_write(...)`` instead of constructing a
+  ``Write`` and dispatching on it), binds the result, and runs the
+  automaton's own code verbatim until the next site;
+* control flow that contains no yield is emitted verbatim
+  (``ast.unparse``), so straight-line computation runs at native Python
+  speed; only yield-bearing ``if``/``while``/``for`` statements are
+  split into trampoline blocks;
+* operation objects are never allocated on the untraced path, and reads
+  or snapshots whose result the automaton discards are eliminated
+  (their effect is observationally a no-op — ``QueryFD`` and
+  ``CompareAndSwap`` are always performed because they raise or write).
+
+Equivalence discipline: anything this compiler cannot *prove* it lowers
+faithfully raises :class:`UnsupportedAutomaton` and the engine falls
+back to driving the generator — an automaton is either compiled exactly
+or not at all, never approximately.  The accepted (documented)
+deviations from generator semantics are:
+
+* operation *arguments* are evaluated when the operation is performed
+  (the process's next step) rather than when the generator constructed
+  the object (its previous step).  The process is suspended in between
+  and only its own locals feed the expression, so no other process can
+  observe or affect the difference.
+* reading a never-assigned local yields the ``_K_UNBOUND`` sentinel
+  instead of ``UnboundLocalError``; correct automata never do this.
+
+See ``docs/performance.md`` ("Compiled execution kernel") for the
+architecture overview and fallback rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import hashlib
+import importlib
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..runtime import ops as _ops
+
+__all__ = [
+    "UnsupportedAutomaton",
+    "OpSite",
+    "CompiledProgram",
+    "compile_automaton",
+    "compiled_source",
+    "clear_cache",
+    "cached_programs",
+]
+
+
+class UnsupportedAutomaton(Exception):
+    """The automaton lies outside the compilable subset; the engine
+    must fall back to driving its generator directly."""
+
+
+class _Unbound:
+    """Sentinel held by automaton locals before their first assignment."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unbound>"
+
+
+class _Stop:
+    """Sentinel marking iterator exhaustion in lowered ``for`` loops."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<stop>"
+
+
+_UNBOUND = _Unbound()
+_STOP = _Stop()
+
+#: Constructor field order per operation class (mirrors the frozen
+#: dataclass definitions in :mod:`repro.runtime.ops`).
+_OP_FIELDS: dict[type, tuple[str, ...]] = {
+    _ops.Read: ("register",),
+    _ops.Write: ("register", "value"),
+    _ops.Snapshot: ("prefix",),
+    _ops.QueryFD: (),
+    _ops.Decide: ("value",),
+    _ops.Nop: (),
+    _ops.CompareAndSwap: ("register", "expected", "new"),
+}
+
+_OP_KIND: dict[type, str] = {
+    _ops.Read: "read",
+    _ops.Write: "write",
+    _ops.Snapshot: "snapshot",
+    _ops.QueryFD: "query",
+    _ops.Decide: "decide",
+    _ops.Nop: "nop",
+    _ops.CompareAndSwap: "cas",
+}
+
+#: Names injected into the generated ``_K_make`` as defaulted keyword
+#: parameters, so the generated module never leaks names into (or reads
+#: stale copies of) the automaton's real module globals.
+_INJECTED: dict[str, Any] = {
+    "_K_UNBOUND": _UNBOUND,
+    "_K_STOP": _STOP,
+    "_K_Read": _ops.Read,
+    "_K_Write": _ops.Write,
+    "_K_Snapshot": _ops.Snapshot,
+    "_K_CAS": _ops.CompareAndSwap,
+    "_K_Decide": _ops.Decide,
+    "_K_NOP": _ops.Nop(),
+    "_K_QUERY": _ops.QueryFD(),
+}
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class OpSite:
+    """One suspension site of a compiled automaton.
+
+    ``register`` is the statically-constant register operand (or
+    snapshot prefix) when the source expression is a string literal;
+    ``register_prefix`` is the longest constant leading part when it is
+    an f-string.  Both are ``None``/``""`` for fully dynamic operands.
+    The static-footprint cross-check consumes these.
+    """
+
+    site: int
+    kind: str
+    source: str
+    register: str | None = None
+    register_prefix: str | None = None
+    result_used: bool = True
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A compiled automaton: generated source plus its instantiator.
+
+    ``make(ctx, rt, *freevars)`` returns ``(step, step_traced)`` — two
+    closures sharing the same program state; the engine calls exactly
+    one of them.  ``rt`` is the 7-tuple
+    ``(mem, write, snap, query, cas, out, ev)`` of engine runtime hooks.
+    """
+
+    name: str
+    qualname: str
+    module: str
+    n_sites: int
+    sites: tuple[OpSite, ...]
+    freevars: tuple[str, ...]
+    source: str
+    content_hash: str
+    make: Callable[..., tuple[Callable[[int], int], Callable[[int], int]]]
+
+
+# -- AST scanning helpers -------------------------------------------------
+
+
+def _scan(node: ast.AST, *, skip_loops: bool = False):
+    """Own-scope descendants of ``node`` (nested function scopes — and,
+    with ``skip_loops``, inner loops — excluded)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        n = stack.pop()
+        if isinstance(n, _SCOPE_BARRIERS):
+            continue
+        if skip_loops and isinstance(n, (ast.While, ast.For)):
+            continue
+        yield n
+        stack.extend(ast.iter_child_nodes(n))
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom)) for n in _scan(node)
+    )
+
+
+def _needs_lowering(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` must be split into trampoline blocks.
+
+    A statement is emitted verbatim only when nothing inside it can
+    transfer control out of the generated dispatch loop: no yield, no
+    ``return``, and no ``break``/``continue`` that would bind to the
+    trampoline's own ``while True`` instead of a user loop.
+    """
+    if _contains_yield(stmt):
+        return True
+    if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+        return True  # the scans below only see descendants
+    if any(isinstance(n, ast.Return) for n in _scan(stmt)):
+        return True
+    if isinstance(stmt, (ast.While, ast.For)):
+        return False  # its own breaks/continues are bound by it
+    return any(
+        isinstance(n, (ast.Break, ast.Continue))
+        for n in _scan(stmt, skip_loops=True)
+    )
+
+
+class _StripAnnotations(ast.NodeTransformer):
+    """Rewrite ``x: T = v`` to ``x = v`` (and bare ``x: T`` to ``pass``).
+
+    Function-body annotations are never evaluated or stored at runtime,
+    but an annotated name cannot appear in the generated functions'
+    ``nonlocal`` declarations — so the annotations must go.
+    """
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> ast.stmt:
+        self.generic_visit(node)
+        if node.value is None:
+            return ast.copy_location(ast.Pass(), node)
+        return ast.copy_location(
+            ast.Assign(targets=[node.target], value=node.value), node
+        )
+
+
+def _is_effect_free(node: ast.expr) -> bool:
+    """Conservatively: evaluating ``node`` has no side effects, so it
+    may be skipped when the operation's result is discarded."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Name):
+        return True
+    if isinstance(node, ast.Attribute):
+        return _is_effect_free(node.value)
+    if isinstance(node, ast.Subscript):
+        return _is_effect_free(node.value) and _is_effect_free(node.slice)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(_is_effect_free(e) for e in node.elts)
+    if isinstance(node, ast.BinOp):
+        return _is_effect_free(node.left) and _is_effect_free(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_effect_free(node.operand)
+    if isinstance(node, ast.JoinedStr):
+        return all(_is_effect_free(v) for v in node.values)
+    if isinstance(node, ast.FormattedValue):
+        return _is_effect_free(node.value)
+    if isinstance(node, ast.IfExp):
+        return (
+            _is_effect_free(node.test)
+            and _is_effect_free(node.body)
+            and _is_effect_free(node.orelse)
+        )
+    return False
+
+
+def _const_register(node: ast.expr) -> tuple[str | None, str | None]:
+    """``(exact, prefix)`` statically known about a register operand."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, None
+    if isinstance(node, ast.JoinedStr):
+        first = node.values[0] if node.values else None
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return None, first.value
+        return None, ""
+    return None, ""
+
+
+# -- static name resolution ----------------------------------------------
+
+
+class _Resolver:
+    """Resolves operation-constructor expressions against the
+    automaton's *static* environment: module globals, builtins, and
+    import statements inside the function body whose bound names are
+    never reassigned."""
+
+    def __init__(self, fn: Callable, local_names: set[str]) -> None:
+        self._globals = fn.__globals__
+        self._locals = set(local_names)
+        self._static_locals = {}
+        self._package = fn.__globals__.get("__package__") or ""
+
+    def learn_imports(self, fnode: ast.AST) -> None:
+        assigned: set[str] = set()
+        imports: list[tuple[str, tuple]] = []
+        for n in _scan(fnode):
+            if isinstance(n, ast.ImportFrom):
+                for alias in n.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    imports.append(
+                        (bound, (n.module or "", n.level, alias.name))
+                    )
+            elif isinstance(n, ast.Import):
+                for alias in n.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    imports.append((bound, (alias.name, 0, None)))
+            elif isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store):
+                assigned.add(n.id)
+        for bound, (module, level, attr) in imports:
+            if bound in assigned:
+                continue
+            try:
+                target = importlib.import_module(
+                    "." * level + module,
+                    package=self._package if level else None,
+                )
+                self._static_locals[bound] = (
+                    target if attr is None else getattr(target, attr)
+                )
+            except Exception:  # noqa: BLE001 - stays dynamic
+                continue
+
+    def resolve(self, node: ast.expr) -> Any:
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self._static_locals:
+                return self._static_locals[name]
+            if name in self._locals:
+                return None  # dynamic: bound at run time
+            if name in self._globals:
+                return self._globals[name]
+            return getattr(builtins, name, None)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return getattr(base, node.attr, None)
+        return None
+
+
+def _normalize_op_args(
+    call: ast.Call, op_cls: type
+) -> list[ast.expr]:
+    """Map a constructor call's arguments onto the op's field order."""
+    fields = _OP_FIELDS[op_cls]
+    if any(isinstance(a, ast.Starred) for a in call.args):
+        raise UnsupportedAutomaton(f"*args in {op_cls.__name__}(...)")
+    if any(kw.arg is None for kw in call.keywords):
+        raise UnsupportedAutomaton(f"**kwargs in {op_cls.__name__}(...)")
+    slots: dict[str, ast.expr] = {}
+    for i, arg in enumerate(call.args):
+        if i >= len(fields):
+            raise UnsupportedAutomaton(
+                f"too many arguments to {op_cls.__name__}(...)"
+            )
+        slots[fields[i]] = arg
+    for kw in call.keywords:
+        if kw.arg not in fields or kw.arg in slots:
+            raise UnsupportedAutomaton(
+                f"bad keyword {kw.arg!r} to {op_cls.__name__}(...)"
+            )
+        slots[kw.arg] = kw.value
+    if set(slots) != set(fields):
+        raise UnsupportedAutomaton(
+            f"missing arguments to {op_cls.__name__}(...)"
+        )
+    return [slots[f] for f in fields]
+
+
+# -- lowering -------------------------------------------------------------
+
+
+class _Lowerer:
+    """Lowers one automaton body into trampoline blocks.
+
+    Block ids: suspension sites are ``0 .. n_sites-1`` (hottest, first
+    in the dispatch chain), the entry prologue is ``n_sites``, and
+    internal blocks (loop heads, joins) follow.  ``_K_pc`` holds the
+    site to resume at (``-2`` once halted).
+    """
+
+    def __init__(
+        self, resolver: _Resolver, n_sites: int, *, traced: bool
+    ) -> None:
+        self.resolver = resolver
+        self.traced = traced
+        self.entry_id = n_sites
+        self._next_id = n_sites + 1
+        self._next_temp = 0
+        self.blocks: dict[int, list[str]] = {}
+        self.sites: list[OpSite] = []
+        self.extra_locals: list[str] = []
+        self._cur: list[str] = []
+        self._loops: list[tuple[int, int]] = []  # (head, after)
+        self.blocks[self.entry_id] = self._cur
+
+    # -- emission helpers ----------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        self._cur.append(line)
+
+    def _start(self, bid: int) -> None:
+        self._cur = self.blocks.setdefault(bid, [])
+
+    def _new_id(self) -> int:
+        bid = self._next_id
+        self._next_id += 1
+        return bid
+
+    def _new_temp(self) -> str:
+        # Both lowering passes allocate temps in the same deterministic
+        # order, so the traced and untraced bodies share declarations.
+        name = f"_K_t{self._next_temp}"
+        self._next_temp += 1
+        if name not in self.extra_locals:
+            self.extra_locals.append(name)
+        return name
+
+    def _goto(self, bid: int) -> None:
+        self._emit(f"_K_b = {bid}")
+        self._emit("continue")
+
+    def _goto_if(self, cond: str, bid: int) -> None:
+        self._emit(f"if {cond}:")
+        self._emit(f"    _K_b = {bid}")
+        self._emit("    continue")
+
+    def _halt(self) -> None:
+        self._emit("_K_pc = -2")
+        self._emit("return 1")
+
+    # -- statement lowering --------------------------------------------
+
+    def lower_function(self, body: list[ast.stmt]) -> None:
+        if self.lower_stmts(body):
+            self._halt()
+        # Unreachable-but-created blocks (e.g. the after-block of a
+        # terminal ``while True``) must still parse — and must fail
+        # loudly if control ever reaches one.
+        for lines in self.blocks.values():
+            if not lines:
+                lines.append(
+                    "raise RuntimeError('unreachable compiled block')"
+                )
+
+    def lower_stmts(self, stmts: list[ast.stmt]) -> bool:
+        for stmt in stmts:
+            if not self.lower_stmt(stmt):
+                return False
+        return True
+
+    def lower_stmt(self, stmt: ast.stmt) -> bool:
+        if not _needs_lowering(stmt):
+            if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+                raise UnsupportedAutomaton(
+                    "global/nonlocal inside an automaton"
+                )
+            for line in ast.unparse(stmt).splitlines():
+                self._emit(line)
+            return True
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Yield):
+            return self.lower_yield(stmt.value, None)
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.value, ast.Yield)
+        ):
+            return self.lower_yield(
+                stmt.value, ast.unparse(stmt.targets[0])
+            )
+        if isinstance(stmt, ast.While):
+            return self.lower_while(stmt)
+        if isinstance(stmt, ast.For):
+            return self.lower_for(stmt)
+        if isinstance(stmt, ast.If):
+            return self.lower_if(stmt)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None and not (
+                isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is None
+            ):
+                raise UnsupportedAutomaton("return with a value")
+            self._halt()
+            return False
+        if isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise UnsupportedAutomaton("break outside loop")
+            self._goto(self._loops[-1][1])
+            return False
+        if isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise UnsupportedAutomaton("continue outside loop")
+            self._goto(self._loops[-1][0])
+            return False
+        raise UnsupportedAutomaton(
+            f"cannot lower a yield inside {type(stmt).__name__}"
+        )
+
+    def lower_while(self, stmt: ast.While) -> bool:
+        head = self._new_id()
+        after = self._new_id()
+        exit_target = self._new_id() if stmt.orelse else after
+        self._goto(head)
+        self._start(head)
+        test = stmt.test
+        if not (isinstance(test, ast.Constant) and test.value):
+            self._goto_if(f"not ({ast.unparse(test)})", exit_target)
+        self._loops.append((head, after))
+        reachable = self.lower_stmts(stmt.body)
+        self._loops.pop()
+        if reachable:
+            self._goto(head)
+        if stmt.orelse:
+            self._start(exit_target)
+            if self.lower_stmts(stmt.orelse):
+                self._goto(after)
+        self._start(after)
+        return True
+
+    def lower_for(self, stmt: ast.For) -> bool:
+        iterator = self._new_temp()
+        current = self._new_temp()
+        self._emit(f"{iterator} = iter({ast.unparse(stmt.iter)})")
+        head = self._new_id()
+        after = self._new_id()
+        exit_target = self._new_id() if stmt.orelse else after
+        self._goto(head)
+        self._start(head)
+        self._emit(f"{current} = next({iterator}, _K_STOP)")
+        self._goto_if(f"{current} is _K_STOP", exit_target)
+        self._emit(f"{ast.unparse(stmt.target)} = {current}")
+        self._loops.append((head, after))
+        reachable = self.lower_stmts(stmt.body)
+        self._loops.pop()
+        if reachable:
+            self._goto(head)
+        if stmt.orelse:
+            self._start(exit_target)
+            if self.lower_stmts(stmt.orelse):
+                self._goto(after)
+        self._start(after)
+        return True
+
+    def lower_if(self, stmt: ast.If) -> bool:
+        then_id = self._new_id()
+        after = self._new_id()
+        self._goto_if(f"{ast.unparse(stmt.test)}", then_id)
+        if self.lower_stmts(stmt.orelse):
+            self._goto(after)
+        self._start(then_id)
+        if self.lower_stmts(stmt.body):
+            self._goto(after)
+        self._start(after)
+        return True
+
+    # -- yield lowering -------------------------------------------------
+
+    def lower_yield(self, node: ast.Yield, target: str | None) -> bool:
+        value = node.value
+        if value is None:
+            raise UnsupportedAutomaton("bare yield")
+        if not isinstance(value, ast.Call):
+            raise UnsupportedAutomaton(
+                "yield of a non-constructor expression"
+            )
+        op_cls = self.resolver.resolve(value.func)
+        if op_cls not in _OP_FIELDS:
+            raise UnsupportedAutomaton(
+                f"cannot statically resolve operation "
+                f"{ast.unparse(value.func)!r}"
+            )
+        args = _normalize_op_args(value, op_cls)
+        site = len(self.sites)
+        kind = _OP_KIND[op_cls]
+        reg_node = args[0] if kind in ("read", "write", "snapshot", "cas") else None
+        exact, prefix = (
+            _const_register(reg_node) if reg_node is not None else (None, None)
+        )
+        self.sites.append(
+            OpSite(
+                site=site,
+                kind=kind,
+                source=ast.unparse(value),
+                register=exact,
+                register_prefix=prefix,
+                result_used=target is not None,
+            )
+        )
+        # Suspend: the *next* step performs this operation.
+        self._emit(f"_K_pc = {site}")
+        self._emit("return 0")
+        self._start(site)
+        srcs = [ast.unparse(a) for a in args]
+        if self.traced:
+            return self._emit_traced_effect(kind, srcs, target)
+        return self._emit_effect(kind, args, srcs, target)
+
+    def _emit_effect(
+        self,
+        kind: str,
+        args: list[ast.expr],
+        srcs: list[str],
+        target: str | None,
+    ) -> bool:
+        e = self._emit
+        if kind == "write":
+            e(f"_K_write({srcs[0]}, {srcs[1]})")
+            if target:
+                e(f"{target} = None")
+        elif kind == "read":
+            if target:
+                e(f"{target} = _K_mem.get({srcs[0]})")
+            elif not _is_effect_free(args[0]):
+                e(f"{srcs[0]}")
+        elif kind == "snapshot":
+            if target:
+                e(f"{target} = _K_snap({srcs[0]})")
+            elif not _is_effect_free(args[0]):
+                e(f"{srcs[0]}")
+        elif kind == "nop":
+            if target:
+                e(f"{target} = None")
+        elif kind == "query":
+            # Always performed: the engine's query hook enforces the
+            # C-processes-cannot-query rule even when the result is
+            # discarded.
+            e(f"{target or '_K_r'} = _K_query(_K_time)")
+        elif kind == "cas":
+            e(f"{target or '_K_r'} = _K_cas({srcs[0]}, {srcs[1]}, {srcs[2]})")
+        else:  # decide
+            e(f"_K_out[0] = {srcs[0]}")
+            e("_K_pc = -2")
+            e("return 2")
+            return False
+        return True
+
+    def _emit_traced_effect(
+        self, kind: str, srcs: list[str], target: str | None
+    ) -> bool:
+        e = self._emit
+        if kind == "write":
+            e(f"_K_a0 = {srcs[0]}")
+            e(f"_K_a1 = {srcs[1]}")
+            e("_K_write(_K_a0, _K_a1)")
+            e("_K_ev[0] = _K_Write(_K_a0, _K_a1)")
+            e("_K_ev[1] = None")
+            if target:
+                e(f"{target} = None")
+        elif kind == "read":
+            e(f"_K_a0 = {srcs[0]}")
+            e("_K_r = _K_mem.get(_K_a0)")
+            e("_K_ev[0] = _K_Read(_K_a0)")
+            e("_K_ev[1] = _K_r")
+            if target:
+                e(f"{target} = _K_r")
+        elif kind == "snapshot":
+            e(f"_K_a0 = {srcs[0]}")
+            e("_K_r = _K_snap(_K_a0)")
+            e("_K_ev[0] = _K_Snapshot(_K_a0)")
+            e("_K_ev[1] = _K_r")
+            if target:
+                e(f"{target} = _K_r")
+        elif kind == "nop":
+            e("_K_ev[0] = _K_NOP")
+            e("_K_ev[1] = None")
+            if target:
+                e(f"{target} = None")
+        elif kind == "query":
+            e("_K_r = _K_query(_K_time)")
+            e("_K_ev[0] = _K_QUERY")
+            e("_K_ev[1] = _K_r")
+            if target:
+                e(f"{target} = _K_r")
+        elif kind == "cas":
+            e(f"_K_a0 = {srcs[0]}")
+            e(f"_K_a1 = {srcs[1]}")
+            e(f"_K_a2 = {srcs[2]}")
+            e("_K_r = _K_cas(_K_a0, _K_a1, _K_a2)")
+            e("_K_ev[0] = _K_CAS(_K_a0, _K_a1, _K_a2)")
+            e("_K_ev[1] = _K_r")
+            if target:
+                e(f"{target} = _K_r")
+        else:  # decide
+            e(f"_K_a0 = {srcs[0]}")
+            e("_K_ev[0] = _K_Decide(_K_a0)")
+            e("_K_ev[1] = None")
+            e("_K_out[0] = _K_a0")
+            e("_K_pc = -2")
+            e("return 2")
+            return False
+        return True
+
+
+# -- compilation ----------------------------------------------------------
+
+
+def _count_yields(fnode: ast.AST) -> int:
+    count = 0
+    for n in _scan(fnode):
+        if isinstance(n, ast.YieldFrom):
+            raise UnsupportedAutomaton("yield from (delegated subroutine)")
+        if isinstance(n, ast.Yield):
+            count += 1
+    return count
+
+
+def _function_node(fn: Callable) -> ast.FunctionDef:
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise UnsupportedAutomaton(f"source unavailable: {exc}") from exc
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - defensive
+        raise UnsupportedAutomaton(f"unparseable source: {exc}") from exc
+    if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
+        raise UnsupportedAutomaton("not a plain function definition")
+    fnode = tree.body[0]
+    if fnode.decorator_list:
+        raise UnsupportedAutomaton("decorated automaton")
+    return fnode
+
+
+def _render(
+    fnode: ast.FunctionDef,
+    param: str,
+    freevars: tuple[str, ...],
+    declared: list[str],
+    untraced: _Lowerer,
+    traced: _Lowerer,
+) -> str:
+    inject = ", ".join(f"{name}={name}" for name in _INJECTED)
+    fv = "".join(f", {name}" for name in freevars)
+    lines = [
+        f"def _K_make({param}, _K_rt{fv}, *, {inject}):",
+        "    (_K_mem, _K_write, _K_snap, _K_query, _K_cas, _K_out, _K_ev)"
+        " = _K_rt",
+    ]
+    for name in declared:
+        lines.append(f"    {name} = _K_UNBOUND")
+    lines.append(f"    _K_pc = {untraced.entry_id}")
+    nl = ", ".join(["_K_pc", param] + declared)
+    for fname, low in (("_K_step", untraced), ("_K_step_traced", traced)):
+        lines.append(f"    def {fname}(_K_time):")
+        lines.append(f"        nonlocal {nl}")
+        lines.append("        _K_b = _K_pc")
+        lines.append("        while True:")
+        for j, bid in enumerate(sorted(low.blocks)):
+            kw = "if" if j == 0 else "elif"
+            lines.append(f"            {kw} _K_b == {bid}:")
+            for line in low.blocks[bid]:
+                lines.append(f"                {line}")
+        lines.append("            else:")
+        lines.append(
+            "                raise RuntimeError("
+            "f'compiled automaton stepped at invalid pc {_K_b}')"
+        )
+    lines.append("    return (_K_step, _K_step_traced)")
+    return "\n".join(lines) + "\n"
+
+
+def _compile(fn: Callable) -> CompiledProgram:
+    code = fn.__code__
+    if not inspect.isgeneratorfunction(fn):
+        raise UnsupportedAutomaton("not a generator function")
+    if (
+        code.co_argcount != 1
+        or code.co_kwonlyargcount
+        or code.co_flags & (inspect.CO_VARARGS | inspect.CO_VARKEYWORDS)
+    ):
+        raise UnsupportedAutomaton(
+            "automaton signature is not a single positional (ctx)"
+        )
+    fnode = _function_node(fn)
+    fnode = ast.fix_missing_locations(_StripAnnotations().visit(fnode))
+    n_sites = _count_yields(fnode)
+    param = code.co_varnames[0]
+    user_locals = [
+        name
+        for name in (*code.co_varnames[1:], *code.co_cellvars)
+        if name != param
+    ]
+    # de-dup while preserving order (a cellvar can also be a varname)
+    seen: set[str] = set()
+    user_locals = [
+        n for n in user_locals if not (n in seen or seen.add(n))
+    ]
+    freevars = code.co_freevars
+    for name in (param, *user_locals, *freevars):
+        if name.startswith("_K_"):
+            raise UnsupportedAutomaton(f"reserved name {name!r} in automaton")
+    resolver = _Resolver(
+        fn, {param, *user_locals, *freevars}
+    )
+    resolver.learn_imports(fnode)
+
+    untraced = _Lowerer(resolver, n_sites, traced=False)
+    untraced.lower_function(fnode.body)
+    traced = _Lowerer(resolver, n_sites, traced=True)
+    traced.lower_function(fnode.body)
+    if len(untraced.sites) != n_sites:  # pragma: no cover - invariant
+        raise UnsupportedAutomaton("yield in an unsupported position")
+
+    declared = user_locals + untraced.extra_locals
+    body = _render(fnode, param, freevars, declared, untraced, traced)
+    header = (
+        f"# compiled automaton: {fn.__module__}.{fn.__qualname__}\n"
+        f"# sites: {n_sites}; freevars: {', '.join(freevars) or '-'}\n"
+    )
+    source = header + body
+    digest = hashlib.sha256(source.encode()).hexdigest()
+
+    # Execute the generated def against the automaton's *live* module
+    # globals (so monkeypatching and late rebinding behave exactly as
+    # they do for the generator), then remove the definition again.
+    # All injected constants travel as defaulted parameters.
+    namespace = fn.__globals__
+    for name, value in _INJECTED.items():
+        namespace[name] = value
+    try:
+        exec(compile(source, f"<kernel:{fn.__qualname__}>", "exec"), namespace)
+        make = namespace.pop("_K_make")
+    finally:
+        for name in _INJECTED:
+            namespace.pop(name, None)
+    return CompiledProgram(
+        name=fn.__name__,
+        qualname=fn.__qualname__,
+        module=fn.__module__,
+        n_sites=n_sites,
+        sites=tuple(untraced.sites),
+        freevars=freevars,
+        source=source,
+        content_hash=digest,
+        make=make,
+    )
+
+
+#: Compilation cache keyed on the automaton's code object: every
+#: closure produced by the same factory shares one program (free
+#: variables are bound at ``make`` time, not compile time).  Negative
+#: results are cached too, so the engine pays the unsupported-subset
+#: analysis once per automaton, not once per process.
+_CACHE: dict[Any, CompiledProgram | UnsupportedAutomaton] = {}
+
+
+def compile_automaton(fn: Callable) -> CompiledProgram:
+    """Compile one automaton (factory) function, with caching.
+
+    Raises :class:`UnsupportedAutomaton` when ``fn`` lies outside the
+    compilable subset; the result (including the failure) is cached on
+    ``fn.__code__``.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        raise UnsupportedAutomaton(
+            f"{fn!r} is not a plain Python function"
+        )
+    cached = _CACHE.get(code)
+    if cached is not None:
+        if isinstance(cached, UnsupportedAutomaton):
+            raise cached
+        return cached
+    try:
+        program = _compile(fn)
+    except UnsupportedAutomaton as exc:
+        _CACHE[code] = exc
+        raise
+    _CACHE[code] = program
+    return program
+
+
+def compiled_source(fn: Callable) -> str:
+    """The generated source of ``fn``'s compiled program (compiles on
+    first use)."""
+    return compile_automaton(fn).source
+
+
+def clear_cache() -> None:
+    """Drop every cached program (tests and benchmarks use this to
+    measure cold-compile costs)."""
+    _CACHE.clear()
+
+
+def cached_programs() -> list[CompiledProgram]:
+    """Every successfully compiled program currently cached."""
+    return [p for p in _CACHE.values() if isinstance(p, CompiledProgram)]
