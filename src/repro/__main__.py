@@ -432,7 +432,9 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         if not report.violations:
             print("specimen campaign found no violation — engine bug?")
             return 1
-        shrunk = shrink_cell(report.violations[0].cell)
+        shrunk = shrink_cell(
+            report.violations[0].cell, kernel=args.kernel
+        )
         print(shrunk.summary())
         if args.bundle:
             bundle = bundle_from_shrink(
@@ -471,6 +473,26 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
                     f"({program.n_sites} sites)"
                 )
         return 0
+    if args.coverage:
+        from .kernel.coverage import (
+            check_manifest,
+            coverage_rows,
+            render_coverage,
+            write_manifest,
+        )
+
+        rows = coverage_rows()
+        print(render_coverage(rows))
+        if args.write:
+            path = write_manifest(rows)
+            print(f"coverage manifest written to {path}")
+            return 0
+        if args.check:
+            problems = check_manifest(rows)
+            for problem in problems:
+                print(f"COVERAGE: {problem}")
+            return 1 if problems else 0
+        return 0
     # default: the differential gate
     from .kernel.differential import run_differential
 
@@ -491,6 +513,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         BENCH_SCHEMA,
         compare_against_baseline,
+        compare_runs,
         fabric_overhead_problems,
         kernel_speedup_problems,
         load_baseline,
@@ -498,6 +521,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_benchmarks,
         supervised_overhead_problems,
     )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        print(compare_runs(load_baseline(old_path), load_baseline(new_path)))
+        return 0
 
     results = run_benchmarks(smoke=args.smoke, workers=args.workers)
     print(render(results))
@@ -947,6 +975,26 @@ def main(argv: list[str] | None = None) -> int:
         "or interp-fallback (reason)",
     )
     p.add_argument(
+        "--coverage",
+        action="store_true",
+        help="per-automaton compiled/inlined/fallback table with "
+        "reasons; combine with --check to fail if coverage shrank "
+        "vs the committed KERNEL_COVERAGE.json, or --write to "
+        "refresh the manifest",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="with --coverage: exit 1 if any automaton's coverage "
+        "regressed relative to the committed manifest",
+    )
+    p.add_argument(
+        "--write",
+        action="store_true",
+        help="with --coverage: rewrite the committed manifest from "
+        "the current compiler's results",
+    )
+    p.add_argument(
         "--full",
         action="store_true",
         help="differential mode: run the full battery (nightly) "
@@ -979,6 +1027,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="compare throughput against this results file and fail "
         "on regressions past --fail-threshold",
+    )
+    p.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="print a per-case delta table between two results files "
+        "and exit without running the suite",
     )
     p.add_argument(
         "--fail-threshold",

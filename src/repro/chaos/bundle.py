@@ -36,6 +36,7 @@ def bundle_from_shrink(
         "note": note,
         "cell": shrunk.cell.to_json(),
         "strict_traces": shrunk.strict_traces,
+        "kernel": shrunk.kernel,
         "expected": {
             "outcome": shrunk.outcome,
             "detail": shrunk.detail,
@@ -99,10 +100,13 @@ def replay_bundle(source: str | Path | Mapping[str, Any]) -> ReplayResult:
     )
     cell = CellSpec.from_json(bundle["cell"])
     expected = bundle.get("expected", {})
-    # Replays apply the same per-run trace analysis the witness was
-    # shrunk under (older bundles predate the key: plain replay).
+    # Replays apply the same per-run trace analysis and run the same
+    # execution kernel the witness was shrunk under (older bundles
+    # predate the keys: plain interpreted replay).
     record = run_cell(
-        cell, strict_traces=bool(bundle.get("strict_traces", False))
+        cell,
+        strict_traces=bool(bundle.get("strict_traces", False)),
+        kernel=bundle.get("kernel", "interp"),
     )
     return ReplayResult(
         record=record,

@@ -48,6 +48,10 @@ class ShrinkResult:
     #: (``run_cell(strict_traces=True)``); recorded in bundles so the
     #: replay applies the same checking
     strict_traces: bool = False
+    #: execution kernel every trial ran under (``"interp"`` or
+    #: ``"compiled"``); recorded in bundles so the replay runs the
+    #: kernel that found the witness
+    kernel: str = "interp"
 
     def summary(self) -> str:
         return (
@@ -64,10 +68,12 @@ class _Shrinker:
         max_trials: int,
         *,
         strict_traces: bool = False,
+        kernel: str = "interp",
     ) -> None:
         self.target = target_outcome
         self.max_trials = max_trials
         self.strict_traces = strict_traces
+        self.kernel = kernel
         self.trials = 0
         self.last_detail = ""
 
@@ -75,7 +81,9 @@ class _Shrinker:
         if self.trials >= self.max_trials:
             return False  # out of budget: reject further candidates
         self.trials += 1
-        record = run_cell(cell, strict_traces=self.strict_traces)
+        record = run_cell(
+            cell, strict_traces=self.strict_traces, kernel=self.kernel
+        )
         if record.outcome == self.target:
             self.last_detail = record.detail
             return True
@@ -148,7 +156,7 @@ def _with_schedule(cell: CellSpec, sequence: list[str]) -> CellSpec:
 
 
 def pin_schedule(
-    cell: CellSpec, *, strict_traces: bool = False
+    cell: CellSpec, *, strict_traces: bool = False, kernel: str = "interp"
 ) -> tuple[CellSpec, CellRecord]:
     """Replace the cell's scheduler by the explicit schedule it produces.
 
@@ -157,7 +165,10 @@ def pin_schedule(
     """
     recorder = RecordingScheduler(build_scheduler(cell.scheduler))
     record = run_cell(
-        cell, scheduler=recorder, strict_traces=strict_traces
+        cell,
+        scheduler=recorder,
+        strict_traces=strict_traces,
+        kernel=kernel,
     )
     pinned = _with_schedule(
         cell, [pid.name for pid in recorder.picks]
@@ -170,21 +181,30 @@ def shrink_cell(
     *,
     max_trials: int = 400,
     strict_traces: bool = False,
+    kernel: str = "interp",
 ) -> ShrinkResult:
     """Delta-debug ``cell`` (which must fail) to a locally-minimal
     failing cell with an explicit, deterministic schedule.
 
     ``strict_traces`` runs every trial under per-run trace analysis
     (:func:`repro.chaos.campaign.run_cell`'s flag), so hazard outcomes
-    (``trace_hazard``) can be shrunk and replayed too.
+    (``trace_hazard``) can be shrunk and replayed too.  ``kernel``
+    selects the execution kernel for the pinning run and every trial;
+    it is recorded on the result so bundles replay under the kernel
+    that found the witness.
     """
-    pinned, record = pin_schedule(cell, strict_traces=strict_traces)
+    pinned, record = pin_schedule(
+        cell, strict_traces=strict_traces, kernel=kernel
+    )
     if record.outcome == OUTCOME_OK:
         raise ChaosError(
             f"cannot shrink a passing cell: {cell.label()}"
         )
     shrinker = _Shrinker(
-        record.outcome, max_trials, strict_traces=strict_traces
+        record.outcome,
+        max_trials,
+        strict_traces=strict_traces,
+        kernel=kernel,
     )
     if not shrinker.fails(pinned):
         raise ChaosError(
@@ -208,4 +228,5 @@ def shrink_cell(
         original_schedule_len=original_len,
         final_schedule_len=len(current.scheduler["sequence"]),
         strict_traces=strict_traces,
+        kernel=kernel,
     )

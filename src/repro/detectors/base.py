@@ -88,16 +88,24 @@ class StabilizingHistory:
         self.stabilization_time = stabilization_time
         self._base_seed = base_seed
         self._cache: dict[tuple[int, int], Any] = {}
+        self._converged: dict[int, Any] = {}
 
     def value(self, s_index: int, time: int) -> Any:
+        if time >= self.stabilization_time:
+            # The converged output is time-independent, so cache it per
+            # process: a (s_index, time) key would miss on every query
+            # of a run (time only moves forward) while growing a dict
+            # entry per step.
+            try:
+                return self._converged[s_index]
+            except KeyError:
+                value = self._converged[s_index] = self._stable(s_index)
+                return value
         key = (s_index, time)
         if key not in self._cache:
-            if time >= self.stabilization_time:
-                self._cache[key] = self._stable(s_index)
-            else:
-                self._cache[key] = self._noise(
-                    s_index, time, _derived_rng(self._base_seed, s_index, time)
-                )
+            self._cache[key] = self._noise(
+                s_index, time, _derived_rng(self._base_seed, s_index, time)
+            )
         return self._cache[key]
 
 

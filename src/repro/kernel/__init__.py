@@ -21,7 +21,7 @@ from .compiler import (
     compile_automaton,
     compiled_source,
 )
-from .engine import CompiledRun, execute_compiled
+from .engine import CompiledRun, LaneState, execute_compiled
 from .lanes import run_cells_compiled
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "OpSite",
     "UnsupportedAutomaton",
     "CompiledRun",
+    "LaneState",
     "execute_compiled",
     "compile_automaton",
     "compiled_source",

@@ -35,6 +35,25 @@ deviations from generator semantics are:
   observe or affect the difference.
 * reading a never-assigned local yields the ``_K_UNBOUND`` sentinel
   instead of ``UnboundLocalError``; correct automata never do this.
+* a *statically inlined* subroutine (see below) resolves its module
+  globals through the defining module's live ``__globals__`` dict, but
+  a builtin it references is frozen to the builtin object unless the
+  defining module shadows it at compile time; rebinding builtins after
+  compilation is not tracked.
+
+``yield from`` delegation is lowered in two tiers.  When the callee is
+a statically resolvable module-level generator function, its body is
+*inlined* into the caller's dispatch loop: locals are renamed with a
+per-inline-site prefix, parameters become assignments evaluated in call
+order, ``return expr`` plumbs through a per-frame result temp, and the
+callee's module globals are read through an injected reference to its
+live ``__globals__``.  Inlining recurses (``propose`` →
+``collect_array``) with a call-depth guard; recursive delegation and
+anything unresolvable (e.g. ``yield from agreement.resolve()`` on a
+runtime-typed object) drops to the second tier: a *delegate site* that
+drives the sub-iterator with the interpreter's exact PEP-380 protocol
+and operation dispatch, still inside the compiled step function.
+Pathological inline expansion raises :class:`UnsupportedAutomaton`.
 
 See ``docs/performance.md`` ("Compiled execution kernel") for the
 architecture overview and fallback rules.
@@ -51,9 +70,11 @@ import textwrap
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..errors import ProtocolError
 from ..runtime import ops as _ops
 
 __all__ = [
+    "COMPILER_TAG",
     "UnsupportedAutomaton",
     "OpSite",
     "CompiledProgram",
@@ -62,6 +83,13 @@ __all__ = [
     "clear_cache",
     "cached_programs",
 ]
+
+#: Version/feature tag of this compiler.  The compilation cache —
+#: including *negative* entries — is keyed on ``(code, COMPILER_TAG)``,
+#: so a cached "unsupported" verdict from an older compiler cannot pin
+#: an automaton to the interpreter once the compiler learns new shapes.
+#: Bump when the compilable subset or generated code changes.
+COMPILER_TAG = "3:yield-from-inline+tree-dispatch"
 
 
 class UnsupportedAutomaton(Exception):
@@ -112,6 +140,28 @@ _OP_KIND: dict[type, str] = {
     _ops.CompareAndSwap: "cas",
 }
 
+def _generic_delegate(op, ctx, mem, write, snap, query, cas, time):
+    """Perform an unusual operation object yielded through a delegate
+    site.  Mirrors the engine fallback's ``generic`` (and therefore
+    ``Executor._perform``) exactly, including its error messages."""
+    if op is None:
+        raise ProtocolError(f"{ctx.pid} has no pending operation")
+    if isinstance(op, _ops.QueryFD):
+        return query(time)
+    if isinstance(op, _ops.Read):
+        return mem.get(op.register)
+    if isinstance(op, _ops.Write):
+        write(op.register, op.value)
+        return None
+    if isinstance(op, _ops.Snapshot):
+        return snap(op.prefix)
+    if isinstance(op, _ops.CompareAndSwap):
+        return cas(op.register, op.expected, op.new)
+    if isinstance(op, _ops.Nop):
+        return None
+    raise ProtocolError(f"{ctx.pid} yielded a non-operation: {op!r}")
+
+
 #: Names injected into the generated ``_K_make`` as defaulted keyword
 #: parameters, so the generated module never leaks names into (or reads
 #: stale copies of) the automaton's real module globals.
@@ -123,9 +173,26 @@ _INJECTED: dict[str, Any] = {
     "_K_Snapshot": _ops.Snapshot,
     "_K_CAS": _ops.CompareAndSwap,
     "_K_Decide": _ops.Decide,
+    "_K_NopT": _ops.Nop,
+    "_K_QueryT": _ops.QueryFD,
     "_K_NOP": _ops.Nop(),
     "_K_QUERY": _ops.QueryFD(),
+    "_K_generic": _generic_delegate,
 }
+
+#: First block id used for internal blocks (entry, loop heads, joins).
+#: Suspension sites are numbered from 0 as they are discovered — with
+#: inlining their total is unknown until lowering finishes — and the
+#: high base keeps ``sorted(blocks)`` emitting the hot sites first.
+_INTERNAL_BASE = 1 << 20
+
+#: Maximum depth of nested static inlining; deeper chains drop to the
+#: dynamic delegate tier (which handles them exactly, just slower).
+_MAX_INLINE_DEPTH = 8
+
+#: Hard cap on yield-from expansions (inline frames + delegate sites)
+#: per automaton — the clean escape for pathological expansion.
+_MAX_INLINE_EXPANSIONS = 128
 
 _SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
@@ -139,6 +206,11 @@ class OpSite:
     ``register_prefix`` is the longest constant leading part when it is
     an f-string.  Both are ``None``/``""`` for fully dynamic operands.
     The static-footprint cross-check consumes these.
+
+    ``kind == "delegate"`` marks a dynamic ``yield from`` site: the
+    operations performed there come from a runtime sub-iterator, so the
+    site's register metadata is unknown (``None``) and the engine must
+    assume it may snapshot.
     """
 
     site: int
@@ -168,6 +240,10 @@ class CompiledProgram:
     source: str
     content_hash: str
     make: Callable[..., tuple[Callable[[int], int], Callable[[int], int]]]
+    #: ``module.qualname`` of every statically inlined subroutine
+    #: (deduplicated; the coverage report uses this to mark subroutines
+    #: as compiled-via-inlining).
+    inlined: tuple[str, ...] = ()
 
 
 # -- AST scanning helpers -------------------------------------------------
@@ -288,6 +364,13 @@ class _Resolver:
         self._locals = set(local_names)
         self._static_locals = {}
         self._package = fn.__globals__.get("__package__") or ""
+        #: injected name -> module ``__globals__`` dict; inlined bodies
+        #: read callee-module globals as ``_K_mN['name']`` subscripts,
+        #: which resolve statically through this table.
+        self._dicts: dict[str, dict] = {}
+
+    def register_dict(self, name: str, mapping: dict) -> None:
+        self._dicts[name] = mapping
 
     def learn_imports(self, fnode: ast.AST) -> None:
         assigned: set[str] = set()
@@ -336,6 +419,14 @@ class _Resolver:
             if base is None:
                 return None
             return getattr(base, node.attr, None)
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self._dicts
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            return self._dicts[node.value.id].get(node.slice.value)
         return None
 
 
@@ -368,31 +459,211 @@ def _normalize_op_args(
     return [slots[f] for f in fields]
 
 
+# -- yield-from inlining helpers ------------------------------------------
+
+
+class _Default:
+    """Marks a parameter bound to its (already-evaluated) default."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _ScopeInfo(ast.NodeVisitor):
+    """Collects, over one function body, every referenced ``Name`` and
+    the names bound by nested scopes (lambdas, defs, comprehension
+    targets).  The inliner's rename/rewrite pass is purely textual over
+    ``Name`` nodes, so any nested-scope binding that collides with a
+    name it would rewrite forces the dynamic tier instead."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.nested_bound: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.names.add(node.id)
+
+    def _bind_args(self, args: ast.arguments) -> None:
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            self.nested_bound.add(a.arg)
+        if args.vararg:
+            self.nested_bound.add(args.vararg.arg)
+        if args.kwarg:
+            self.nested_bound.add(args.kwarg.arg)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._bind_args(node.args)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.nested_bound.add(node.name)
+        self._bind_args(node.args)
+        for n in ast.walk(node):
+            if isinstance(n, ast.Name) and isinstance(
+                n.ctx, (ast.Store, ast.Del)
+            ):
+                self.nested_bound.add(n.id)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            for n in ast.walk(gen.target):
+                if isinstance(n, ast.Name):
+                    self.nested_bound.add(n.id)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def _bind_call(fn: Callable, code: Any, call: ast.Call):
+    """Map a call's arguments onto the callee's parameters.
+
+    Returns ``[(param_name, ast_node | _Default)]`` in *evaluation*
+    order (explicit arguments as written, defaults after), or ``None``
+    when the call cannot be bound statically — the dynamic tier then
+    reproduces whatever ``TypeError`` the real call would raise.
+    """
+    pos = list(code.co_varnames[: code.co_argcount])
+    kwonly = list(
+        code.co_varnames[
+            code.co_argcount : code.co_argcount + code.co_kwonlyargcount
+        ]
+    )
+    if len(call.args) > len(pos):
+        return None
+    out: list[tuple[str, Any]] = []
+    bound: set[str] = set()
+    for name, arg in zip(pos, call.args):
+        out.append((name, arg))
+        bound.add(name)
+    for kw in call.keywords:
+        if kw.arg in bound or (kw.arg not in pos and kw.arg not in kwonly):
+            return None
+        out.append((kw.arg, kw.value))
+        bound.add(kw.arg)
+    defaults = fn.__defaults__ or ()
+    for name, value in zip(pos[len(pos) - len(defaults) :], defaults):
+        if name not in bound:
+            out.append((name, _Default(value)))
+            bound.add(name)
+    kwdefaults = fn.__kwdefaults__ or {}
+    for name in kwonly:
+        if name not in bound:
+            if name not in kwdefaults:
+                return None
+            out.append((name, _Default(kwdefaults[name])))
+            bound.add(name)
+    if set(pos) - bound:
+        return None
+    return out
+
+
+class _InlineTransform(ast.NodeTransformer):
+    """Rewrites an inlined callee body into the caller's scope: locals
+    renamed with the inline-site prefix, module globals read through the
+    injected ``__globals__`` reference, shadowed builtins pinned to
+    injected constants, everything else (unshadowed builtins) bare."""
+
+    def __init__(
+        self,
+        rename: dict[str, str],
+        global_name: str | None,
+        gdict: dict,
+        const_map: dict[str, str],
+    ) -> None:
+        self._rename = rename
+        self._global_name = global_name
+        self._gdict = gdict
+        self._const_map = const_map
+
+    def visit_Name(self, node: ast.Name) -> ast.expr:
+        new = self._rename.get(node.id)
+        if new is not None:
+            return ast.copy_location(ast.Name(id=new, ctx=node.ctx), node)
+        if node.id in self._gdict and self._global_name is not None:
+            return ast.copy_location(
+                ast.Subscript(
+                    value=ast.Name(id=self._global_name, ctx=ast.Load()),
+                    slice=ast.Constant(value=node.id),
+                    ctx=ast.Load(),
+                ),
+                node,
+            )
+        const = self._const_map.get(node.id)
+        if const is not None:
+            return ast.copy_location(
+                ast.Name(id=const, ctx=ast.Load()), node
+            )
+        return node
+
+
+class _CompileEnv:
+    """Shared per-compilation state for both lowering passes: the name
+    resolver, the automaton's parameter name, and the injected-value
+    registry (callee-module ``__globals__`` dicts, default-argument
+    objects, pinned builtins).  Values are interned by identity so the
+    traced and untraced passes allocate identical names."""
+
+    def __init__(self, resolver: _Resolver, param: str) -> None:
+        self.resolver = resolver
+        self.param = param
+        self.inject: dict[str, Any] = dict(_INJECTED)
+        self._mod_names: dict[int, str] = {}
+        self._const_names: dict[int, str] = {}
+
+    def module_dict_name(self, gdict: dict) -> str:
+        name = self._mod_names.get(id(gdict))
+        if name is None:
+            name = f"_K_m{len(self._mod_names)}"
+            self._mod_names[id(gdict)] = name
+            self.inject[name] = gdict
+            self.resolver.register_dict(name, gdict)
+        return name
+
+    def const_name(self, value: Any) -> str:
+        name = self._const_names.get(id(value))
+        if name is None:
+            name = f"_K_v{len(self._const_names)}"
+            self._const_names[id(value)] = name
+            self.inject[name] = value
+        return name
+
+
 # -- lowering -------------------------------------------------------------
 
 
 class _Lowerer:
     """Lowers one automaton body into trampoline blocks.
 
-    Block ids: suspension sites are ``0 .. n_sites-1`` (hottest, first
-    in the dispatch chain), the entry prologue is ``n_sites``, and
-    internal blocks (loop heads, joins) follow.  ``_K_pc`` holds the
-    site to resume at (``-2`` once halted).
+    Block ids: suspension sites are numbered from 0 in discovery order
+    (hottest, first in the dispatch chain); the entry prologue and
+    internal blocks (loop heads, joins) start at ``_INTERNAL_BASE``.
+    ``_K_pc`` holds the site to resume at (``-2`` once halted).
     """
 
-    def __init__(
-        self, resolver: _Resolver, n_sites: int, *, traced: bool
-    ) -> None:
-        self.resolver = resolver
+    def __init__(self, env: _CompileEnv, *, traced: bool) -> None:
+        self.env = env
+        self.resolver = env.resolver
         self.traced = traced
-        self.entry_id = n_sites
-        self._next_id = n_sites + 1
+        self.entry_id = _INTERNAL_BASE
+        self._next_id = _INTERNAL_BASE + 1
         self._next_temp = 0
         self.blocks: dict[int, list[str]] = {}
         self.sites: list[OpSite] = []
         self.extra_locals: list[str] = []
+        self.inlined: list[str] = []
         self._cur: list[str] = []
         self._loops: list[tuple[int, int]] = []  # (head, after)
+        self._frames: list[tuple[str, int]] = []  # (ret_var, exit_block)
+        self._inline_stack: list[Any] = []  # callee code objects
+        self._next_inline = 0
         self.blocks[self.entry_id] = self._cur
 
     # -- emission helpers ----------------------------------------------
@@ -413,9 +684,12 @@ class _Lowerer:
         # order, so the traced and untraced bodies share declarations.
         name = f"_K_t{self._next_temp}"
         self._next_temp += 1
+        self._declare(name)
+        return name
+
+    def _declare(self, name: str) -> None:
         if name not in self.extra_locals:
             self.extra_locals.append(name)
-        return name
 
     def _goto(self, bid: int) -> None:
         self._emit(f"_K_b = {bid}")
@@ -461,12 +735,24 @@ class _Lowerer:
             return True
         if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Yield):
             return self.lower_yield(stmt.value, None)
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.YieldFrom
+        ):
+            return self.lower_yield_from(stmt.value, None)
         if (
             isinstance(stmt, ast.Assign)
             and len(stmt.targets) == 1
             and isinstance(stmt.value, ast.Yield)
         ):
             return self.lower_yield(
+                stmt.value, ast.unparse(stmt.targets[0])
+            )
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.value, ast.YieldFrom)
+        ):
+            return self.lower_yield_from(
                 stmt.value, ast.unparse(stmt.targets[0])
             )
         if isinstance(stmt, ast.While):
@@ -476,6 +762,19 @@ class _Lowerer:
         if isinstance(stmt, ast.If):
             return self.lower_if(stmt)
         if isinstance(stmt, ast.Return):
+            if self._frames:
+                # Inside an inline frame ``return expr`` becomes the
+                # frame's result: assign the ret temp, jump to the
+                # frame's continuation.
+                ret, exit_id = self._frames[-1]
+                value = (
+                    "None"
+                    if stmt.value is None
+                    else ast.unparse(stmt.value)
+                )
+                self._emit(f"{ret} = {value}")
+                self._goto(exit_id)
+                return False
             if stmt.value is not None and not (
                 isinstance(stmt.value, ast.Constant)
                 and stmt.value.value is None
@@ -691,18 +990,221 @@ class _Lowerer:
             return False
         return True
 
+    # -- yield-from lowering --------------------------------------------
+
+    def lower_yield_from(
+        self, node: ast.YieldFrom, target: str | None
+    ) -> bool:
+        if self._next_inline >= _MAX_INLINE_EXPANSIONS:
+            raise UnsupportedAutomaton(
+                "yield-from expansion exceeds the inline budget"
+            )
+        plan = self._inline_plan(node)
+        if plan is not None:
+            return self._lower_inline(plan, target)
+        return self._lower_delegate(node, target)
+
+    def _inline_plan(self, node: ast.YieldFrom):
+        """Statically analyze a ``yield from`` callee; ``None`` routes
+        the site to the dynamic delegate tier."""
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return None
+        fn = self.resolver.resolve(call.func)
+        code = getattr(fn, "__code__", None)
+        if (
+            fn is None
+            or code is None
+            or not inspect.isgeneratorfunction(fn)
+            or code.co_freevars
+            or code.co_flags & (inspect.CO_VARARGS | inspect.CO_VARKEYWORDS)
+        ):
+            return None
+        if any(c is code for c in self._inline_stack):
+            return None  # recursive delegation: drive it dynamically
+        if len(self._inline_stack) >= _MAX_INLINE_DEPTH:
+            return None
+        if any(isinstance(a, ast.Starred) for a in call.args):
+            return None
+        if any(kw.arg is None for kw in call.keywords):
+            return None
+        binding = _bind_call(fn, code, call)
+        if binding is None:
+            return None
+        try:
+            fnode = _function_node(fn)
+        except UnsupportedAutomaton:
+            return None
+        fnode = ast.fix_missing_locations(_StripAnnotations().visit(fnode))
+        if any(
+            isinstance(
+                n, (ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal)
+            )
+            for n in _scan(fnode)
+        ):
+            return None
+        local_names = {*code.co_varnames, *code.co_cellvars}
+        info = _ScopeInfo()
+        for stmt in fnode.body:
+            info.visit(stmt)
+        gdict = fn.__globals__
+        if info.nested_bound & local_names or info.nested_bound & set(
+            gdict
+        ):
+            return None  # textual rename/rewrite would capture
+        global_refs = info.names - local_names - info.nested_bound
+        caller_ns = self.resolver._globals
+        const_map: dict[str, str] = {}
+        mod_refs = False
+        for name in sorted(global_refs):
+            if name in gdict:
+                mod_refs = True
+            elif hasattr(builtins, name):
+                if name in caller_ns:
+                    # The caller's module shadows this builtin: pin the
+                    # real builtin as an injected constant.
+                    const_map[name] = self.env.const_name(
+                        getattr(builtins, name)
+                    )
+            else:
+                return None  # would NameError; keep generator semantics
+        return (fn, code, fnode, binding, local_names, gdict, mod_refs, const_map)
+
+    def _lower_inline(self, plan, target: str | None) -> bool:
+        fn, code, fnode, binding, local_names, gdict, mod_refs, const_map = plan
+        seq = self._next_inline
+        self._next_inline += 1
+        prefix = f"_K_i{seq}_"
+        self.inlined.append(f"{fn.__module__}.{fn.__qualname__}")
+        # Deterministic declaration order: varnames, then cellvars.
+        for name in dict.fromkeys((*code.co_varnames, *code.co_cellvars)):
+            self._declare(prefix + name)
+        ret = f"{prefix}ret"
+        self._declare(ret)
+        rename = {name: prefix + name for name in local_names}
+        gname = self.env.module_dict_name(gdict) if mod_refs else None
+        transform = _InlineTransform(rename, gname, gdict, const_map)
+        body = [
+            ast.fix_missing_locations(transform.visit(stmt))
+            for stmt in fnode.body
+        ]
+        # Bind parameters in evaluation order (argument expressions are
+        # caller-scope; defaults are injected already-evaluated objects).
+        for name, item in binding:
+            src = (
+                self.env.const_name(item.value)
+                if isinstance(item, _Default)
+                else ast.unparse(item)
+            )
+            self._emit(f"{prefix}{name} = {src}")
+        exit_id = self._new_id()
+        self._frames.append((ret, exit_id))
+        self._inline_stack.append(code)
+        reachable = self.lower_stmts(body)
+        self._inline_stack.pop()
+        self._frames.pop()
+        if reachable:
+            self._emit(f"{ret} = None")
+            self._goto(exit_id)
+        self._start(exit_id)
+        if target:
+            self._emit(f"{target} = {ret}")
+        return True
+
+    def _lower_delegate(
+        self, node: ast.YieldFrom, target: str | None
+    ) -> bool:
+        """One reusable suspension site driving a runtime sub-iterator
+        with the interpreter's exact PEP-380 protocol."""
+        seq = self._next_inline
+        self._next_inline += 1
+        gen = f"_K_g{seq}"
+        pend = f"_K_p{seq}"
+        self._declare(gen)
+        self._declare(pend)
+        site = len(self.sites)
+        self.sites.append(
+            OpSite(
+                site=site,
+                kind="delegate",
+                source=ast.unparse(node),
+                register=None,
+                register_prefix=None,
+                result_used=target is not None,
+            )
+        )
+        after = self._new_id()
+        e = self._emit
+        e(f"{gen} = iter({ast.unparse(node.value)})")
+        e("try:")
+        e(f"    {pend} = next({gen})")
+        e("except StopIteration as _K_e:")
+        e(f"    {gen} = None")
+        if target:
+            e(f"    {target} = _K_e.value")
+        e(f"    _K_b = {after}")
+        e("    continue")
+        e(f"_K_pc = {site}")
+        e("return 0")
+        self._start(site)
+        self._emit_delegate_perform(gen, pend, target, after)
+        self._start(after)
+        return True
+
+    def _emit_delegate_perform(
+        self, gen: str, pend: str, target: str | None, after: int
+    ) -> None:
+        """The delegate site body: exact-type dispatch mirroring the
+        engine fallback, then advance the sub-iterator."""
+        e = self._emit
+        ctx = self.env.param
+        e(f"_K_o = type({pend})")
+        e("if _K_o is _K_Write:")
+        e(f"    _K_write({pend}.register, {pend}.value)")
+        e("    _K_r = None")
+        e("elif _K_o is _K_Read:")
+        e(f"    _K_r = _K_mem.get({pend}.register)")
+        e("elif _K_o is _K_Snapshot:")
+        e(f"    _K_r = _K_snap({pend}.prefix)")
+        e("elif _K_o is _K_NopT:")
+        e("    _K_r = None")
+        e("elif _K_o is _K_QueryT:")
+        e("    _K_r = _K_query(_K_time)")
+        e("elif _K_o is _K_CAS:")
+        e(
+            f"    _K_r = _K_cas({pend}.register, {pend}.expected, "
+            f"{pend}.new)"
+        )
+        e("elif _K_o is _K_Decide:")
+        if self.traced:
+            e(f"    _K_ev[0] = {pend}")
+            e("    _K_ev[1] = None")
+        e(f"    _K_out[0] = {pend}.value")
+        e("    _K_pc = -2")
+        e("    return 2")
+        e("else:")
+        e(
+            f"    _K_r = _K_generic({pend}, {ctx}, _K_mem, _K_write, "
+            f"_K_snap, _K_query, _K_cas, _K_time)"
+        )
+        if self.traced:
+            e(f"_K_ev[0] = {pend}")
+            e("_K_ev[1] = _K_r")
+        e("try:")
+        e(
+            f"    {pend} = next({gen}) if _K_r is None "
+            f"else {gen}.send(_K_r)"
+        )
+        e("except StopIteration as _K_e:")
+        e(f"    {gen} = None")
+        if target:
+            e(f"    {target} = _K_e.value")
+        e(f"    _K_b = {after}")
+        e("    continue")
+        e("return 0")
+
 
 # -- compilation ----------------------------------------------------------
-
-
-def _count_yields(fnode: ast.AST) -> int:
-    count = 0
-    for n in _scan(fnode):
-        if isinstance(n, ast.YieldFrom):
-            raise UnsupportedAutomaton("yield from (delegated subroutine)")
-        if isinstance(n, ast.Yield):
-            count += 1
-    return count
 
 
 def _function_node(fn: Callable) -> ast.FunctionDef:
@@ -729,8 +1231,9 @@ def _render(
     declared: list[str],
     untraced: _Lowerer,
     traced: _Lowerer,
+    inject_names: list[str],
 ) -> str:
-    inject = ", ".join(f"{name}={name}" for name in _INJECTED)
+    inject = ", ".join(f"{name}={name}" for name in inject_names)
     fv = "".join(f", {name}" for name in freevars)
     lines = [
         f"def _K_make({param}, _K_rt{fv}, *, {inject}):",
@@ -741,23 +1244,63 @@ def _render(
         lines.append(f"    {name} = _K_UNBOUND")
     lines.append(f"    _K_pc = {untraced.entry_id}")
     nl = ", ".join(["_K_pc", param] + declared)
+    # The runtime helpers are bound once in ``_K_make`` and never
+    # reassigned; passing them as positional defaults turns every access
+    # in the step body into a fast-local load instead of a cell deref.
+    rt_defaults = ", ".join(
+        f"{name}={name}"
+        for name in (
+            "_K_mem", "_K_write", "_K_snap", "_K_query",
+            "_K_cas", "_K_out", "_K_ev",
+        )
+    )
     for fname, low in (("_K_step", untraced), ("_K_step_traced", traced)):
-        lines.append(f"    def {fname}(_K_time):")
+        lines.append(f"    def {fname}(_K_time, {rt_defaults}):")
         lines.append(f"        nonlocal {nl}")
         lines.append("        _K_b = _K_pc")
         lines.append("        while True:")
-        for j, bid in enumerate(sorted(low.blocks)):
-            kw = "if" if j == 0 else "elif"
-            lines.append(f"            {kw} _K_b == {bid}:")
-            for line in low.blocks[bid]:
-                lines.append(f"                {line}")
-        lines.append("            else:")
-        lines.append(
-            "                raise RuntimeError("
-            "f'compiled automaton stepped at invalid pc {_K_b}')"
-        )
+        _render_dispatch(lines, low.blocks, sorted(low.blocks), "            ")
     lines.append("    return (_K_step, _K_step_traced)")
     return "\n".join(lines) + "\n"
+
+
+# Below this width a linear if/elif run beats the comparison overhead of
+# further halving; 4 keeps leaf runs at 2-4 arms.
+_DISPATCH_LEAF = 4
+
+
+def _render_dispatch(
+    lines: list[str],
+    blocks: dict[int, list[str]],
+    ids: list[int],
+    indent: str,
+) -> None:
+    """Emit the block dispatch as a binary decision tree.
+
+    A flat ``elif`` chain over every block id costs O(blocks) integer
+    comparisons per dispatch — and every intra-step ``continue`` pays it
+    again from the top, which dominated campaign profiles for automata
+    with dozens of blocks.  Halving on ``<`` keeps each dispatch at
+    O(log blocks) while the per-block bodies stay byte-for-byte what the
+    lowerer produced.
+    """
+    if len(ids) <= _DISPATCH_LEAF:
+        for j, bid in enumerate(ids):
+            kw = "if" if j == 0 else "elif"
+            lines.append(f"{indent}{kw} _K_b == {bid}:")
+            for line in blocks[bid]:
+                lines.append(f"{indent}    {line}")
+        lines.append(f"{indent}else:")
+        lines.append(
+            f"{indent}    raise RuntimeError("
+            "f'compiled automaton stepped at invalid pc {_K_b}')"
+        )
+        return
+    mid = len(ids) // 2
+    lines.append(f"{indent}if _K_b < {ids[mid]}:")
+    _render_dispatch(lines, blocks, ids[:mid], indent + "    ")
+    lines.append(f"{indent}else:")
+    _render_dispatch(lines, blocks, ids[mid:], indent + "    ")
 
 
 def _compile(fn: Callable) -> CompiledProgram:
@@ -774,7 +1317,6 @@ def _compile(fn: Callable) -> CompiledProgram:
         )
     fnode = _function_node(fn)
     fnode = ast.fix_missing_locations(_StripAnnotations().visit(fnode))
-    n_sites = _count_yields(fnode)
     param = code.co_varnames[0]
     user_locals = [
         name
@@ -794,35 +1336,46 @@ def _compile(fn: Callable) -> CompiledProgram:
         fn, {param, *user_locals, *freevars}
     )
     resolver.learn_imports(fnode)
+    env = _CompileEnv(resolver, param)
 
-    untraced = _Lowerer(resolver, n_sites, traced=False)
+    untraced = _Lowerer(env, traced=False)
     untraced.lower_function(fnode.body)
-    traced = _Lowerer(resolver, n_sites, traced=True)
+    traced = _Lowerer(env, traced=True)
     traced.lower_function(fnode.body)
-    if len(untraced.sites) != n_sites:  # pragma: no cover - invariant
-        raise UnsupportedAutomaton("yield in an unsupported position")
-
+    if (
+        untraced.sites != traced.sites
+        or untraced.extra_locals != traced.extra_locals
+        or untraced.inlined != traced.inlined
+    ):  # pragma: no cover - invariant
+        raise UnsupportedAutomaton("traced/untraced lowering diverged")
+    n_sites = len(untraced.sites)
+    inlined = tuple(dict.fromkeys(untraced.inlined))
     declared = user_locals + untraced.extra_locals
-    body = _render(fnode, param, freevars, declared, untraced, traced)
+    inject_names = list(env.inject)
+    body = _render(
+        fnode, param, freevars, declared, untraced, traced, inject_names
+    )
     header = (
         f"# compiled automaton: {fn.__module__}.{fn.__qualname__}\n"
         f"# sites: {n_sites}; freevars: {', '.join(freevars) or '-'}\n"
     )
+    if inlined:
+        header += f"# inlined: {', '.join(inlined)}\n"
     source = header + body
     digest = hashlib.sha256(source.encode()).hexdigest()
 
     # Execute the generated def against the automaton's *live* module
     # globals (so monkeypatching and late rebinding behave exactly as
     # they do for the generator), then remove the definition again.
-    # All injected constants travel as defaulted parameters.
+    # All injected values travel as defaulted parameters.
     namespace = fn.__globals__
-    for name, value in _INJECTED.items():
+    for name, value in env.inject.items():
         namespace[name] = value
     try:
         exec(compile(source, f"<kernel:{fn.__qualname__}>", "exec"), namespace)
         make = namespace.pop("_K_make")
     finally:
-        for name in _INJECTED:
+        for name in env.inject:
             namespace.pop(name, None)
     return CompiledProgram(
         name=fn.__name__,
@@ -834,14 +1387,17 @@ def _compile(fn: Callable) -> CompiledProgram:
         source=source,
         content_hash=digest,
         make=make,
+        inlined=inlined,
     )
 
 
-#: Compilation cache keyed on the automaton's code object: every
+#: Compilation cache keyed on ``(code object, COMPILER_TAG)``: every
 #: closure produced by the same factory shares one program (free
 #: variables are bound at ``make`` time, not compile time).  Negative
 #: results are cached too, so the engine pays the unsupported-subset
-#: analysis once per automaton, not once per process.
+#: analysis once per automaton, not once per process — and because the
+#: tag participates in the key, a stale "unsupported" verdict cached by
+#: an older compiler build is simply never consulted again.
 _CACHE: dict[Any, CompiledProgram | UnsupportedAutomaton] = {}
 
 
@@ -850,14 +1406,15 @@ def compile_automaton(fn: Callable) -> CompiledProgram:
 
     Raises :class:`UnsupportedAutomaton` when ``fn`` lies outside the
     compilable subset; the result (including the failure) is cached on
-    ``fn.__code__``.
+    ``(fn.__code__, COMPILER_TAG)``.
     """
     code = getattr(fn, "__code__", None)
     if code is None:
         raise UnsupportedAutomaton(
             f"{fn!r} is not a plain Python function"
         )
-    cached = _CACHE.get(code)
+    key = (code, COMPILER_TAG)
+    cached = _CACHE.get(key)
     if cached is not None:
         if isinstance(cached, UnsupportedAutomaton):
             raise cached
@@ -865,9 +1422,9 @@ def compile_automaton(fn: Callable) -> CompiledProgram:
     try:
         program = _compile(fn)
     except UnsupportedAutomaton as exc:
-        _CACHE[code] = exc
+        _CACHE[key] = exc
         raise
-    _CACHE[code] = program
+    _CACHE[key] = program
     return program
 
 

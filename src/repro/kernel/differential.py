@@ -627,6 +627,12 @@ def _site_covered(site: Any, fp: Any) -> bool:
         return fp.queries
     if site.kind == "decide":
         return fp.decides
+    if site.kind == "delegate":
+        # A dynamic ``yield from`` site drives an unresolvable callee
+        # and may perform any operation at runtime; only an *open*
+        # footprint (the linter admits unresolved delegation too) can
+        # soundly cover it.
+        return not fp.closed
     if not fp.closed:
         # The linter itself admits unresolved/delegated sites; nothing
         # stronger can be asserted for this automaton.

@@ -53,7 +53,42 @@ from ..runtime.scheduler import (
 from ..runtime.trace import Trace, TraceEvent
 from .compiler import CompiledProgram, UnsupportedAutomaton, compile_automaton
 
-__all__ = ["CompiledRun", "execute_compiled"]
+__all__ = ["CompiledRun", "LaneState", "execute_compiled"]
+
+
+class LaneState:
+    """Shared copy-on-write state for lanes of one system *shape*.
+
+    Many-seed sweeps run the same task/algorithm/pattern under different
+    seeds; every lane starts from the identical (empty) register file —
+    a common prefix.  A ``LaneState`` is created per shape by
+    :mod:`repro.kernel.lanes` and handed to each lane's
+    :class:`CompiledRun`:
+
+    * ``snap0`` — the epoch-0 snapshot cache, shared by every lane in
+      the group *until its first write*.  A lane's first write bumps its
+      private epoch (invalidating its view of the shared cache) and all
+      later snapshots go through the lane-local cache; the shared cache
+      itself is never invalidated, because one lane's writes are
+      invisible to its siblings.
+    * ``finals`` — interning table for final register files.  Lanes of
+      one shape frequently converge to byte-identical final memory;
+      :meth:`CompiledRun.result` builds the :class:`RegisterFile` once
+      per distinct content and hands out O(1) copy-on-write copies
+      (:meth:`RegisterFile.copy`) instead of re-materializing it per
+      lane.  Unhashable register values simply skip the interning.
+
+    Correctness is enforced end-to-end by the campaign differential
+    (:func:`repro.kernel.differential.campaign_differential`): reports
+    rendered from interned memory must stay byte-identical to the
+    serial interpreted run.
+    """
+
+    __slots__ = ("snap0", "finals")
+
+    def __init__(self) -> None:
+        self.snap0: dict[str, dict[str, Any]] = {}
+        self.finals: dict[tuple, RegisterFile] = {}
 
 
 class CompiledRun:
@@ -68,6 +103,10 @@ class CompiledRun:
             :class:`CompiledProgram` to use instead of compiling — the
             differential tests inject deliberately miscompiled programs
             through this to prove the gate fails loudly.
+        lane_state: optional :class:`LaneState` shared with sibling
+            lanes of the same system shape (see
+            :mod:`repro.kernel.lanes`).  ``None`` — the default for
+            solo runs — keeps the original single-run fast paths.
     """
 
     def __init__(
@@ -80,6 +119,7 @@ class CompiledRun:
         program_overrides: (
             dict[Callable, CompiledProgram] | None
         ) = None,
+        lane_state: LaneState | None = None,
     ) -> None:
         self.system = system
         self.scheduler = scheduler
@@ -126,11 +166,16 @@ class CompiledRun:
         # snapshot site, writes go straight into the dict.
         may_snapshot = any(
             program is None
-            or any(site.kind == "snapshot" for site in program.sites)
+            or any(
+                site.kind in ("snapshot", "delegate")
+                for site in program.sites
+            )
             for _fn, program in programs
         )
         cells = self._cells
         snap_cache = self._snap_cache
+        self._lane_state = lane_state
+        epoch = [0]
         if may_snapshot:
 
             def write(name: str, value: Any) -> None:
@@ -143,6 +188,15 @@ class CompiledRun:
                     ]
                     for prefix in stale:
                         del snap_cache[prefix]
+
+            if lane_state is not None:
+                base_write = write
+
+                def write(name: str, value: Any) -> None:  # noqa: F811
+                    # First write: bump this lane's epoch, detaching it
+                    # from the group-shared epoch-0 snapshot cache.
+                    epoch[0] = 1
+                    base_write(name, value)
 
         else:
             write = cells.__setitem__
@@ -163,6 +217,32 @@ class CompiledRun:
                         sorted(cells.items())
                     )
             return dict(cached)
+
+        if lane_state is not None and may_snapshot:
+            local_snap = snap
+            shared0 = lane_state.snap0
+
+            def snap(prefix: str) -> dict[str, Any]:  # noqa: F811
+                if epoch[0]:
+                    return local_snap(prefix)
+                # Epoch 0: this lane has not written yet, so its view
+                # of memory is the group's common prefix — share the
+                # snapshot with every sibling still at epoch 0.
+                cached = shared0.get(prefix)
+                if cached is None:
+                    if prefix:
+                        cached = shared0[prefix] = dict(
+                            sorted(
+                                (name, value)
+                                for name, value in cells.items()
+                                if name.startswith(prefix)
+                            )
+                        )
+                    else:
+                        cached = shared0[prefix] = dict(
+                            sorted(cells.items())
+                        )
+                return dict(cached)
 
         def cas(name: str, expected: Any, new: Any) -> Any:
             prior = cells.get(name)
@@ -529,10 +609,17 @@ class CompiledRun:
         scheduler = self.scheduler
         by_pid = self._by_pid
         participants = self.system.participants
+        queue = self._crash_queue
+        qlen = len(queue)
+        pos = self._crash_pos
         events = self._events if self._traced else None
         ev = self._ev
         time = self.time
         end = max_steps if limit is None else min(max_steps, time + limit)
+        next_crash = queue[pos][0] if pos < qlen else max_steps + 1
+        # ``live`` only ever shrinks (finish/crash), so a length check is
+        # enough to keep the candidates tuple fresh across steps.
+        cands = tuple(entry[0] for entry in live)
         finished = None
         while True:
             if time >= max_steps:
@@ -550,9 +637,11 @@ class CompiledRun:
                 self._started_frozen = frozenset(self._started)
             if self._decided_frozen is None:
                 self._decided_frozen = frozenset(self._decisions)
+            if len(cands) != len(live):
+                cands = tuple(entry[0] for entry in live)
             view = SchedulerView(
                 time=time,
-                candidates=tuple(entry[0] for entry in live),
+                candidates=cands,
                 started=self._started_frozen,
                 decided=self._decided_frozen,
                 participants=participants,
@@ -568,9 +657,14 @@ class CompiledRun:
             if events is not None:
                 events.append(TraceEvent(time, entry[0], ev[0], ev[1]))
             time += 1
-            self._retire_crashes(live, time)
+            if time >= next_crash:
+                self._crash_pos = pos
+                self._retire_crashes(live, time)
+                pos = self._crash_pos
+                next_crash = queue[pos][0] if pos < qlen else max_steps + 1
             if status:
                 self._finish_step(entry, status, live, time)
+        self._crash_pos = pos
         self.time = time
         if finished is not None:
             self._reason = finished
@@ -605,14 +699,38 @@ class CompiledRun:
             f"S-process steps: {s_steps}"
         )
 
+    def _final_memory(self) -> RegisterFile:
+        """Materialize the final register file, interning through the
+        lane group when one is attached: sibling lanes that converge to
+        identical final memory share one master ``RegisterFile`` and
+        receive O(1) copy-on-write copies instead of rebuilding the
+        register file cell by cell per lane."""
+        state = self._lane_state
+        if state is not None:
+            key: tuple | None = tuple(self._cells.items())
+            try:
+                master = state.finals.get(key)
+            except TypeError:  # unhashable register value: skip intern
+                key = None
+                master = None
+            if key is not None:
+                if master is None:
+                    master = RegisterFile()
+                    for name, value in self._cells.items():
+                        master.write(name, value)
+                    state.finals[key] = master
+                return master.copy()
+        memory = RegisterFile()
+        for name, value in self._cells.items():
+            memory.write(name, value)
+        return memory
+
     def result(self) -> RunResult:
         """Package the finished run as a RunResult (identical to the
         interpreter's for the same system and scheduler)."""
         if self._reason is None:
             raise ProtocolError("result() called before the run finished")
-        memory = RegisterFile()
-        for name, value in self._cells.items():
-            memory.write(name, value)
+        memory = self._final_memory()
         extras: dict[str, Any] = {}
         if self._reason == "budget":
             extras["budget_digest"] = self._budget_digest()

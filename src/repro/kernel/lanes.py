@@ -13,7 +13,14 @@ interleaving cannot change any verdict — it exists so that
   compiles it, every other lane reuses the cached program;
 * a campaign's progress is breadth-first: early cells of a long sweep
   produce records at roughly the same time, which keeps journals and
-  ``on_cell`` streams live even when one cell is step-budget heavy.
+  ``on_cell`` streams live even when one cell is step-budget heavy;
+* lanes of one system *shape* (same cell spec modulo seeds — the
+  many-seed sweep case) share copy-on-write register state through a
+  :class:`~repro.kernel.engine.LaneState`: epoch-0 snapshots are served
+  from a group-shared cache until a lane's first write bumps its
+  private epoch, and byte-identical final register files are interned
+  once per group and handed out as O(1) COW copies instead of being
+  re-materialized per cell.
 
 Records are delivered through the same ``record_result(index, record)``
 callback the pool backends use, so reports stay byte-identical to a
@@ -23,16 +30,30 @@ serial interpreted run (enforced by
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Sequence
 
-from .engine import CompiledRun
+from .engine import CompiledRun, LaneState
 
-__all__ = ["CHUNK", "run_cells_compiled"]
+__all__ = ["CHUNK", "lane_shape_key", "run_cells_compiled"]
 
 #: Scheduler turns granted to one lane before moving to the next.
 #: Large enough that per-switch overhead vanishes against per-step
 #: work, small enough that a 12-cell smoke campaign interleaves.
 CHUNK = 2048
+
+
+def lane_shape_key(cell) -> str:
+    """Canonical key of a cell's system *shape*: its JSON spec with the
+    detector seed and scheduler seed stripped.  Cells agreeing on this
+    key differ only in seeds, start from the identical empty register
+    file, and may therefore share one :class:`LaneState`."""
+    data = cell.to_json()
+    data.pop("seed", None)
+    scheduler = dict(data.get("scheduler") or {})
+    scheduler.pop("seed", None)
+    data["scheduler"] = scheduler
+    return json.dumps(data, sort_keys=True, default=repr)
 
 
 def run_cells_compiled(
@@ -54,17 +75,26 @@ def run_cells_compiled(
     from ..chaos.registry import build_scheduler
 
     lanes: list[list] = []  # [index, cell, task, run]
+    groups: dict[str, LaneState] = {}
     for index, cell in jobs:
         try:
             task, system, invalid = _campaign._prepare_cell(cell)
             if invalid is not None:
                 record_result(index, invalid)
                 continue
+            shape = lane_shape_key(cell)
+            state = groups.get(shape)
+            if state is None:
+                state = groups[shape] = LaneState()
             run = CompiledRun(
                 system,
                 build_scheduler(cell.scheduler),
                 max_steps=cell.max_steps,
-                trace=True,
+                # Classification only reads the trace under strict mode
+                # (lint trace rules); plain lanes run untraced so the
+                # compiled step functions skip event materialization.
+                trace=strict_traces,
+                lane_state=state,
             )
         except Exception as exc:  # noqa: BLE001 - triage, don't abort
             record_result(

@@ -63,10 +63,20 @@ class RoundRobinScheduler(Scheduler):
 
     def __init__(self) -> None:
         self._cursor = 0
+        self._last_cands: tuple[ProcessId, ...] | None = None
+        self._last_sorted: list[ProcessId] = []
 
     def next(self, view: SchedulerView) -> ProcessId:
         self._require(view)
-        ordered = sorted(view.candidates)
+        # Identity-keyed sort cache: callers that reuse one candidates
+        # tuple across steps (the compiled kernel's batched lanes) skip
+        # the per-step re-sort; a fresh tuple always misses.  Holding
+        # the key tuple keeps its id() from being recycled.
+        cands = view.candidates
+        if cands is not self._last_cands:
+            self._last_cands = cands
+            self._last_sorted = sorted(cands)
+        ordered = self._last_sorted
         choice = ordered[self._cursor % len(ordered)]
         self._cursor += 1
         return choice
@@ -77,10 +87,16 @@ class SeededRandomScheduler(Scheduler):
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
+        self._last_cands: tuple[ProcessId, ...] | None = None
+        self._last_sorted: list[ProcessId] = []
 
     def next(self, view: SchedulerView) -> ProcessId:
         self._require(view)
-        return self._rng.choice(sorted(view.candidates))
+        cands = view.candidates
+        if cands is not self._last_cands:  # identity cache, as above
+            self._last_cands = cands
+            self._last_sorted = sorted(cands)
+        return self._rng.choice(self._last_sorted)
 
 
 class AdversarialScheduler(Scheduler):

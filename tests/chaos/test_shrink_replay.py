@@ -85,6 +85,39 @@ class TestBundle:
         assert first.record.steps == second.record.steps
         assert "REPRODUCED" in first.summary()
 
+    def test_shrunk_bundle_records_and_replays_its_kernel(
+        self, tmp_path
+    ):
+        """A witness shrunk under the compiled kernel records that
+        kernel in its bundle and replays under it."""
+        shrunk = shrink_cell(
+            find_violating_cell(), max_trials=200, kernel="compiled"
+        )
+        assert shrunk.kernel == "compiled"
+        bundle = bundle_from_shrink(shrunk, campaign="unit")
+        assert bundle["kernel"] == "compiled"
+        path = save_bundle(tmp_path / "compiled-witness.json", bundle)
+        assert replay_bundle(path).reproduced
+
+    def test_shrunk_witness_differential_across_kernels(self):
+        """The shrunk, explicitly-scheduled witness is a differential
+        fixture: both kernels must classify it identically."""
+        shrunk = shrink_cell(find_violating_cell(), max_trials=200)
+        interp = run_cell(shrunk.cell, kernel="interp")
+        compiled = run_cell(shrunk.cell, kernel="compiled")
+        assert interp.outcome == compiled.outcome == shrunk.outcome
+        assert interp.detail == compiled.detail
+        assert interp.steps == compiled.steps
+
+    def test_legacy_bundle_without_kernel_key_replays_interp(
+        self, tmp_path
+    ):
+        shrunk = shrink_cell(find_violating_cell(), max_trials=200)
+        bundle = bundle_from_shrink(shrunk)
+        bundle.pop("kernel")  # pre-kernel bundle format
+        path = save_bundle(tmp_path / "legacy.json", bundle)
+        assert replay_bundle(path).reproduced
+
     def test_malformed_bundles_rejected(self, tmp_path):
         not_a_bundle = tmp_path / "junk.json"
         not_a_bundle.write_text(json.dumps({"format": "something-else"}))

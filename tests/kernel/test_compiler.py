@@ -30,6 +30,21 @@ def delegating(ctx):
     yield from counter(ctx)
 
 
+def sub_with_return(ctx, base):
+    value = yield ops.Read(f"r/{ctx.pid.index}")
+    return (value or 0) + base
+
+
+def delegating_with_result(ctx):
+    got = yield from sub_with_return(ctx, 10)
+    yield ops.Decide(got)
+
+
+def yields_prebuilt_op(ctx):
+    op = ops.Nop()
+    yield op
+
+
 def not_a_generator(ctx):
     return [ops.Nop()]
 
@@ -63,12 +78,44 @@ def test_simple_automaton_compiles_with_expected_sites():
 
 def test_unsupported_constructs_raise_and_are_cached():
     with pytest.raises(UnsupportedAutomaton):
-        compile_automaton(delegating)
+        compile_automaton(yields_prebuilt_op)
     with pytest.raises(UnsupportedAutomaton):  # negative result cached
-        compile_automaton(delegating)
+        compile_automaton(yields_prebuilt_op)
     with pytest.raises(UnsupportedAutomaton):
         compile_automaton(not_a_generator)
     assert cached_programs() == []
+
+
+def test_delegating_automaton_inlines_the_subroutine():
+    program = compile_automaton(delegating)
+    assert program.n_sites == 3  # counter's sites, flattened in place
+    assert [site.kind for site in program.sites] == [
+        "read",
+        "write",
+        "decide",
+    ]
+    assert any(name.endswith(".counter") for name in program.inlined)
+
+
+def test_yield_from_return_value_plumbing():
+    from repro.kernel import execute_compiled
+    from repro.runtime.executor import execute
+
+    program = compile_automaton(delegating_with_result)
+    assert any(
+        name.endswith(".sub_with_return") for name in program.inlined
+    )
+
+    def build():
+        return System(
+            inputs=(0,), c_factories=[delegating_with_result]
+        )
+
+    interp = execute(build(), RoundRobinScheduler(), max_steps=100)
+    compiled = execute_compiled(
+        build(), RoundRobinScheduler(), max_steps=100
+    )
+    assert compiled.outputs == interp.outputs == (10,)
 
 
 def test_cache_returns_same_program_object():

@@ -72,12 +72,12 @@ def test_reduction_cases_cover_all_ten_workloads():
     }
 
 
-def test_known_fallback_automata_still_match():
-    """kset_vector delegates into paxos via ``yield from`` — the
-    compiler must refuse it, the engine must fall back, and the run
-    must still be byte-identical."""
+def test_delegating_kset_vector_now_compiles():
+    """kset_vector delegates into paxos via ``yield from`` — once the
+    dominant fallback class, now inlined into a flat compiled program,
+    and still byte-identical."""
     outcome = run_case(_case("battery:kset_vector"), trace=True)
-    assert outcome.fallback_pids  # fell back...
+    assert not outcome.fallback_pids  # inlined, no interpreter
     assert outcome.identical  # ...and did not diverge
 
 

@@ -24,6 +24,16 @@ def delegating(ctx):
     yield from writer(ctx)
 
 
+def opaque(ctx):
+    # Yields a pre-built op object — the one shape the compiler still
+    # refuses, keeping this process on the interpreter fallback path.
+    me = ctx.pid.index
+    for i in range(50):
+        op = ops.Write(f"w/{me}/{i}", i)
+        yield op
+    yield ops.Decide(me)
+
+
 def build(n=3, factory=writer, **kwargs):
     return System(
         inputs=tuple(range(n)), c_factories=[factory] * n, **kwargs
@@ -37,9 +47,21 @@ def test_pid_partition_all_compiled():
     assert not run.fallback_pids
 
 
-def test_pid_partition_with_fallback():
+def test_delegating_factory_compiles_and_matches():
     system = System(
         inputs=(0, 1), c_factories=[writer, delegating]
+    )
+    run = CompiledRun(system, RoundRobinScheduler())
+    assert not run.fallback_pids  # yield-from now inlines
+    assert run.run().outputs == execute(
+        System(inputs=(0, 1), c_factories=[writer, delegating]),
+        RoundRobinScheduler(),
+    ).outputs
+
+
+def test_pid_partition_with_fallback():
+    system = System(
+        inputs=(0, 1), c_factories=[writer, opaque]
     )
     run = CompiledRun(system, RoundRobinScheduler())
     compiled_c = sorted(
@@ -49,7 +71,7 @@ def test_pid_partition_with_fallback():
     assert sorted(p.name for p in run.fallback_pids) == ["p2"]
     # Mixed systems still match the interpreter exactly.
     assert run.run().outputs == execute(
-        System(inputs=(0, 1), c_factories=[writer, delegating]),
+        System(inputs=(0, 1), c_factories=[writer, opaque]),
         RoundRobinScheduler(),
     ).outputs
 
