@@ -25,13 +25,20 @@ Fault families drilled (one campaign each):
     sigkill     one worker SIGKILLed mid-campaign, a replacement
                 joins under the same name → disconnect requeue +
                 mid-campaign (re)join
+    coordkill   the *coordinator* SIGKILLed at several points, each
+                time restarted with ``--resume`` → control-plane
+                recovery from the journal, worker spool replay,
+                zero journaled cells recomputed, plus a SIGTERM
+                graceful-drain check on one worker
 
-Each family runs two workers: one behind the chaos proxy ("chaotic"),
-one on a healthy direct link — the fabric must route around the bad
-link, never hang, and never let the fault reach the report.  The drill
-also asserts the faults *actually happened* (proxy counters, at least
-one lease expiry, at least one mid-campaign reconnect across the run),
-so it cannot pass vacuously.
+Each proxy family runs two workers: one behind the chaos proxy
+("chaotic"), one on a healthy direct link — the fabric must route
+around the bad link, never hang, and never let the fault reach the
+report.  The drill also asserts the faults *actually happened* (proxy
+counters, at least one lease expiry, at least one mid-campaign
+reconnect across the run; for coordkill: every planned kill landed, at
+least one spooled result was replayed, and recovery redispatched no
+journaled cell), so it cannot pass vacuously.
 
     PYTHONPATH=src python scripts/fabric_drill.py [--smoke] [--cells N]
 
@@ -43,8 +50,10 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -73,27 +82,43 @@ FAMILIES = (
     "sigkill",
 )
 
+#: How many times coordkill SIGKILLs the coordinator mid-campaign.
+COORD_KILLS = 3
 
-def spawn_worker(
-    host: str, port: int, name: str, seed: int
-) -> subprocess.Popen:
+
+def _env() -> dict[str, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         part
         for part in (str(SRC), env.get("PYTHONPATH"))
         if part
     )
+    return env
+
+
+def spawn_worker(
+    host: str,
+    port: int,
+    name: str,
+    seed: int,
+    *,
+    spool: str | None = None,
+    max_attempts: int = 60,
+) -> subprocess.Popen:
+    cmd = [
+        sys.executable, "-m", "repro", "worker",
+        "--connect", f"{host}:{port}",
+        "--name", name,
+        "--seed", str(seed),
+        "--max-attempts", str(max_attempts),
+    ]
+    if spool is not None:
+        cmd += ["--spool", spool]
     return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "worker",
-            "--connect", f"{host}:{port}",
-            "--name", name,
-            "--seed", str(seed),
-            "--max-attempts", "60",
-        ],
+        cmd,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
-        env=env,
+        env=_env(),
     )
 
 
@@ -193,6 +218,244 @@ def drill_family(
     )
 
 
+def _journal_cell_records(journal_path: str) -> int:
+    """Count ``kind == "cell"`` records (physical lines, pre-dedup).
+
+    The coordinator journals control-plane events (lease / expiry /
+    bench / spool) into the same file, so a raw line count no longer
+    measures cell dedup.
+    """
+    count = 0
+    for line in Path(journal_path).read_bytes().splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if record.get("kind") == "cell":
+            count += 1
+    return count
+
+
+def drill_coordinator_kill(
+    cells: int,
+    *,
+    smoke: bool,
+    seed: int,
+    lease_s: float,
+    baseline: str,
+    workdir: Path,
+) -> int:
+    """Coordinator-kill family: SIGKILL the coordinator subprocess at
+    :data:`COORD_KILLS` increasing journal-progress points, restart it
+    each time with ``--resume``, and require the final report to come
+    out byte-identical with **zero journaled cells recomputed** and
+    **zero spooled worker results lost**.  Also SIGTERMs one worker
+    mid-campaign and requires a graceful drain (exit 0).
+
+    Returns the number of failures (0 = family passed).
+    """
+    t0 = time.monotonic()
+    journal = workdir / "coordkill.jsonl"
+
+    # Pin a free port up front so every restarted coordinator — and
+    # every reconnecting worker — agrees on the address.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    workers = [
+        spawn_worker(
+            "127.0.0.1",
+            port,
+            name,
+            seed + i,
+            spool=str(workdir / f"{name}.spool.jsonl"),
+            max_attempts=400,
+        )
+        for i, name in enumerate(("survivor-a", "survivor-b", "drainee"))
+    ]
+    drainee = workers[2]
+
+    def cell_count() -> int:
+        try:
+            return _journal_cell_records(str(journal))
+        except FileNotFoundError:
+            return 0
+
+    base_cmd = [
+        sys.executable, "-m", "repro", "chaos", "run",
+        "--seed", str(seed),
+        "--cells", str(cells),
+        "--backend", "fabric",
+        "--listen", f"127.0.0.1:{port}",
+        "--lease-s", str(lease_s),
+        "--register-grace-s", "60",
+    ]
+    if smoke:
+        base_cmd.append("--smoke")
+
+    # Kill at ~20% / 50% / 75% journaled progress; progress is
+    # guaranteed to grow between kills, so the loop is bounded.
+    targets = sorted(
+        {max(2, cells // 5), max(3, cells // 2), max(4, (3 * cells) // 4)}
+    )[:COORD_KILLS]
+    drain_target = targets[-1] + max(2, cells // 12)
+
+    killed = 0
+    runs = 0
+    out = ""
+    rc: int | None = None
+    try:
+        while True:
+            resume_args = (
+                ["--journal", str(journal)]
+                if runs == 0
+                else ["--resume", str(journal)]
+            )
+            runs += 1
+            proc = subprocess.Popen(
+                base_cmd + resume_args,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                env=_env(),
+            )
+            if killed < len(targets):
+                target = targets[killed]
+                deadline = time.monotonic() + 600
+                while (
+                    proc.poll() is None
+                    and cell_count() < target
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.05)
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+                    killed += 1
+                    continue
+                # The run finished before the kill could land; fall
+                # through — the vacuity check below flags it.
+            # Final run: exercise the graceful SIGTERM drain on one
+            # worker while the coordinator is alive mid-campaign.
+            deadline = time.monotonic() + 600
+            while (
+                proc.poll() is None
+                and cell_count() < drain_target
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            if drainee.poll() is None:
+                drainee.send_signal(signal.SIGTERM)
+            try:
+                out, _ = proc.communicate(timeout=600)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                out, _ = proc.communicate()
+            rc = proc.returncode
+            break
+    finally:
+        reap(workers)
+    wall = time.monotonic() - t0
+
+    failures = 0
+
+    def fail(message: str) -> None:
+        nonlocal failures
+        failures += 1
+        print(f"[coordkill] {message}")
+
+    identical = out == baseline + "\n"
+    if rc != 0:
+        fail(f"final resumed run exited {rc} (want 0)")
+    if not identical:
+        fail("REPORT DIFFERS after coordinator kills")
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                (baseline + "\n").splitlines(keepends=True),
+                out.splitlines(keepends=True),
+                fromfile="serial baseline",
+                tofile="fabric across coordinator kills",
+            )
+        )
+    if killed < len(targets):
+        fail(
+            f"VACUOUS: only {killed}/{len(targets)} coordinator kills "
+            f"landed (campaign finished too fast?)"
+        )
+
+    # Journal forensics: the journal is append-only across restarts, so
+    # file order is time order.  A lease grant *after* the same index's
+    # cell record means a recovered-as-complete cell was redispatched.
+    seen_cells: set[int] = set()
+    cell_records = 0
+    recomputed = 0
+    spool_events = 0
+    try:
+        for line in journal.read_bytes().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            kind = record.get("kind")
+            if kind == "cell":
+                seen_cells.add(record["index"])
+                cell_records += 1
+            elif kind == "lease" and record.get("index") in seen_cells:
+                recomputed += 1
+            elif kind == "spool":
+                spool_events += 1
+    except FileNotFoundError:  # pragma: no cover
+        fail("journal was never created")
+    if cell_records != cells:
+        fail(
+            f"JOURNAL NOT DEDUPED: {cell_records} cell records for "
+            f"{cells} cells"
+        )
+    if recomputed:
+        fail(
+            f"{recomputed} already-journaled cell(s) were redispatched "
+            f"after recovery (want 0)"
+        )
+    if killed and spool_events < 1:
+        fail(
+            "VACUOUS: no worker result was spool-replayed across any "
+            "coordinator outage"
+        )
+
+    # Worker hygiene: every worker (including the drained one) must
+    # exit 0, and no spool may still hold undelivered results.
+    for proc, name in zip(workers, ("survivor-a", "survivor-b", "drainee")):
+        if proc.returncode != 0:
+            fail(f"worker {name} exited {proc.returncode} (want 0)")
+        spool_path = workdir / f"{name}.spool.jsonl"
+        if spool_path.exists():
+            leftover = sum(
+                1
+                for line in spool_path.read_bytes().splitlines()
+                if line.strip()
+            )
+            if leftover:
+                fail(
+                    f"worker {name} lost {leftover} spooled result(s) "
+                    f"(spool not drained at exit)"
+                )
+
+    status = "ok" if failures == 0 else "FAILED"
+    print(
+        f"[coordkill] {status:14} {wall:6.1f}s  "
+        f"{killed} coordinator kill(s) over {runs} run(s), "
+        f"{spool_events} spool-replayed result(s), "
+        f"{recomputed} recomputed cell(s), 1 drained worker"
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -282,16 +545,25 @@ def main(argv: list[str] | None = None) -> int:
             )
             failures += 1
         if journal_path:
-            # Physical line count (header + one record per cell):
-            # load_journal would dedup by index and hide double-appends.
-            raw = Path(journal_path).read_bytes().splitlines()
-            physical = len([line for line in raw if line.strip()])
-            if physical != cells + 1:
+            # Physical cell-record count (load_journal would dedup by
+            # index and hide double-appends); control-plane events in
+            # the same file don't count.
+            physical = _journal_cell_records(journal_path)
+            if physical != cells:
                 print(
                     f"[{family:9}] JOURNAL NOT DEDUPED: "
-                    f"{physical - 1} records for {cells} cells"
+                    f"{physical} cell records for {cells} cells"
                 )
                 failures += 1
+
+    failures += drill_coordinator_kill(
+        cells,
+        smoke=args.smoke,
+        seed=args.seed,
+        lease_s=lease_s,
+        baseline=baseline,
+        workdir=workdir,
+    )
 
     if total_expiries < 1:
         print("DRILL INCOMPLETE: no lease expiry was exercised")
@@ -303,10 +575,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAILED: {failures} problem(s)")
         return 1
     print(
-        f"OK: {len(FAMILIES)} fault families × {cells} cells all "
+        f"OK: {len(FAMILIES) + 1} fault families × {cells} cells all "
         f"rendered byte-identical to the serial baseline "
         f"({total_expiries} lease expiries, {total_reconnects} "
-        f"reconnects exercised)"
+        f"reconnects, {COORD_KILLS} coordinator kills exercised)"
     )
     return 0
 

@@ -100,6 +100,22 @@ def _strip_option(argv: list[str], name: str) -> list[str]:
     return out
 
 
+def _resume_command(
+    argv: list[str], journal_path: str, *, listen: str | None = None
+) -> str:
+    """Rebuild the exact command that resumes an interrupted campaign:
+    ``argv`` minus any stale ``--journal``/``--resume``, plus — for
+    fabric runs — ``--listen`` pinned to the actually-bound address
+    (an ephemeral port 0 would otherwise re-bind somewhere the
+    surviving workers are not reconnecting to)."""
+    args = _strip_option(
+        _strip_option(list(argv), "--journal"), "--resume"
+    )
+    if listen is not None:
+        args = _strip_option(args, "--listen") + ["--listen", listen]
+    return "python -m repro " + " ".join([*args, "--resume", journal_path])
+
+
 def _cmd_hierarchy(args: argparse.Namespace) -> int:
     from .classify import build_hierarchy, format_hierarchy
 
@@ -363,6 +379,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     if args.retries is not None:
         retry = RetryPolicy(max_retries=args.retries, seed=args.seed)
     fabric = None
+    listen_actual = None
     if args.backend == "fabric":
         from .resilience import FabricCoordinator
 
@@ -380,11 +397,11 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
             )
         )
         bound_host, bound_port = fabric.address
+        listen_actual = f"{bound_host}:{bound_port}"
         print(
             f"fabric: coordinator listening on "
-            f"{bound_host}:{bound_port} — connect workers with: "
-            f"python -m repro worker --connect "
-            f"{bound_host}:{bound_port}",
+            f"{listen_actual} — connect workers with: "
+            f"python -m repro worker --connect {listen_actual}",
             file=sys.stderr,
         )
     try:
@@ -405,15 +422,19 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                 inject_worker_kill=args.inject_worker_kill,
             )
     except CampaignInterrupted as exc:
+        if fabric is not None:
+            fabric.close()  # idempotent; frees the port for the resume
         print(f"interrupted: {exc}")
         if exc.journal_path:
-            resume_args = _strip_option(
-                _strip_option(sys.argv[1:], "--journal"), "--resume"
-            )
+            # The exact command, ready to paste: for fabric runs the
+            # listen address is pinned to the port that was actually
+            # bound, so surviving workers reconnect to the restarted
+            # coordinator and are re-admitted with their leases.
             print(
-                "resume with: python -m repro "
-                + " ".join(resume_args)
-                + f" --resume {exc.journal_path}"
+                "resume with: "
+                + _resume_command(
+                    sys.argv[1:], exc.journal_path, listen=listen_actual
+                )
             )
         else:
             print(
@@ -422,6 +443,10 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                 "resumable)"
             )
         return EXIT_RESUMABLE
+    except BaseException:
+        if fabric is not None:
+            fabric.close()  # never leak the listener on an error path
+        raise
     print(report.render())
     if report.fabric is not None:
         print(f"fabric: {report.fabric.summary()}", file=sys.stderr)
@@ -572,6 +597,8 @@ def _cmd_chaos_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import threading
+
     from .resilience import parse_endpoint, run_worker
 
     try:
@@ -582,6 +609,18 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     log = None
     if args.verbose:
         log = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    # SIGTERM = graceful drain, not abort: finish the in-flight cell,
+    # flush the spool, exit 0.  The event is polled between leases, so
+    # no cell is ever torn mid-execution.
+    drain = threading.Event()
+
+    def _request_drain(signum, frame):  # pragma: no cover - signal
+        drain.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _request_drain)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     return run_worker(
         host,
         port,
@@ -589,6 +628,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_attempts=args.max_attempts,
         log=log,
+        spool_path=args.spool,
+        drain=drain,
     )
 
 
@@ -816,7 +857,10 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="resume from a journal: replay its completed cells and "
         "execute only the remainder (fingerprint-pinned to the exact "
-        "same campaign/seed/--cells)",
+        "same campaign/seed/--cells); with --backend fabric this also "
+        "recovers the coordinator's lease/suspicion state from the "
+        "journal's control-plane events and re-admits reconnecting "
+        "workers that still hold valid leases",
     )
     p.add_argument(
         "--deadline-s",
@@ -911,8 +955,9 @@ def main(argv: list[str] | None = None) -> int:
         "campaign cells (heartbeating each lease), and reconnect "
         "with capped deterministic backoff when the link drops.",
         epilog="exit codes: 0 = coordinator sent shutdown (campaign "
-        "done); 1 = gave up after --max-attempts consecutive failed "
-        "connection attempts.",
+        "done) or SIGTERM drain (in-flight cell finished, spool "
+        "flushed); 1 = gave up after --max-attempts consecutive "
+        "failed connection attempts.",
     )
     p.add_argument(
         "--connect",
@@ -938,6 +983,14 @@ def main(argv: list[str] | None = None) -> int:
         default=30,
         help="consecutive failed connection attempts before giving "
         "up (default: %(default)s)",
+    )
+    p.add_argument(
+        "--spool",
+        metavar="PATH",
+        default=None,
+        help="disk-back the bounded result spool: completed results "
+        "that cannot reach the coordinator are buffered here and "
+        "replayed idempotently on reconnect (default: in-memory)",
     )
     p.add_argument(
         "--verbose",

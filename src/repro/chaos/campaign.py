@@ -45,7 +45,8 @@ from ..resilience import (
     RetryPolicy,
     SupervisedPool,
     campaign_fingerprint,
-    load_journal,
+    recover_control_state,
+    scan_journal,
 )
 from ..runtime import execute
 from ..runtime.scheduler import Scheduler
@@ -535,11 +536,18 @@ def _run_jobs_fabric(
     record_result: Callable[[int, CellRecord], None],
     run_supervised: Callable[[list[tuple[int, tuple]], int | None], None],
     fabric: Any,
+    journal_writer: Any = None,
+    recovered: Any = None,
 ) -> Any:
     """Dispatch ``remaining`` through a fabric coordinator; degrade any
     leftover (no workers / all workers lost) to the local supervised
     pool.  Returns the coordinator's :class:`~repro.resilience.fabric.
-    FabricStats`."""
+    FabricStats`.
+
+    ``journal_writer`` makes the coordinator journal its control-plane
+    events (crash-recoverable run); ``recovered`` (a
+    :class:`~repro.resilience.journal.ControlPlaneState` from a resumed
+    journal) starts it in recovery mode."""
     from ..resilience.fabric import FabricConfig, FabricCoordinator
 
     if isinstance(fabric, FabricCoordinator):
@@ -571,6 +579,8 @@ def _run_jobs_fabric(
             campaign=spec.name,
             fingerprint=fingerprint,
             strict_traces=spec.strict_traces,
+            journal=journal_writer,
+            recovered=recovered,
         )
     finally:
         coordinator.close()
@@ -641,7 +651,13 @@ def run_campaign(
       vanishes past the degrade window — the remaining cells run
       through the local supervised pool instead, and
       ``report.fabric.degraded`` records that it happened.  Either
-      way the report is byte-identical to a serial run.
+      way the report is byte-identical to a serial run.  With
+      ``journal``, the coordinator also logs its control-plane events
+      (lease grants/expiries, bench decisions), and ``resume`` then
+      restarts a SIGKILLed coordinator in recovery mode: journaled
+      cells are never redispatched, workers still holding valid
+      leases are re-admitted on reconnect, and spooled worker results
+      are replayed idempotently.
 
     ``kernel`` selects the execution kernel per cell: ``"interp"``
     (default) or ``"compiled"`` (:mod:`repro.kernel` — compiled step
@@ -677,14 +693,15 @@ def run_campaign(
     records: dict[int, CellRecord] = {}
     journal_writer: CampaignJournal | None = None
     journal_path: str | None = None
+    recovered = None
     if resume is not None:
-        header, lines = load_journal(resume)
-        if header.get("fingerprint") != fingerprint:
+        scan = scan_journal(resume)
+        if scan.header.get("fingerprint") != fingerprint:
             raise ResilienceError(
                 f"{resume}: journal fingerprint does not match this "
                 f"campaign (different spec, seed, or --cells limit)"
             )
-        for index, line in lines.items():
+        for index, line in scan.cells.items():
             if 0 <= index < len(cells):
                 records[index] = CellRecord(
                     cells[index],
@@ -693,6 +710,12 @@ def run_campaign(
                     steps=int(line.get("steps", 0)),
                     attempts=int(line.get("attempts", 1)),
                 )
+        if backend == "fabric":
+            # Coordinator crash recovery: rebuild the lease table and
+            # suspicion state from the journal's control-plane events
+            # so still-computing workers can reconnect and be
+            # re-admitted instead of having their cells redispatched.
+            recovered = recover_control_state(scan)
         journal_path = str(resume)
         journal_writer = CampaignJournal(resume).reopen()
     elif journal is not None:
@@ -773,6 +796,8 @@ def run_campaign(
                 record_result,
                 run_supervised,
                 fabric,
+                journal_writer=journal_writer,
+                recovered=recovered,
             )
         elif use_pool and pool == "raw":
             _run_jobs_raw(

@@ -14,7 +14,9 @@ interrupted run resumes exactly where it stopped.
 * :mod:`~repro.resilience.budget` — in-worker wall-clock and RSS
   watchdogs with distinct kill exit codes.
 * :mod:`~repro.resilience.journal` — append-only JSONL campaign
-  journals with fingerprint-pinned resume and idempotent appends.
+  journals with fingerprint-pinned resume, idempotent appends,
+  CRC32-checked records, and the coordinator's control-plane log
+  (lease/expiry/bench events + :func:`recover_control_state`).
 * :mod:`~repro.resilience.transport` — length-prefixed JSON frames,
   the fabric's wire protocol (torn frames are survivable, not errors).
 * :mod:`~repro.resilience.fabric` — the multi-host coordinator:
@@ -22,7 +24,8 @@ interrupted run resumes exactly where it stopped.
   worker suspicion, graceful degradation to the local pool.
 * :mod:`~repro.resilience.worker` — the remote worker agent
   (``python -m repro worker --connect HOST:PORT``) with deterministic
-  reconnect backoff and heartbeat-renewed leases.
+  reconnect backoff, heartbeat-renewed leases, a bounded result spool
+  replayed idempotently after outages, and graceful SIGTERM drain.
 * :mod:`~repro.resilience.netchaos` — the fault-injecting frame proxy
   the fabric drill routes real traffic through (drop / delay /
   duplicate / truncate / partition).
@@ -42,14 +45,21 @@ from .fabric import (
     FabricStats,
 )
 from .journal import (
+    CONTROL_KINDS,
     JOURNAL_FORMAT,
     JOURNAL_VERSION,
     CampaignJournal,
+    ControlPlaneState,
+    JournalScan,
+    RecoveredLease,
     atomic_write_bytes,
     atomic_write_text,
     campaign_fingerprint,
     load_journal,
+    record_crc,
     record_fingerprint,
+    recover_control_state,
+    scan_journal,
 )
 from .netchaos import FAULT_KINDS, ChaosProxy, FaultPlan, ProxyStats
 from .supervisor import (
@@ -75,7 +85,13 @@ from .transport import (
     parse_endpoint,
     split_frames,
 )
-from .worker import WorkerStats, reconnect_delay_s, run_worker
+from .worker import (
+    ResultSpool,
+    WorkerStats,
+    reconnect_delay_s,
+    run_worker,
+    serve_connection,
+)
 
 __all__ = [
     "PARTITION_KIND",
@@ -95,21 +111,30 @@ __all__ = [
     "encode_frame",
     "parse_endpoint",
     "split_frames",
+    "ResultSpool",
     "WorkerStats",
     "reconnect_delay_s",
     "run_worker",
+    "serve_connection",
     "EXIT_OOM",
     "EXIT_TIMEOUT",
     "BudgetWatchdog",
     "CellBudget",
     "current_rss_mb",
+    "CONTROL_KINDS",
     "JOURNAL_FORMAT",
     "JOURNAL_VERSION",
     "CampaignJournal",
+    "ControlPlaneState",
+    "JournalScan",
+    "RecoveredLease",
     "atomic_write_bytes",
     "atomic_write_text",
     "campaign_fingerprint",
     "load_journal",
+    "record_crc",
+    "recover_control_state",
+    "scan_journal",
     "EXIT_RESUMABLE",
     "FAIL_CRASH",
     "FAIL_FLAKY",

@@ -38,6 +38,19 @@ returns the unfinished cells to the caller, which runs them through
 the local :class:`~repro.resilience.supervisor.SupervisedPool` — the
 campaign completes either way, and ``FabricStats.degraded`` records
 that it happened.
+
+Crash recovery: when :meth:`FabricCoordinator.run` is given a journal,
+every lease grant, lease expiry, and bench decision is appended to it
+as a control-plane event alongside the cell outcomes.  A coordinator
+that is SIGKILLed mid-campaign can therefore be restarted with
+``run_campaign(..., resume=J)``: :func:`~repro.resilience.journal.
+recover_control_state` rebuilds the lease table and suspicion state
+from the log, journaled cells are never redispatched, and leases that
+were outstanding at the crash get a grace window in which their
+holders may reconnect (``register`` with ``held_leases``) and either
+be re-admitted or deliver the finished result from their local spool
+(:class:`~repro.resilience.worker.ResultSpool`) — so a coordinator
+outage loses zero completed work.
 """
 
 from __future__ import annotations
@@ -50,6 +63,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ResilienceError
+from .journal import CampaignJournal, ControlPlaneState
 from .transport import FrameDecoder, TransportError, encode_frame
 
 #: Quarantine outcome for a cell that was redispatched past the budget
@@ -110,9 +124,20 @@ class FabricStats:
     partition_quarantines: int = 0
     degraded: bool = False
     locally_executed: int = 0
+    resumed: bool = False
+    recovered_cells: int = 0
+    recovered_leases: int = 0
+    readmitted_leases: int = 0
+    spooled_results: int = 0
 
     def summary(self) -> str:
         mode = "degraded to local pool" if self.degraded else "fabric"
+        if self.resumed:
+            mode += (
+                f" (resumed: {self.recovered_cells} journaled cell(s) "
+                f"recovered, {self.recovered_leases} lease(s) "
+                f"outstanding, {self.readmitted_leases} readmitted)"
+            )
         return (
             f"{mode}: {self.results} results from "
             f"{self.workers_registered} worker registration(s) "
@@ -122,6 +147,7 @@ class FabricStats:
             f"{self.disconnect_requeues} disconnect requeues, "
             f"{self.duplicates_dropped} duplicate result(s) dropped, "
             f"{self.partition_quarantines} partition quarantine(s), "
+            f"{self.spooled_results} spool-replayed result(s), "
             f"{self.locally_executed} cell(s) executed locally"
         )
 
@@ -194,6 +220,18 @@ class _CellState:
     dispatches: int = 0
 
 
+@dataclass
+class _AwaitingLease:
+    """A lease recovered from the journal whose holder has not yet
+    reconnected.  The cell is withheld from dispatch until the grace
+    deadline: its owner may still be computing it and will either
+    re-register with ``held_leases`` (re-binding the lease) or deliver
+    the finished result from its spool."""
+
+    worker: str
+    expires_at: float  # monotonic
+
+
 class FabricCoordinator:
     """Shard a list of campaign cells across socket-connected workers.
 
@@ -226,6 +264,8 @@ class FabricCoordinator:
         self._welcome: dict[str, Any] = {"type": "welcome"}
         self._deferred: list[tuple[_WorkerConn, Mapping[str, Any]]] = []
         self._closed = False
+        self._journal: CampaignJournal | None = None
+        self._recovered_suspicion: dict[str, tuple[int, float]] = {}
 
     @property
     def address(self) -> tuple[str, int]:
@@ -325,10 +365,21 @@ class FabricCoordinator:
         campaign: str = "",
         fingerprint: str = "",
         strict_traces: bool = False,
+        journal: CampaignJournal | None = None,
+        recovered: ControlPlaneState | None = None,
     ) -> set[int]:
         """Drive ``jobs`` (``(index, cell-spec JSON)`` pairs) to
         completion; ``record_result`` fires once per index with the
         worker's result message (idempotent dedup is done here).
+
+        When ``journal`` is given, lease grants/expiries and bench
+        decisions are appended to it as control-plane events, making
+        this run crash-recoverable.  ``recovered`` (from
+        :func:`~repro.resilience.journal.recover_control_state`) starts
+        the run in recovery mode: leases that were outstanding at the
+        crash get one fresh lease window of grace in which their
+        holders may reconnect and re-claim them (``held_leases``) or
+        deliver spooled results before the cells are requeued.
 
         Returns the indices that were **not** completed because the
         fabric degraded (no workers, or all workers lost past the
@@ -340,9 +391,22 @@ class FabricCoordinator:
         cells = {
             index: _CellState(index, payload) for index, payload in jobs
         }
-        pending: deque[int] = deque(index for index, _ in jobs)
         leases: dict[int, _Lease] = {}
         done: set[int] = set()
+        self._journal = journal
+        awaiting: dict[int, _AwaitingLease] = {}
+        if recovered is not None:
+            self.stats.resumed = True
+            self.stats.recovered_cells = len(recovered.completed)
+            grace = time.monotonic() + cfg.lease_s
+            for index, note in recovered.leases.items():
+                if index in cells:
+                    awaiting[index] = _AwaitingLease(note.worker, grace)
+            self.stats.recovered_leases = len(awaiting)
+            self._recovered_suspicion = dict(recovered.suspicion)
+        pending: deque[int] = deque(
+            index for index, _ in jobs if index not in awaiting
+        )
         self._welcome = {
             "type": "welcome",
             "campaign": campaign,
@@ -356,10 +420,24 @@ class FabricCoordinator:
             """Idempotent result sink: first result wins, duplicates
             (redispatched cells whose original result was delayed, not
             lost) are counted and dropped."""
+            if message.get("spooled"):
+                # Counted before dedup: the vacuity check is "zero
+                # spooled results *lost*", and a spool replay that
+                # arrives after a redispatch already finished the cell
+                # was still delivered, not lost.
+                self.stats.spooled_results += 1
+                self._journal_event(
+                    {
+                        "kind": "spool",
+                        "index": index,
+                        "worker": str(message.get("worker", "")),
+                    }
+                )
             if index in done:
                 self.stats.duplicates_dropped += 1
                 return
             done.add(index)
+            awaiting.pop(index, None)
             lease = leases.pop(index, None)
             if lease is not None:
                 lease.conn.leases.discard(index)
@@ -372,7 +450,7 @@ class FabricCoordinator:
         deferred, self._deferred = self._deferred, []
         for conn, message in deferred:
             if conn in self._conns:
-                self._handle(conn, message, cells, leases, finish)
+                self._handle(conn, message, cells, leases, awaiting, finish)
 
         started_at = time.monotonic()
         last_worker_at: float | None = None
@@ -400,12 +478,41 @@ class FabricCoordinator:
                     continue
                 self.stats.lease_expiries += 1
                 lease.conn.leases.discard(index)
+                name = lease.conn.name or lease.conn.peer
+                self._journal_event(
+                    {"kind": "expiry", "index": index, "worker": name}
+                )
                 lease.conn.penalize(now, cfg.lease_s)
+                self._journal_event(
+                    {
+                        "kind": "bench",
+                        "worker": name,
+                        "suspicion": lease.conn.suspicion,
+                        "penalty_until_unix": time.time()
+                        + (lease.conn.penalty_until - now),
+                    }
+                )
                 del leases[index]
                 self._requeue(cells[index], pending, finish)
 
+            # Recovered-lease sweep: an awaiting holder that never came
+            # back within its grace window forfeits the cell.
+            for index, note in list(awaiting.items()):
+                if note.expires_at > now or index in done:
+                    continue
+                del awaiting[index]
+                self.stats.lease_expiries += 1
+                self._journal_event(
+                    {
+                        "kind": "expiry",
+                        "index": index,
+                        "worker": note.worker,
+                    }
+                )
+                self._requeue(cells[index], pending, finish)
+
             self._dispatch(cells, pending, leases, done, now)
-            self._pump(cells, pending, leases, finish, timeout=0.05)
+            self._pump(cells, pending, leases, awaiting, finish, timeout=0.05)
 
         leftover = {
             index
@@ -421,6 +528,11 @@ class FabricCoordinator:
 
     def _workers(self) -> list[_WorkerConn]:
         return [conn for conn in self._conns if conn.registered]
+
+    def _journal_event(self, record: Mapping[str, Any]) -> None:
+        """Durably log one control-plane event, when journaling."""
+        if self._journal is not None:
+            self._journal.append_event(record)
 
     def _requeue(
         self,
@@ -475,6 +587,17 @@ class FabricCoordinator:
             cell = cells[index]
             cell.dispatches += 1
             self.stats.dispatches += 1
+            # Journal the grant *before* the send: recovery must never
+            # under-count outstanding leases, only over-count (an
+            # over-counted lease merely waits out its grace window).
+            self._journal_event(
+                {
+                    "kind": "lease",
+                    "index": index,
+                    "worker": conn.name or conn.peer,
+                    "deadline_unix": time.time() + self.config.lease_s,
+                }
+            )
             sent = conn.send(
                 {
                     "type": "lease",
@@ -496,6 +619,7 @@ class FabricCoordinator:
         cells: Mapping[int, _CellState],
         pending: deque[int],
         leases: dict[int, _Lease],
+        awaiting: dict[int, _AwaitingLease],
         finish: Callable[[int, Mapping[str, Any]], None],
         *,
         timeout: float,
@@ -523,7 +647,7 @@ class FabricCoordinator:
                 self._drop(conn, requeue_into=(cells, pending, finish))
                 continue
             for message in messages:
-                self._handle(conn, message, cells, leases, finish)
+                self._handle(conn, message, cells, leases, awaiting, finish)
 
     def _accept(self) -> None:
         while True:
@@ -567,6 +691,15 @@ class FabricCoordinator:
         cells, pending, finish = requeue_into
         for index in sorted(conn.leases):
             self.stats.disconnect_requeues += 1
+            # Release the grant in the log too: recovery treats an
+            # unmatched grant as still-outstanding.
+            self._journal_event(
+                {
+                    "kind": "expiry",
+                    "index": index,
+                    "worker": conn.name or conn.peer,
+                }
+            )
             self._requeue(cells[index], pending, finish)
         conn.leases.clear()
 
@@ -576,6 +709,7 @@ class FabricCoordinator:
         message: Mapping[str, Any],
         cells: Mapping[int, _CellState],
         leases: dict[int, _Lease],
+        awaiting: dict[int, _AwaitingLease],
         finish: Callable[[int, Mapping[str, Any]], None],
     ) -> None:
         kind = message.get("type")
@@ -589,6 +723,40 @@ class FabricCoordinator:
             ):
                 self.stats.reconnects += 1
             self._seen_names.add(conn.name)
+            # A pre-crash bench follows the worker across the restart:
+            # the journal remembers who was suspected, for how long.
+            recovered = self._recovered_suspicion.pop(conn.name, None)
+            if recovered is not None:
+                suspicion, penalty_until_unix = recovered
+                remaining = penalty_until_unix - time.time()
+                if suspicion > 0 and remaining > 0:
+                    conn.suspicion = suspicion
+                    conn.penalty_until = time.monotonic() + remaining
+            # Re-admission: a reconnecting worker that still holds a
+            # recovered lease keeps it — the cell is mid-computation on
+            # that worker, redispatching it would be wasted work.
+            now = time.monotonic()
+            for raw in message.get("held_leases", ()):
+                index = int(raw)
+                note = awaiting.get(index)
+                if note is None or note.worker != conn.name:
+                    continue
+                del awaiting[index]
+                conn.leases.add(index)
+                leases[index] = _Lease(
+                    index, conn, now + self.config.lease_s
+                )
+                self.stats.readmitted_leases += 1
+                self._journal_event(
+                    {
+                        "kind": "lease",
+                        "index": index,
+                        "worker": conn.name,
+                        "deadline_unix": time.time()
+                        + self.config.lease_s,
+                        "readmitted": True,
+                    }
+                )
             conn.send(self._welcome)
         elif kind == "heartbeat":
             now = time.monotonic()
@@ -597,11 +765,26 @@ class FabricCoordinator:
                 lease = leases.get(index)
                 if lease is not None and lease.conn is conn:
                     lease.expires_at = now + self.config.lease_s
+                    continue
+                # A heartbeat can also keep a *recovered* lease alive
+                # while the holder finishes re-registering.
+                note = awaiting.get(index)
+                if note is not None and note.worker == conn.name:
+                    note.expires_at = now + self.config.lease_s
         elif kind == "result":
             index = int(message.get("index", -1))
             if index not in cells:
                 return  # not ours (stale worker from another run)
             conn.leases.discard(index)
+            if conn.suspicion:
+                self._journal_event(
+                    {
+                        "kind": "bench",
+                        "worker": conn.name or conn.peer,
+                        "suspicion": 0,
+                        "penalty_until_unix": 0.0,
+                    }
+                )
             conn.rehabilitate()
             finish(index, message)
         # Unknown message types are ignored (forward compatibility).

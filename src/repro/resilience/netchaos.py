@@ -55,8 +55,10 @@ FAULT_KINDS = (
 
 #: Direction labels, seen from the worker: ``up`` = worker→coordinator
 #: (registrations, heartbeats, results), ``down`` = coordinator→worker
-#: (welcomes, leases, shutdowns).
-UP, DOWN = "up", "down"
+#: (welcomes, leases, shutdowns).  ``both`` turns a partition into a
+#: full blackhole: the link looks alive (no EOF, no reset) but nothing
+#: crosses in either direction — the hung-socket scenario.
+UP, DOWN, BOTH = "up", "down", "both"
 
 
 @dataclass(frozen=True)
@@ -71,8 +73,10 @@ class FaultPlan:
         delay_s: maximum hold time for ``delay``.
         after_frames: per-connection frame budget before ``truncate``
             fires / ``partition`` begins.
-        direction: which direction ``partition`` blackholes (``drop``,
-            ``delay``, ``duplicate`` apply to both directions).
+        direction: which direction ``partition`` blackholes — ``up``,
+            ``down``, or ``both`` for a full hung-socket blackhole
+            (``drop``, ``delay``, ``duplicate`` apply to both
+            directions regardless).
     """
 
     kind: str = "none"
@@ -88,8 +92,10 @@ class FaultPlan:
                 f"unknown fault kind {self.kind!r}; "
                 f"expected one of {FAULT_KINDS}"
             )
-        if self.direction not in (UP, DOWN):
-            raise ValueError(f"direction must be {UP!r} or {DOWN!r}")
+        if self.direction not in (UP, DOWN, BOTH):
+            raise ValueError(
+                f"direction must be {UP!r}, {DOWN!r}, or {BOTH!r}"
+            )
 
 
 @dataclass
@@ -194,7 +200,7 @@ class _Pipe(threading.Thread):
             return False  # run() shuts both sockets: crash-mid-send
         if (
             plan.kind == "partition"
-            and self.direction == plan.direction
+            and plan.direction in (self.direction, BOTH)
             and self.frame_no > plan.after_frames
         ):
             self.partitioned = True

@@ -168,6 +168,16 @@ class FrameConnection:
             self._ready.extend(self._decoder.feed(data))
         return self._ready.pop(0)
 
+    def shutdown(self) -> None:
+        """Force both directions shut so any thread blocked in
+        ``send``/``recv`` (a heartbeat wedged in ``sendall`` against a
+        blackholed peer) wakes up with :class:`TransportClosed`.  Does
+        not release the fd — call :meth:`close` afterwards as usual."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:  # already closed/reset is exactly what we want
+            pass
+
     def close(self) -> None:
         try:
             self.sock.close()

@@ -15,12 +15,18 @@ is built for an unreliable link:
   a daemon thread renews the lease every ``heartbeat_s`` so a
   long-running cell is never mistaken for a lost one.  The framed
   connection serializes sends, so the two threads share the socket
-  safely.
-* **Results are expendable.**  If the link dies before a result frame
-  lands, the worker just reconnects; the coordinator's lease machinery
-  redispatches the cell and its dedup drops whichever execution
-  reports second.  Cells are pure functions of their spec, so a
-  re-execution is indistinguishable from a retransmission.
+  safely; on disconnect the thread is joined (with a forced socket
+  shutdown as the wake-up of last resort), so a lease-holding
+  heartbeat can never outlive its connection.
+* **Results are never lost, only late.**  If the link dies before a
+  result frame lands, the result goes into a local bounded spool
+  (:class:`ResultSpool`, optionally disk-backed) and is replayed —
+  flagged ``"spooled": true`` — right after the next welcome.  The
+  coordinator's ``record_fingerprint`` dedup makes the replay
+  idempotent, so a coordinator outage loses zero completed work.
+* **Graceful drain on SIGTERM.**  With a ``drain`` event set (the CLI
+  wires SIGTERM to it), the worker finishes its in-flight cell,
+  flushes the spool, and exits 0.
 
 The agent is deliberately stateless across connections: the campaign
 fingerprint in the coordinator's welcome is remembered only to refuse
@@ -31,10 +37,12 @@ coordinator behind the same address.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from .supervisor import RetryPolicy
@@ -54,6 +62,11 @@ RECONNECT_POLICY = RetryPolicy(
     backoff_cap_s=5.0,
     jitter=0.5,
 )
+
+#: Extra reconnect attempts granted to a draining worker whose spool is
+#: not yet empty: enough to ride out a coordinator restart, small
+#: enough that SIGTERM still means "exit soon".
+DRAIN_FLUSH_ATTEMPTS = 5
 
 
 def reconnect_delay_s(seed: int, name: str, attempt: int) -> float:
@@ -77,6 +90,119 @@ class WorkerStats:
     cells_executed: int = 0
     results_sent: int = 0
     results_lost: int = 0
+    results_spooled: int = 0
+    spool_replayed: int = 0
+
+
+class ResultSpool:
+    """Bounded buffer of completed-but-undelivered result messages.
+
+    Disk-backed when given a ``path`` (JSONL, fsynced per append, so a
+    worker that is itself SIGKILLed mid-outage hands its finished work
+    to its successor), in-memory otherwise.  Each record is tagged with
+    the campaign fingerprint it belongs to; :meth:`replay` only
+    resends records for the campaign the new welcome names and then
+    clears the spool — stale records from dead campaigns are dropped
+    with it.  The bound drops the *oldest* record on overflow (the
+    coordinator has had the longest to redispatch it)."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        max_records: int = 1024,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.max_records = max(1, max_records)
+        self.dropped = 0
+        self._records: list[dict[str, Any]] = []
+        if self.path is not None and self.path.exists():
+            self._records = self._load()
+
+    def _load(self) -> list[dict[str, Any]]:
+        records: list[dict[str, Any]] = []
+        assert self.path is not None
+        for raw in self.path.read_bytes().splitlines():
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn tail from a crashed predecessor
+            if isinstance(record, dict) and "result" in record:
+                records.append(record)
+        return records[-self.max_records:]
+
+    def _persist(self) -> None:
+        if self.path is None:
+            return
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(
+                    json.dumps(
+                        record, ensure_ascii=False, separators=(",", ":")
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def indices(self, fingerprint: str | None = None) -> list[int]:
+        """Cell indices with a spooled result (optionally restricted
+        to one campaign) — what a re-registering worker claims as
+        ``held_leases``."""
+        return sorted(
+            int(record["result"].get("index", -1))
+            for record in self._records
+            if fingerprint is None
+            or record.get("fingerprint", "") == fingerprint
+        )
+
+    def put(self, fingerprint: str, result: Mapping[str, Any]) -> None:
+        """Durably buffer one undelivered result."""
+        self._records.append(
+            {"fingerprint": fingerprint, "result": dict(result)}
+        )
+        while len(self._records) > self.max_records:
+            self._records.pop(0)
+            self.dropped += 1
+        self._persist()
+
+    def replay(
+        self,
+        conn: FrameConnection,
+        fingerprint: str,
+        *,
+        worker: str = "",
+    ) -> int:
+        """Resend every spooled result for ``fingerprint`` (flagged
+        ``"spooled": true`` so the coordinator can count deliveries),
+        then clear the spool.  Raises :class:`TransportClosed` if the
+        link dies mid-replay — records are kept, and the resend after
+        the next reconnect is deduplicated coordinator-side."""
+        sent = 0
+        for record in [
+            r
+            for r in self._records
+            if r.get("fingerprint", "") == fingerprint
+        ]:
+            message = dict(record["result"])
+            message["spooled"] = True
+            if worker:
+                message["worker"] = worker
+            conn.send(message)
+            sent += 1
+        self.clear()
+        return sent
+
+    def clear(self) -> None:
+        self._records = []
+        self._persist()
 
 
 class _Heartbeater:
@@ -105,6 +231,13 @@ class _Heartbeater:
 
     def stop(self) -> None:
         self._stop.set()
+
+    def join(self, timeout: float) -> bool:
+        """Wait for the beat thread to exit; True when it did."""
+        if not self._thread.is_alive():
+            return True
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
 
     def _beat(self) -> None:
         while not self._stop.wait(self._period_s):
@@ -150,10 +283,14 @@ def serve_connection(
     execute: Callable[[Mapping[str, Any], bool], dict[str, Any]] =
         _execute_cell,
     expected_fingerprint: str | None = None,
-) -> tuple[bool, str]:
-    """Serve leases on one established connection until shutdown or
-    link death.  Returns ``(shutdown, campaign fingerprint)`` —
-    ``shutdown`` True means the coordinator said we are done."""
+    spool: ResultSpool | None = None,
+    drain: threading.Event | None = None,
+    worker_name: str = "",
+) -> tuple[str, str]:
+    """Serve leases on one established connection until shutdown, link
+    death, or drain.  Returns ``(reason, campaign fingerprint)`` where
+    ``reason`` is ``"shutdown"`` (the coordinator said we are done) or
+    ``"drain"`` (our SIGTERM said so)."""
     welcome = conn.recv(timeout=10.0)
     if welcome is None or welcome.get("type") != "welcome":
         raise TransportClosed("no welcome from coordinator")
@@ -167,16 +304,24 @@ def serve_connection(
         )
     strict_traces = bool(welcome.get("strict_traces", False))
     heartbeat_s = float(welcome.get("heartbeat_s", 1.0))
+    if spool is not None and len(spool):
+        # Flush finished work from the last outage before taking new
+        # leases; the coordinator dedups, so this is safe to repeat.
+        stats.spool_replayed += spool.replay(
+            conn, fingerprint, worker=worker_name
+        )
     heartbeater = _Heartbeater(conn, heartbeat_s)
     heartbeater.start()
     try:
         while True:
+            if drain is not None and drain.is_set():
+                return "drain", fingerprint
             message = conn.recv(timeout=heartbeat_s)
             if message is None:
                 continue  # idle tick; heartbeater keeps us visible
             kind = message.get("type")
             if kind == "shutdown":
-                return True, fingerprint
+                return "shutdown", fingerprint
             if kind != "lease":
                 continue
             index = int(message["index"])
@@ -191,13 +336,26 @@ def serve_connection(
                 conn.send(result)
                 stats.results_sent += 1
             except TransportClosed:
-                # The execution is not wasted science — the cell is
-                # deterministic and the coordinator will redispatch —
-                # but this link is done.
-                stats.results_lost += 1
+                # The execution is not wasted science: spool the result
+                # for replay after the next welcome (or, with no spool,
+                # rely on the coordinator redispatching the
+                # deterministic cell).  Either way this link is done.
+                if spool is not None:
+                    spool.put(fingerprint, result)
+                    stats.results_spooled += 1
+                else:
+                    stats.results_lost += 1
                 raise
     finally:
+        # The heartbeat must never outlive the connection: a zombie
+        # beater holding a lease would keep renewing it against a
+        # *future* connection's campaign.  stop() covers the sleeping
+        # thread; the forced shutdown covers one wedged in sendall
+        # against a blackholed peer.
         heartbeater.stop()
+        if not heartbeater.join(timeout=2.0):
+            conn.shutdown()
+            heartbeater.join(timeout=2.0)
 
 
 def run_worker(
@@ -211,20 +369,48 @@ def run_worker(
     execute: Callable[[Mapping[str, Any], bool], dict[str, Any]] =
         _execute_cell,
     log: Callable[[str], None] | None = None,
+    spool: ResultSpool | None = None,
+    spool_path: str | Path | None = None,
+    drain: threading.Event | None = None,
 ) -> int:
     """Worker main loop: connect/serve/reconnect until the coordinator
-    shuts us down (exit 0) or ``max_attempts`` consecutive failed
-    connection attempts (exit 1)."""
+    shuts us down, SIGTERM drains us (both exit 0), or
+    ``max_attempts`` consecutive failed connection attempts (exit 1).
+
+    The spool (disk-backed when ``spool_path`` is given, in-memory
+    otherwise) survives link outages; a draining worker with a
+    non-empty spool gets :data:`DRAIN_FLUSH_ATTEMPTS` reconnect
+    attempts to deliver it before exiting anyway (a disk spool then
+    hands the results to the next worker on the same path).
+    """
     stats = stats if stats is not None else WorkerStats()
     name = name or f"worker-{os.getpid()}"
     say = log or (lambda message: None)
+    spool = spool if spool is not None else ResultSpool(spool_path)
     incarnation = 0
     failures = 0
+    drain_failures = 0
     fingerprint: str | None = None
+
+    def drained() -> bool:
+        return drain is not None and drain.is_set()
+
     while True:
+        if drained() and not len(spool):
+            say(f"{name}: drained (spool empty); exiting")
+            return 0
         try:
             conn = connect_framed(host, port, timeout=5.0)
         except OSError as exc:
+            if drained():
+                drain_failures += 1
+                if drain_failures >= DRAIN_FLUSH_ATTEMPTS:
+                    say(
+                        f"{name}: draining with {len(spool)} spooled "
+                        f"result(s) undeliverable after "
+                        f"{drain_failures} attempts; exiting"
+                    )
+                    return 0
             failures += 1
             if failures >= max_attempts:
                 say(
@@ -251,18 +437,33 @@ def run_worker(
                         "name": name,
                         "incarnation": incarnation,
                         "pid": os.getpid(),
+                        # Spooled results are leases we still hold:
+                        # claiming them stops the coordinator from
+                        # redispatching cells whose results arrive in
+                        # the replay right after this welcome.
+                        "held_leases": spool.indices(fingerprint),
                     }
                 )
-                shutdown, fingerprint = serve_connection(
+                reason, fingerprint = serve_connection(
                     conn,
                     stats,
                     execute=execute,
                     expected_fingerprint=fingerprint,
+                    spool=spool,
+                    drain=drain,
+                    worker_name=name,
                 )
-                if shutdown:
+                if reason == "shutdown":
                     say(
                         f"{name}: coordinator shutdown after "
                         f"{stats.cells_executed} cell(s)"
+                    )
+                    return 0
+                if reason == "drain":
+                    say(
+                        f"{name}: drained after "
+                        f"{stats.cells_executed} cell(s) "
+                        f"(spool flushed); exiting"
                     )
                     return 0
         except TransportClosed as exc:

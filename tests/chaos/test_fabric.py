@@ -251,6 +251,58 @@ class TestFabricBackend:
         assert fabric.fabric.degraded
         assert fabric.fabric.locally_executed == 2
 
+    def test_listener_death_mid_campaign_degrades(self):
+        # The coordinator's listener socket dies mid-campaign (fd
+        # exhaustion, a stray close): already-connected workers keep
+        # serving until they drop, nobody can reconnect, and the
+        # campaign must finish by degrading to local execution — with
+        # the report still byte-identical.
+        import socket as socketlib
+
+        spec = smoke_campaign()
+        serial = run_campaign(spec, limit=6)
+        coordinator = FabricCoordinator(
+            FabricConfig(
+                lease_s=0.5,
+                heartbeat_s=0.05,
+                register_grace_s=5.0,
+                degrade_after_s=0.3,
+                max_redispatch=1,
+            )
+        )
+        host, port = coordinator.address
+        thread, stats = _thread_worker(host, port, "w0", max_attempts=3)
+        completed = 0
+
+        def kill_listener_after_two(record):
+            nonlocal completed
+            completed += 1
+            if completed != 2:
+                return
+            # Called from inside the run loop: kill the listener and
+            # hang up on every worker.  shutdown() (not close()) so
+            # the selector still reports the EOF and the coordinator
+            # takes its normal drop path.
+            coordinator._listener.close()
+            for conn in list(coordinator._conns):
+                conn.sock.shutdown(socketlib.SHUT_RDWR)
+
+        fabric = run_campaign(
+            spec,
+            limit=6,
+            backend="fabric",
+            fabric=coordinator,
+            on_cell=kill_listener_after_two,
+        )
+        thread.join(timeout=10.0)
+        assert fabric.render() == serial.render()
+        assert fabric.fabric.degraded
+        assert fabric.fabric.results >= 2
+        assert fabric.fabric.locally_executed >= 1
+        assert (
+            fabric.fabric.results + fabric.fabric.locally_executed >= 6
+        )
+
     def test_unknown_backend_rejected(self):
         from repro.errors import ResilienceError
 
@@ -333,6 +385,23 @@ class TestChaosProxy:
                     # doubles each: four copies arrive.
                     got = [conn.recv(timeout=5.0) for _ in range(4)]
                 assert got == [{"n": 7}] * 4
+        finally:
+            listener.close()
+
+    def test_full_partition_blackholes_both_directions(self):
+        # direction="both" is the hung-socket fault: the link stays
+        # up but nothing crosses in either direction.
+        listener, target = self._echo_server()
+        try:
+            plan = FaultPlan(
+                kind="partition", direction="both", after_frames=0
+            )
+            with ChaosProxy(target, plan) as proxy:
+                host, port = proxy.address
+                with connect_framed(host, port) as conn:
+                    conn.send({"n": 1})
+                    assert conn.recv(timeout=0.3) is None
+                assert proxy.stats.partitioned_frames >= 1
         finally:
             listener.close()
 

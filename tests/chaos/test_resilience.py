@@ -268,7 +268,56 @@ class TestIdempotentAppend:
         assert set(lines) == {0}  # the torn record is simply gone
         assert header["fingerprint"] == "fp"
 
-    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+    def test_corrupt_middle_record_is_quarantined(self, tmp_path):
+        # Bit rot before the tail must not take the journal down: the
+        # broken record is quarantined and every healthy record around
+        # it still loads.
+        from repro.resilience import scan_journal
+
+        path = tmp_path / "j.jsonl"
+        with self._journal(tmp_path) as journal:
+            for index in (0, 1):
+                journal.append_cell(
+                    index,
+                    outcome="ok",
+                    detail="",
+                    steps=1,
+                    attempts=1,
+                    cell_json={"seed": 7 + index},
+                )
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines.insert(2, b'{"kind": "cell", "ind\xff\n')
+        path.write_bytes(b"".join(lines))
+        scan = scan_journal(path)
+        assert scan.corrupt_records == 1
+        assert not scan.torn_tail
+        assert set(scan.cells) == {0, 1}
+
+    def test_crc_mismatch_quarantines_the_record(self, tmp_path):
+        # A record that still parses as JSON but fails its CRC (a
+        # flipped byte inside a value) is quarantined the same way.
+        from repro.resilience import scan_journal
+
+        path = tmp_path / "j.jsonl"
+        with self._journal(tmp_path) as journal:
+            for index in (0, 1):
+                journal.append_cell(
+                    index,
+                    outcome="ok",
+                    detail="healthy",
+                    steps=1,
+                    attempts=1,
+                    cell_json={"seed": 7 + index},
+                )
+        lines = path.read_bytes().splitlines(keepends=True)
+        assert b'"healthy"' in lines[1]
+        lines[1] = lines[1].replace(b'"healthy"', b'"haelthy"')
+        path.write_bytes(b"".join(lines))
+        scan = scan_journal(path)
+        assert scan.corrupt_records == 1
+        assert set(scan.cells) == {1}
+
+    def test_corrupt_header_still_raises(self, tmp_path):
         path = tmp_path / "j.jsonl"
         with self._journal(tmp_path) as journal:
             journal.append_cell(
@@ -280,10 +329,86 @@ class TestIdempotentAppend:
                 cell_json={"seed": 7},
             )
         lines = path.read_bytes().splitlines(keepends=True)
-        lines.insert(1, b'{"kind": "cell", "ind\xff\n')
+        lines[0] = lines[0][:10] + b"\xff" + lines[0][11:]
         path.write_bytes(b"".join(lines))
-        with pytest.raises(ResilienceError, match="corrupt"):
+        with pytest.raises(ResilienceError, match="header"):
             load_journal(path)
+
+    def test_version1_journal_without_crcs_still_loads(self, tmp_path):
+        # Pre-checksum journals must stay readable (no crc fields, no
+        # corruption detection) — only version-2 records are strict.
+        import json as jsonlib
+
+        from repro.resilience import JOURNAL_FORMAT
+
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            {
+                "kind": "header",
+                "format": JOURNAL_FORMAT,
+                "version": 1,
+                "campaign": "t",
+                "fingerprint": "fp",
+                "cells": 1,
+            },
+            {"kind": "cell", "index": 0, "outcome": "ok"},
+        ]
+        path.write_text(
+            "".join(jsonlib.dumps(line) + "\n" for line in lines)
+        )
+        header, cells = load_journal(path)
+        assert header["version"] == 1
+        assert set(cells) == {0}
+
+    def test_crc_is_canonical_under_key_order(self):
+        from repro.resilience import record_crc
+
+        a = {"kind": "cell", "index": 3, "outcome": "ok"}
+        b = {"outcome": "ok", "kind": "cell", "index": 3}
+        assert record_crc(a) == record_crc(b)
+        assert record_crc({**a, "crc": record_crc(a)}) == record_crc(a)
+        assert record_crc(a) != record_crc({**a, "index": 4})
+
+    def test_bit_flip_fuzz_never_mangles_a_surviving_record(
+        self, tmp_path
+    ):
+        # Flip one bit anywhere after the header: the scan must never
+        # raise, and any cell record it *does* return must be byte-for-
+        # byte the original — corruption is quarantined, never
+        # reinterpreted.  (CRC32 detects every single-bit error.)
+        import random
+
+        from repro.resilience import scan_journal
+
+        path = tmp_path / "j.jsonl"
+        with self._journal(tmp_path) as journal:
+            for index in range(4):
+                journal.append_cell(
+                    index,
+                    outcome="ok",
+                    detail=f"ψ-cell-{index}",
+                    steps=index + 1,
+                    attempts=1,
+                    cell_json={"seed": 7 + index},
+                )
+        pristine = path.read_bytes()
+        originals = scan_journal(path).cells
+        header_end = pristine.index(b"\n") + 1
+        rng = random.Random(0xC5C)
+        for _ in range(200):
+            pos = rng.randrange(header_end, len(pristine))
+            flipped = pristine[pos] ^ (1 << rng.randrange(8))
+            path.write_bytes(
+                pristine[:pos] + bytes([flipped]) + pristine[pos + 1 :]
+            )
+            scan = scan_journal(path)
+            for index, record in scan.cells.items():
+                assert record == originals[index]
+            assert (
+                scan.corrupt_records > 0
+                or scan.torn_tail
+                or scan.cells == originals
+            )
 
 
 def _schedules_in_child(args):
